@@ -1,0 +1,24 @@
+"""Shared fixtures for the table-reproduction benchmarks."""
+
+import pytest
+
+from repro.benchdata import (
+    funlang_benchmark_names,
+    prolog_benchmark_names,
+)
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "table(name): which paper table a benchmark reproduces"
+    )
+
+
+@pytest.fixture(scope="session")
+def prolog_names():
+    return prolog_benchmark_names()
+
+
+@pytest.fixture(scope="session")
+def funlang_names():
+    return funlang_benchmark_names()

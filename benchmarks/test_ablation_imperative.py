@@ -1,0 +1,64 @@
+"""E9 — general-purpose engine vs special-purpose dataflow solver.
+
+Reps [31] reports Coral about 6x slower than a dedicated C demand
+algorithm; the paper argues XSB's order-of-magnitude advantage over
+Coral makes general-purpose engines practical for dataflow.  We compare
+our tabled engine against our dedicated worklist solver on the same
+demand reaching-definitions queries and record the factor.
+"""
+
+import time
+
+import pytest
+
+from repro.engine import TabledEngine
+from repro.imperative import (
+    dataflow_program,
+    demand_query,
+    demand_reaching,
+    make_pipeline_program,
+)
+
+
+@pytest.mark.parametrize("procs,stmts", [(3, 6), (5, 10), (8, 12)])
+def test_demand_dataflow_factor(benchmark, procs, stmts):
+    program = make_pipeline_program(procs=procs, stmts_per_proc=stmts)
+    logic = dataflow_program(program)
+    queries = [
+        ((f"proc{p}", stmts - 2), f"v{p}_1") for p in range(procs)
+    ]
+
+    def run_logic():
+        engine = TabledEngine(logic)
+        return [
+            {a.args[0] for a in engine.solve(demand_query(node, var))}
+            for node, var in queries
+        ]
+
+    logic_results = benchmark.pedantic(run_logic, rounds=2, iterations=1)
+
+    t0 = time.perf_counter()
+    direct_results = [demand_reaching(program, node, var) for node, var in queries]
+    direct_time = time.perf_counter() - t0
+
+    assert logic_results == direct_results
+
+    t0 = time.perf_counter()
+    run_logic()
+    logic_time = time.perf_counter() - t0
+    factor = logic_time / max(direct_time, 1e-9)
+    benchmark.extra_info.update(
+        {
+            "logic_ms": round(logic_time * 1000, 2),
+            "worklist_ms": round(direct_time * 1000, 3),
+            "factor_logic_over_worklist": round(factor, 1),
+            "paper_coral_factor": 6.0,
+        }
+    )
+    # Shape claim: identical results, with the general-purpose engine a
+    # constant factor slower.  Our factor is larger than Reps' 6x
+    # (Coral vs C) because the dedicated solver here is also Python and
+    # the engine's per-resolution constant dominates at these sizes;
+    # the relative ordering (dedicated < declarative, same answers) is
+    # the reproduced shape.
+    assert factor < 1000

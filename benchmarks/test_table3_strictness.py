@@ -1,0 +1,45 @@
+"""Table 3 — strictness analysis of the 10 functional benchmarks.
+
+Paper shape claims asserted: preprocessing dominates total analysis
+time for every program *except pcprove* (whose deeply nested
+applications make the analysis phase dominate), and the total is a
+small multiple of the front-end compile time.
+"""
+
+import pytest
+
+from repro.benchdata import (
+    PAPER_TABLE3,
+    funlang_benchmark_names,
+    funlang_benchmark_source,
+)
+from repro.harness import strictness_row
+
+
+@pytest.mark.table("3")
+@pytest.mark.parametrize("name", funlang_benchmark_names())
+def test_table3_strictness(benchmark, name):
+    source = funlang_benchmark_source(name)
+
+    def run():
+        return strictness_row(name, source)
+
+    rounds = 1 if name in ("strassen", "fft") else 2
+    row, result = benchmark.pedantic(run, rounds=rounds, iterations=1)
+    benchmark.extra_info.update(
+        {
+            "lines": row.lines,
+            "preprocess_ms": round(row.preprocess * 1000, 2),
+            "analysis_ms": round(row.analysis * 1000, 2),
+            "collection_ms": round(row.collection * 1000, 2),
+            "table_space_bytes": row.table_space,
+            "lines_per_second": round(row.lines / row.total, 1),
+            "paper_total_s": PAPER_TABLE3[name][4],
+            "paper_space_bytes": PAPER_TABLE3[name][5],
+        }
+    )
+    assert result.functions, f"{name}: no functions analyzed"
+    # every function must have a defined per-argument demand tuple
+    for fs in result.functions.values():
+        assert len(fs.demand_e) == fs.arity
+        assert len(fs.demand_d) == fs.arity

@@ -1,0 +1,55 @@
+"""Input and output modes from one tabled analysis pass.
+
+The paper's section 3.1 point: a tabled engine records *calls* as well
+as *answers*, so a single top-down evaluation of the abstract program
+yields both input groundness (call patterns — what magic sets would
+compute bottom-up) and output groundness (success patterns) — "we do
+not have to pay an additional price for obtaining input modes".
+
+We analyze quicksort with a ground first argument at entry and print
+the modes a compiler would use (e.g. for first-argument indexing and
+determinism detection).
+
+Run:  python examples/groundness_modes.py
+"""
+
+from repro.benchdata import load_prolog_benchmark
+from repro.core import analyze_groundness
+
+
+def mode_string(info) -> str:
+    """A Mercury-like mode string: + ground at call, - bound ground on exit."""
+    out = []
+    for at_call, on_exit in zip(info.ground_at_call, info.ground_on_success):
+        if at_call:
+            out.append("+")
+        elif on_exit:
+            out.append("-")
+        else:
+            out.append("?")
+    return "(" + ", ".join(out) + ")"
+
+
+def main() -> None:
+    program = load_prolog_benchmark("qsort")
+    result = analyze_groundness(program)
+
+    print("modes inferred for qsort (entry: qsort(ground, free)):")
+    for indicator, info in result.predicates.items():
+        name, arity = indicator
+        print(f"  {name}/{arity} {mode_string(info)}")
+        patterns = sorted(set(info.call_patterns), key=str)
+        print(f"     calls seen : {patterns}")
+
+    qsort = result[("qsort", 2)]
+    assert qsort.ground_at_call == (True, False)
+    assert qsort.ground_on_success == (True, True)
+    print(
+        "\nqsort/2 is called with a ground list and always succeeds with"
+        " a ground result\n(mode (+,-)): exactly what a compiler needs,"
+        " from one tabled pass."
+    )
+
+
+if __name__ == "__main__":
+    main()

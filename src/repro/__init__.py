@@ -1,0 +1,21 @@
+"""Practical program analysis on a general-purpose tabled logic engine.
+
+Python reproduction of Dawson, Ramakrishnan & Warren, *Practical
+Program Analysis Using General Purpose Logic Programming Systems — A
+Case Study* (PLDI 1996).  The package provides:
+
+* the evaluation substrate — a tabled (SLG/OLDT-style) logic
+  programming engine (:mod:`repro.engine`), plus SLD and bottom-up
+  engines and the magic-sets transformations (:mod:`repro.magic`);
+* the case-study analyses — Prop-domain groundness, demand-propagation
+  strictness, depth-k abstract terms, interval widening and
+  Hindley-Milner types (:mod:`repro.core`);
+* the comparison systems (:mod:`repro.baselines`), the benchmark
+  suites (:mod:`repro.benchdata`) and the measurement harness
+  (:mod:`repro.harness`).
+
+Start with :func:`repro.prolog.load_program` and
+:func:`repro.core.analyze_groundness`, or see ``examples/``.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,16 @@
+"""Comparator systems the paper measures against, rebuilt in Python.
+
+* :mod:`repro.baselines.gaia` — the GAIA stand-in: a *special-purpose*
+  abstract interpreter for Prop-domain groundness, hand-coded around a
+  BDD representation (as Van Hentenryck, Cortesi & Le Charlier's
+  GAIA/Prop implementation was).  Table 2 compares the declarative
+  tabled analyzer against it.
+* :mod:`repro.baselines.propbdd` — a Toupie-style bottom-up Prop
+  evaluator over BDDs (the constraint-solving formulation of [10]),
+  used by the enumerative-vs-BDD ablation.
+"""
+
+from repro.baselines.gaia import GaiaAnalyzer, analyze_gaia
+from repro.baselines.propbdd import bottom_up_success
+
+__all__ = ["GaiaAnalyzer", "analyze_gaia", "bottom_up_success"]

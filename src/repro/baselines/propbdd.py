@@ -1,0 +1,37 @@
+"""Toupie-style bottom-up Prop evaluation over BDDs ([10] stand-in.)
+
+Corsini et al. formulated groundness analysis as constraint solving
+over symbolic finite domains and solved it with Toupie, a mu-calculus
+style fixpoint evaluator over decision diagrams.  The equivalent here:
+compute every predicate's Prop success function by naive bottom-up
+iteration over BDDs, with *no* goal direction and *no* call patterns —
+the piece of the design space the paper contrasts with tabling.
+
+The heavy lifting is shared with the GAIA stand-in; this wrapper exists
+so benchmarks can measure the success-only fixpoint in isolation.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.baselines.gaia import GaiaAnalyzer
+from repro.core.propdom import PropFunction
+from repro.prolog.program import Indicator, Program
+
+
+def bottom_up_success(
+    program: Program,
+) -> tuple[dict[Indicator, PropFunction], dict[str, float]]:
+    """Success-set Prop semantics of ``program`` via BDD fixpoint.
+
+    Returns ``(summaries, times)`` where ``summaries`` maps each
+    predicate to its output-groundness truth set.  Must agree exactly
+    with both the declarative tabled analyzer and the GAIA stand-in
+    (asserted by the integration tests).
+    """
+    t0 = time.perf_counter()
+    analyzer = GaiaAnalyzer(program)
+    summaries = analyzer.compute_success()
+    t1 = time.perf_counter()
+    return summaries, {"analysis": t1 - t0, "iterations": analyzer.iterations}

@@ -1,0 +1,11 @@
+"""Reduced Ordered Binary Decision Diagrams.
+
+The comparison systems of the paper's section 4 ([10] Toupie, [40]
+GAIA/Prop) represent Prop formulas as BDDs; this package provides the
+ROBDD machinery for our stand-ins of those systems and for the
+enumerative-vs-BDD ablation benchmarks.
+"""
+
+from repro.bdd.robdd import BDD, BDDManager
+
+__all__ = ["BDD", "BDDManager"]

@@ -1,0 +1,271 @@
+"""A compact ROBDD implementation (Bryant 1986 / [6] in the paper).
+
+Nodes are hash-consed triples ``(var, low, high)`` with a fixed global
+variable order (integer variable indexes; smaller index = nearer the
+root).  All operations are memoized per manager.
+
+Example::
+
+    m = BDDManager()
+    x, y = m.var(0), m.var(1)
+    f = m.iff(x, y)          # x <-> y
+    assert m.eval(f, {0: True, 1: True})
+    assert sorted(m.allsat(f, [0, 1])) == [(False, False), (True, True)]
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+# Terminal node ids
+FALSE = 0
+TRUE = 1
+
+BDD = int  # node index into the manager's table
+
+_OPS = {
+    "and": lambda a, b: a and b,
+    "or": lambda a, b: a or b,
+    "xor": lambda a, b: a != b,
+    "iff": lambda a, b: a == b,
+    "imp": lambda a, b: (not a) or b,
+}
+
+
+class BDDManager:
+    """Owns the node table and operation caches for a family of BDDs."""
+
+    def __init__(self):
+        # table[i] = (var, low, high); entries 0/1 are sentinels
+        self._table: list[tuple] = [(-1, -1, -1), (-1, -1, -1)]
+        self._unique: dict[tuple, int] = {}
+        self._apply_cache: dict[tuple, int] = {}
+        self._exists_cache: dict[tuple, int] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+
+    def mk(self, var: int, low: BDD, high: BDD) -> BDD:
+        """The unique node for (var, low, high), reduced."""
+        if low == high:
+            return low
+        key = (var, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self._table)
+            self._table.append(key)
+            self._unique[key] = node
+        return node
+
+    def var(self, index: int) -> BDD:
+        """The BDD of the single variable ``index``."""
+        return self.mk(index, FALSE, TRUE)
+
+    def nvar(self, index: int) -> BDD:
+        """The BDD of the negated variable ``index``."""
+        return self.mk(index, TRUE, FALSE)
+
+    def constant(self, value: bool) -> BDD:
+        return TRUE if value else FALSE
+
+    # ------------------------------------------------------------------
+    # Structure access
+
+    def node(self, bdd: BDD) -> tuple:
+        return self._table[bdd]
+
+    def is_terminal(self, bdd: BDD) -> bool:
+        return bdd in (FALSE, TRUE)
+
+    def size(self, bdd: BDD) -> int:
+        """Number of distinct internal nodes reachable from ``bdd``."""
+        seen: set[int] = set()
+        stack = [bdd]
+        while stack:
+            node = stack.pop()
+            if node in (FALSE, TRUE) or node in seen:
+                continue
+            seen.add(node)
+            _, low, high = self._table[node]
+            stack.append(low)
+            stack.append(high)
+        return len(seen)
+
+    # ------------------------------------------------------------------
+    # Boolean operations (Shannon-expansion apply)
+
+    def apply(self, op: str, a: BDD, b: BDD) -> BDD:
+        key = (op, a, b)
+        cached = self._apply_cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._apply(op, a, b)
+        self._apply_cache[key] = result
+        return result
+
+    def _apply(self, op: str, a: BDD, b: BDD) -> BDD:
+        a_terminal = a in (FALSE, TRUE)
+        b_terminal = b in (FALSE, TRUE)
+        if a_terminal and b_terminal:
+            return TRUE if _OPS[op](a == TRUE, b == TRUE) else FALSE
+        # short circuits
+        if op == "and":
+            if a == FALSE or b == FALSE:
+                return FALSE
+            if a == TRUE:
+                return b
+            if b == TRUE:
+                return a
+            if a == b:
+                return a
+        elif op == "or":
+            if a == TRUE or b == TRUE:
+                return TRUE
+            if a == FALSE:
+                return b
+            if b == FALSE:
+                return a
+            if a == b:
+                return a
+        avar = self._table[a][0] if not a_terminal else None
+        bvar = self._table[b][0] if not b_terminal else None
+        if bvar is None or (avar is not None and avar < bvar):
+            top = avar
+        else:
+            top = bvar
+        if avar == top:
+            _, a_low, a_high = self._table[a]
+        else:
+            a_low = a_high = a
+        if bvar == top:
+            _, b_low, b_high = self._table[b]
+        else:
+            b_low = b_high = b
+        return self.mk(
+            top, self.apply(op, a_low, b_low), self.apply(op, a_high, b_high)
+        )
+
+    def conj(self, a: BDD, b: BDD) -> BDD:
+        return self.apply("and", a, b)
+
+    def disj(self, a: BDD, b: BDD) -> BDD:
+        return self.apply("or", a, b)
+
+    def iff(self, a: BDD, b: BDD) -> BDD:
+        return self.apply("iff", a, b)
+
+    def xor(self, a: BDD, b: BDD) -> BDD:
+        return self.apply("xor", a, b)
+
+    def implies(self, a: BDD, b: BDD) -> BDD:
+        return self.apply("imp", a, b)
+
+    def neg(self, a: BDD) -> BDD:
+        return self.apply("xor", a, TRUE)
+
+    def conj_all(self, bdds) -> BDD:
+        result = TRUE
+        for bdd in bdds:
+            result = self.conj(result, bdd)
+        return result
+
+    def disj_all(self, bdds) -> BDD:
+        result = FALSE
+        for bdd in bdds:
+            result = self.disj(result, bdd)
+        return result
+
+    def iff_conj(self, lhs: int, rhs_vars) -> BDD:
+        """``x_lhs <-> /\\ x_i`` — the groundness constraint of a term."""
+        return self.iff(self.var(lhs), self.conj_all(self.var(v) for v in rhs_vars))
+
+    # ------------------------------------------------------------------
+    # Quantification and evaluation
+
+    def restrict(self, bdd: BDD, var: int, value: bool) -> BDD:
+        if bdd in (FALSE, TRUE):
+            return bdd
+        node_var, low, high = self._table[bdd]
+        if node_var > var:
+            return bdd
+        if node_var == var:
+            return high if value else low
+        return self.mk(
+            node_var,
+            self.restrict(low, var, value),
+            self.restrict(high, var, value),
+        )
+
+    def exists(self, bdd: BDD, var: int) -> BDD:
+        key = (bdd, var)
+        cached = self._exists_cache.get(key)
+        if cached is None:
+            cached = self.disj(
+                self.restrict(bdd, var, False), self.restrict(bdd, var, True)
+            )
+            self._exists_cache[key] = cached
+        return cached
+
+    def exists_all(self, bdd: BDD, variables) -> BDD:
+        for var in sorted(variables, reverse=True):
+            bdd = self.exists(bdd, var)
+        return bdd
+
+    def eval(self, bdd: BDD, assignment: dict) -> bool:
+        while bdd not in (FALSE, TRUE):
+            var, low, high = self._table[bdd]
+            bdd = high if assignment.get(var, False) else low
+        return bdd == TRUE
+
+    def entails(self, a: BDD, b: BDD) -> bool:
+        """True iff ``a -> b`` is a tautology."""
+        return self.implies(a, b) == TRUE
+
+    def allsat(self, bdd: BDD, variables) -> list[tuple]:
+        """All satisfying assignments over exactly ``variables``.
+
+        Don't-care variables are expanded, so the result is the full
+        truth set — the bridge back to the enumerative representation.
+        """
+        variables = list(variables)
+        rows = []
+        for values in product((False, True), repeat=len(variables)):
+            if self.eval(bdd, dict(zip(variables, values))):
+                rows.append(values)
+        return rows
+
+    def satcount(self, bdd: BDD, nvars: int) -> int:
+        """Number of satisfying assignments over variables 0..nvars-1."""
+        memo: dict[int, int] = {}
+
+        def count(node: BDD, level: int) -> int:
+            if node == FALSE:
+                return 0
+            if node == TRUE:
+                return 2 ** (nvars - level)
+            key = node
+            cached = memo.get(key)
+            if cached is not None:
+                # memo stores count from the node's own level
+                var, _, _ = self._table[node]
+                return cached * 2 ** (var - level)
+            var, low, high = self._table[node]
+            result = count(low, var + 1) + count(high, var + 1)
+            memo[key] = result
+            return result * 2 ** (var - level)
+
+        return count(bdd, 0)
+
+    # ------------------------------------------------------------------
+    # Bridges to the enumerative representation
+
+    def from_rows(self, rows, variables) -> BDD:
+        """Build the BDD of a truth set over the given variable indexes."""
+        result = FALSE
+        for row in rows:
+            term = TRUE
+            for var, value in zip(variables, row):
+                literal = self.var(var) if value else self.nvar(var)
+                term = self.conj(term, literal)
+            result = self.disj(result, term)
+        return result

@@ -1,0 +1,41 @@
+"""Benchmark program suites and the paper's reference numbers.
+
+* ``prolog/`` — reconstructions of the 12 GAIA-suite logic programs of
+  paper Tables 1, 2 and 4 (CS, Disj, Gabriel, Kalah, Peep, PG, Plan,
+  Press1, Press2, QSort, Queens, Read);
+* ``funlang/`` — reconstructions of the 10 EQUALS/Hartel functional
+  programs of Table 3 (eu, event, fft, listcompr, mergesort, nq,
+  odprove, pcprove, quicksort, strassen).
+
+The original suites are not distributed with the paper; these are
+same-name, same-task, comparable-structure reconstructions (see
+DESIGN.md, "Substitutions").  :data:`PAPER_TABLE1` etc. hold the
+numbers printed in the paper, used by EXPERIMENTS.md and the benchmark
+harness for shape comparison (never for asserting absolute times).
+"""
+
+from repro.benchdata.loader import (
+    prolog_benchmark_names,
+    funlang_benchmark_names,
+    load_prolog_benchmark,
+    load_funlang_benchmark,
+    prolog_benchmark_source,
+    funlang_benchmark_source,
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+)
+
+__all__ = [
+    "prolog_benchmark_names",
+    "funlang_benchmark_names",
+    "load_prolog_benchmark",
+    "load_funlang_benchmark",
+    "prolog_benchmark_source",
+    "funlang_benchmark_source",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+]

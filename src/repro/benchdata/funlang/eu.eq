@@ -1,0 +1,30 @@
+-- eu: Euler series acceleration on scaled rationals
+-- (Hartel suite reconstruction, 67 lines).  All arithmetic is on
+-- integers scaled by 10000 to stay within the language's integer core.
+
+scale(x) = x * 10000.
+
+-- partial sums of the alternating series 1 - 1/2 + 1/3 - ...
+term(k) = if(k mod 2 == 1, scale(1) div k, 0 - (scale(1) div k)).
+
+series(k, n) = if(k > n, Nil, Cons(term(k), series(k + 1, n))).
+
+partials(acc, Nil) = Nil.
+partials(acc, Cons(x, xs)) = Cons(acc + x, partials(acc + x, xs)).
+
+-- Euler transform: average consecutive partial sums
+euler(Nil) = Nil.
+euler(Cons(x, Nil)) = Nil.
+euler(Cons(x, Cons(y, rest))) =
+    Cons((x + y) div 2, euler(Cons(y, rest))).
+
+-- repeated transformation
+accelerate(xs, 0) = xs.
+accelerate(xs, k) = accelerate(euler(xs), k - 1).
+
+last(Cons(x, Nil)) = x.
+last(Cons(x, Cons(y, rest))) = last(Cons(y, rest)).
+
+approx(n, rounds) = last(accelerate(partials(0, series(1, n)), rounds)).
+
+main(n) = approx(n, 3).

@@ -1,0 +1,112 @@
+-- event: discrete-event simulation of a queueing station network
+-- (Hartel suite reconstruction, 384 lines).  A future-event list
+-- drives arrivals, service completions and routing between two
+-- stations.  State is threaded functionally; every equation touches
+-- only the pieces it needs (accessor/updater style).
+
+-- event list: time-ordered Ev(time, kind); kinds Arr1, Arr2, Dep1, Dep2
+
+insert_event(e, Nil) = Cons(e, Nil).
+insert_event(e, Cons(f, rest)) =
+    if(ev_time(e) <= ev_time(f),
+       Cons(e, Cons(f, rest)),
+       Cons(f, insert_event(e, rest))).
+
+ev_time(Ev(t, k)) = t.
+ev_kind(Ev(t, k)) = k.
+
+-- pseudo-random stream (linear congruential)
+nextrand(seed) = (seed * 1103 + 12345) mod 65536.
+
+draw(seed, lo, hi) = lo + (seed mod (hi - lo + 1)).
+
+-- station state St(queue_len, busy, served) with narrow accessors
+st_queue(St(q, b, s)) = q.
+st_busy(St(q, b, s)) = b.
+st_served(St(q, b, s)) = s.
+
+enqueue(St(q, b, s)) = St(q + 1, b, s).
+start_service(St(q, b, s)) = St(q - 1, 1, s).
+finish_service(St(q, b, s)) = St(q, 0, s + 1).
+
+idle_with_work(st) = and2(st_busy(st) == 0, st_queue(st) > 0).
+
+and2(True, True) = True.
+and2(True, False) = False.
+and2(False, b) = False.
+
+-- the global state and its accessors/updaters
+-- Sim(clock, seed, stations, events, done), stations = Sts(s1, s2)
+
+sim_clock(Sim(c, r, ss, es, d)) = c.
+sim_seed(Sim(c, r, ss, es, d)) = r.
+sim_done(Sim(c, r, ss, es, d)) = d.
+
+station1(Sim(c, r, Sts(s1, s2), es, d)) = s1.
+station2(Sim(c, r, Sts(s1, s2), es, d)) = s2.
+
+set_clock(t, Sim(c, r, ss, es, d)) = Sim(t, r, ss, es, d).
+spin_seed(Sim(c, r, ss, es, d)) = Sim(c, nextrand(r), ss, es, d).
+set_station1(s, Sim(c, r, Sts(s1, s2), es, d)) = Sim(c, r, Sts(s, s2), es, d).
+set_station2(s, Sim(c, r, Sts(s1, s2), es, d)) = Sim(c, r, Sts(s1, s), es, d).
+add_event(e, Sim(c, r, ss, es, d)) = Sim(c, r, ss, insert_event(e, es), d).
+count_done(Sim(c, r, ss, es, d)) = Sim(c, r, ss, es, d + 1).
+
+pop_event(Sim(c, r, ss, Cons(e, es), d)) = Sim(c, r, ss, es, d).
+next_event(Sim(c, r, ss, Cons(e, es), d)) = e.
+has_events(Sim(c, r, ss, Nil, d)) = False.
+has_events(Sim(c, r, ss, Cons(e, es), d)) = True.
+
+-- the simulation loop
+run(limit) = stats(simulate(initial(), limit)).
+
+initial() = add_event(Ev(0, Arr1),
+                      Sim(0, 42, Sts(St(0, 0, 0), St(0, 0, 0)), Nil, 0)).
+
+simulate(sim, limit) =
+    if(has_events(sim),
+       advance(next_event(sim), pop_event(sim), limit),
+       sim).
+
+advance(e, sim, limit) =
+    if(ev_time(e) > limit,
+       sim,
+       simulate(step(ev_kind(e), set_clock(ev_time(e), sim)), limit)).
+
+-- event dispatch; each handler composes narrow updaters
+step(Arr1, sim) = serve1(schedule_next_arrival(queue1(sim))).
+step(Arr2, sim) = serve2(queue2(sim)).
+step(Dep1, sim) = serve1(route_to_2(depart1(sim))).
+step(Dep2, sim) = serve2(count_done(depart2(sim))).
+
+queue1(sim) = set_station1(enqueue(station1(sim)), sim).
+queue2(sim) = set_station2(enqueue(station2(sim)), sim).
+
+depart1(sim) = set_station1(finish_service(station1(sim)), sim).
+depart2(sim) = set_station2(finish_service(station2(sim)), sim).
+
+route_to_2(sim) = add_event(Ev(sim_clock(sim), Arr2), sim).
+
+schedule_next_arrival(sim) =
+    spin_seed(add_event(Ev(sim_clock(sim) + draw(sim_seed(sim), 3, 9), Arr1),
+                        sim)).
+
+-- start service at an idle station with queued customers
+serve1(sim) =
+    if(idle_with_work(station1(sim)),
+       spin_seed(add_event(Ev(sim_clock(sim) + draw(sim_seed(sim), 2, 7), Dep1),
+                           set_station1(start_service(station1(sim)), sim))),
+       sim).
+
+serve2(sim) =
+    if(idle_with_work(station2(sim)),
+       spin_seed(add_event(Ev(sim_clock(sim) + draw(sim_seed(sim), 1, 5), Dep2),
+                           set_station2(start_service(station2(sim)), sim))),
+       sim).
+
+-- final statistics
+stats(sim) = Triple(sim_clock(sim),
+                    st_served(station1(sim)) + st_served(station2(sim)),
+                    sim_done(sim)).
+
+main(limit) = run(limit).

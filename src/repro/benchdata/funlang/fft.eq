@@ -1,0 +1,78 @@
+-- fft: radix-2 fast Fourier transform over fixed-point complex numbers
+-- (Hartel suite reconstruction, 343 lines).  Complex values are
+-- Cx(re, im) with components scaled by 1024; twiddle factors come from
+-- a table of scaled cosines for the angles used at small sizes.
+
+-- fixed-point helpers (scale = 1024)
+fmul(a, b) = (a * b) div 1024.
+
+cadd(Cx(a, b), Cx(c, d)) = Cx(a + c, b + d).
+csub(Cx(a, b), Cx(c, d)) = Cx(a - c, b - d).
+cmul(Cx(a, b), Cx(c, d)) = Cx(fmul(a, c) - fmul(b, d), fmul(a, d) + fmul(b, c)).
+
+-- scaled cos/sin table for angles 2*pi*k/n with small n (n in 1,2,4,8,16)
+coss(k, n) = costab((k * 16) div n).
+sins(k, n) = 0 - costab(((k * 16) div n + 12) mod 16).
+
+costab(0) = 1024.
+costab(1) = 946.
+costab(2) = 724.
+costab(3) = 392.
+costab(4) = 0.
+costab(5) = 0 - 392.
+costab(6) = 0 - 724.
+costab(7) = 0 - 946.
+costab(8) = 0 - 1024.
+costab(9) = 0 - 946.
+costab(10) = 0 - 724.
+costab(11) = 0 - 392.
+costab(12) = 0.
+costab(13) = 392.
+costab(14) = 724.
+costab(15) = 946.
+
+twiddle(k, n) = Cx(coss(k, n), sins(k, n)).
+
+-- list utilities
+append(Nil, ys) = ys.
+append(Cons(x, xs), ys) = Cons(x, append(xs, ys)).
+
+length(Nil) = 0.
+length(Cons(x, xs)) = 1 + length(xs).
+
+evens(Nil) = Nil.
+evens(Cons(x, Nil)) = Cons(x, Nil).
+evens(Cons(x, Cons(y, rest))) = Cons(x, evens(rest)).
+
+odds(Nil) = Nil.
+odds(Cons(x, Nil)) = Nil.
+odds(Cons(x, Cons(y, rest))) = Cons(y, odds(rest)).
+
+zipadd(Nil, Nil) = Nil.
+zipadd(Cons(x, xs), Cons(y, ys)) = Cons(cadd(x, y), zipadd(xs, ys)).
+
+zipsub(Nil, Nil) = Nil.
+zipsub(Cons(x, xs), Cons(y, ys)) = Cons(csub(x, y), zipsub(xs, ys)).
+
+-- multiply the k-th element by the k-th twiddle factor
+twiddles(Nil, k, n) = Nil.
+twiddles(Cons(x, xs), k, n) =
+    Cons(cmul(twiddle(k, n), x), twiddles(xs, k + 1, n)).
+
+-- the Cooley-Tukey recursion
+fft(Cons(x, Nil), n) = Cons(x, Nil).
+fft(Cons(x, Cons(y, rest)), n) =
+    merge_halves(fft(evens(Cons(x, Cons(y, rest))), n div 2),
+                 twiddles(fft(odds(Cons(x, Cons(y, rest))), n div 2), 0, n)).
+
+merge_halves(es, os) = append(zipadd(es, os), zipsub(es, os)).
+
+-- test signal: a scaled square wave of length n
+signal(0) = Nil.
+signal(k) = Cons(Cx(if(k mod 2 == 0, 1024, 0 - 1024), 0), signal(k - 1)).
+
+-- energy checksum of a spectrum
+energy(Nil) = 0.
+energy(Cons(Cx(re, im), rest)) = fmul(re, re) + fmul(im, im) + energy(rest).
+
+main(n) = energy(fft(signal(n), n)).

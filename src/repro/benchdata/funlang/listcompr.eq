@@ -1,0 +1,87 @@
+-- listcompr: list-comprehension workloads, hand-desugared into
+-- first-order equations (Hartel suite reconstruction, 241 lines).
+-- Pythagorean triples, prime sieves, permutations and a small
+-- relational join, each written as map/filter/concat pipelines.
+
+range(lo, hi) = if(lo > hi, Nil, Cons(lo, range(lo + 1, hi))).
+
+append(Nil, ys) = ys.
+append(Cons(x, xs), ys) = Cons(x, append(xs, ys)).
+
+concat(Nil) = Nil.
+concat(Cons(xs, rest)) = append(xs, concat(rest)).
+
+length(Nil) = 0.
+length(Cons(x, xs)) = 1 + length(xs).
+
+-- [ (a,b,c) | a <- [1..n], b <- [a..n], c <- [b..n], a*a + b*b == c*c ]
+triples(n) = concat(triples_a(range(1, n), n)).
+
+triples_a(Nil, n) = Nil.
+triples_a(Cons(a, as), n) =
+    Cons(concat(triples_b(a, range(a, n), n)), triples_a(as, n)).
+
+triples_b(a, Nil, n) = Nil.
+triples_b(a, Cons(b, bs), n) =
+    Cons(triples_c(a, b, range(b, n)), triples_b(a, bs, n)).
+
+triples_c(a, b, Nil) = Nil.
+triples_c(a, b, Cons(c, cs)) =
+    if(a * a + b * b == c * c,
+       Cons(Triple(a, b, c), triples_c(a, b, cs)),
+       triples_c(a, b, cs)).
+
+-- primes by trial-division filter: [ p | p <- [2..n], nodiv p ]
+primes(n) = sieve_filter(range(2, n)).
+
+sieve_filter(Nil) = Nil.
+sieve_filter(Cons(p, rest)) =
+    Cons(p, sieve_filter(drop_multiples(p, rest))).
+
+drop_multiples(p, Nil) = Nil.
+drop_multiples(p, Cons(x, xs)) =
+    if(x mod p == 0, drop_multiples(p, xs), Cons(x, drop_multiples(p, xs))).
+
+-- permutations: [ x:p | x <- xs, p <- perms (delete x xs) ]
+perms(Nil) = Cons(Nil, Nil).
+perms(xs) = if(null(xs), Cons(Nil, Nil), concat(perms_outer(xs, xs))).
+
+perms_outer(Nil, all) = Nil.
+perms_outer(Cons(x, rest), all) =
+    Cons(cons_each(x, perms(delete(x, all))), perms_outer(rest, all)).
+
+cons_each(x, Nil) = Nil.
+cons_each(x, Cons(p, ps)) = Cons(Cons(x, p), cons_each(x, ps)).
+
+delete(x, Nil) = Nil.
+delete(x, Cons(y, ys)) = if(x == y, ys, Cons(y, delete(x, ys))).
+
+null(Nil) = True.
+null(Cons(x, xs)) = False.
+
+-- relational join: [ Pair(a, c) | Pair(a, b1) <- r, Pair(b2, c) <- s, b1 == b2 ]
+join(r, s) = concat(join_outer(r, s)).
+
+join_outer(Nil, s) = Nil.
+join_outer(Cons(p, ps), s) = Cons(join_inner(p, s), join_outer(ps, s)).
+
+join_inner(Pair(a, b1), Nil) = Nil.
+join_inner(Pair(a, b1), Cons(Pair(b2, c), rest)) =
+    if(b1 == b2,
+       Cons(Pair(a, c), join_inner(Pair(a, b1), rest)),
+       join_inner(Pair(a, b1), rest)).
+
+relation_r(n) = pairs_up(range(1, n)).
+relation_s(n) = pairs_down(range(1, n)).
+
+pairs_up(Nil) = Nil.
+pairs_up(Cons(x, xs)) = Cons(Pair(x, x + 1), pairs_up(xs)).
+
+pairs_down(Nil) = Nil.
+pairs_down(Cons(x, xs)) = Cons(Pair(x + 1, x), pairs_down(xs)).
+
+main(n) =
+    length(triples(n)) +
+    length(primes(n)) +
+    length(perms(range(1, 4))) +
+    length(join(relation_r(n), relation_s(n))).

@@ -1,0 +1,43 @@
+-- mergesort: bottom-up merge sort on integer lists
+-- (Hartel suite reconstruction, 65 lines)
+
+msort(xs) = mergeall(pairs(xs)).
+
+pairs(Nil) = Nil.
+pairs(Cons(x, Nil)) = Cons(Cons(x, Nil), Nil).
+pairs(Cons(x, Cons(y, rest))) = Cons(merge(Cons(x, Nil), Cons(y, Nil)), pairs(rest)).
+
+mergeall(Nil) = Nil.
+mergeall(Cons(xs, Nil)) = xs.
+mergeall(Cons(xs, Cons(ys, rest))) = mergeall(Cons(merge(xs, ys), rest)).
+
+merge(Nil, ys) = ys.
+merge(Cons(x, xs), Nil) = Cons(x, xs).
+merge(Cons(x, xs), Cons(y, ys)) =
+    if(x <= y,
+       Cons(x, merge(xs, Cons(y, ys))),
+       Cons(y, merge(Cons(x, xs), ys))).
+
+-- check that a list is sorted
+sorted(Nil) = True.
+sorted(Cons(x, Nil)) = True.
+sorted(Cons(x, Cons(y, rest))) = if(x <= y, sorted(Cons(y, rest)), False).
+
+-- driver: sort a pseudo-random list and verify
+range(lo, hi) = if(lo > hi, Nil, Cons(lo, range(lo + 1, hi))).
+
+scramble(Nil) = Nil.
+scramble(Cons(x, xs)) = append(scramble(evens(xs)), Cons(x, scramble(odds(xs)))).
+
+evens(Nil) = Nil.
+evens(Cons(x, Nil)) = Nil.
+evens(Cons(x, Cons(y, rest))) = Cons(y, evens(rest)).
+
+odds(Nil) = Nil.
+odds(Cons(x, Nil)) = Cons(x, Nil).
+odds(Cons(x, Cons(y, rest))) = Cons(x, odds(rest)).
+
+append(Nil, ys) = ys.
+append(Cons(x, xs), ys) = Cons(x, append(xs, ys)).
+
+main(n) = sorted(msort(scramble(range(1, n)))).

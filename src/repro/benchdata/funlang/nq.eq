@@ -1,0 +1,40 @@
+-- nq: n-queens counting solutions (Hartel suite reconstruction, 90 lines)
+
+nqueens(n) = count(queens(n, n)).
+
+queens(0, n) = Cons(Nil, Nil).
+queens(m, n) = if(m > 0, extend(queens(m - 1, n), n), Cons(Nil, Nil)).
+
+extend(boards, n) = concat(maps_extend(boards, n)).
+
+maps_extend(Nil, n) = Nil.
+maps_extend(Cons(board, boards), n) =
+    Cons(placements(board, 1, n), maps_extend(boards, n)).
+
+placements(board, col, n) =
+    if(col > n,
+       Nil,
+       if(safe(board, col, 1),
+          Cons(Cons(col, board), placements(board, col + 1, n)),
+          placements(board, col + 1, n))).
+
+safe(Nil, col, dist) = True.
+safe(Cons(q, rest), col, dist) =
+    if(q == col,
+       False,
+       if(q == col + dist,
+          False,
+          if(q == col - dist,
+             False,
+             safe(rest, col, dist + 1)))).
+
+concat(Nil) = Nil.
+concat(Cons(xs, rest)) = append(xs, concat(rest)).
+
+append(Nil, ys) = ys.
+append(Cons(x, xs), ys) = Cons(x, append(xs, ys)).
+
+count(Nil) = 0.
+count(Cons(x, xs)) = 1 + count(xs).
+
+main(n) = nqueens(n).

@@ -1,0 +1,84 @@
+-- odprove: a prover for the ordering axioms of a dense linear order,
+-- by exhaustive tableau-style case analysis (Hartel suite
+-- reconstruction, 160 lines).  Formulas are built from Lt/Le/Eq atoms
+-- over a small term universe with And/Or/Not/Imp connectives.
+
+-- normalise to negation normal form
+nnf(Atom(a)) = Atom(a).
+nnf(Not(Atom(a))) = Not(Atom(a)).
+nnf(Not(Not(f))) = nnf(f).
+nnf(And(f, g)) = And(nnf(f), nnf(g)).
+nnf(Or(f, g)) = Or(nnf(f), nnf(g)).
+nnf(Not(And(f, g))) = Or(nnf(Not(f)), nnf(Not(g))).
+nnf(Not(Or(f, g))) = And(nnf(Not(f)), nnf(Not(g))).
+nnf(Imp(f, g)) = Or(nnf(Not(f)), nnf(g)).
+nnf(Not(Imp(f, g))) = And(nnf(f), nnf(Not(g))).
+
+-- tableau expansion: prove by refuting the negation in all branches
+prove(f) = refute(Cons(nnf(Not(f)), Nil), Nil).
+
+refute(Nil, lits) = closed(lits).
+refute(Cons(And(f, g), rest), lits) = refute(Cons(f, Cons(g, rest)), lits).
+refute(Cons(Or(f, g), rest), lits) =
+    and2(refute(Cons(f, rest), lits), refute(Cons(g, rest), lits)).
+refute(Cons(Atom(a), rest), lits) = refute(rest, Cons(Pos(a), lits)).
+refute(Cons(Not(Atom(a)), rest), lits) = refute(rest, Cons(Neg(a), lits)).
+
+and2(True, True) = True.
+and2(True, False) = False.
+and2(False, b) = False.
+
+-- a branch closes on a complementary pair or an order violation
+closed(lits) = or2(complementary(lits, lits), order_violation(lits)).
+
+or2(True, b) = True.
+or2(False, b) = b.
+
+complementary(Nil, all) = False.
+complementary(Cons(Pos(a), rest), all) =
+    or2(member_lit(Neg(a), all), complementary(rest, all)).
+complementary(Cons(Neg(a), rest), all) =
+    or2(member_lit(Pos(a), all), complementary(rest, all)).
+
+member_lit(l, Nil) = False.
+member_lit(l, Cons(x, xs)) = if(lit_eq(l, x), True, member_lit(l, xs)).
+
+lit_eq(Pos(a), Pos(b)) = atom_eq(a, b).
+lit_eq(Neg(a), Neg(b)) = atom_eq(a, b).
+lit_eq(Pos(a), Neg(b)) = False.
+lit_eq(Neg(a), Pos(b)) = False.
+
+atom_eq(Lt(x1, y1), Lt(x2, y2)) = and2(x1 == x2, y1 == y2).
+atom_eq(Le(x1, y1), Le(x2, y2)) = and2(x1 == x2, y1 == y2).
+atom_eq(Eq(x1, y1), Eq(x2, y2)) = and2(x1 == x2, y1 == y2).
+atom_eq(Lt(x1, y1), Le(x2, y2)) = False.
+atom_eq(Lt(x1, y1), Eq(x2, y2)) = False.
+atom_eq(Le(x1, y1), Lt(x2, y2)) = False.
+atom_eq(Le(x1, y1), Eq(x2, y2)) = False.
+atom_eq(Eq(x1, y1), Lt(x2, y2)) = False.
+atom_eq(Eq(x1, y1), Le(x2, y2)) = False.
+
+-- order axioms falsify branches with irreflexive/asymmetric conflicts
+order_violation(lits) = or2(irreflexive(lits), asymmetric(lits, lits)).
+
+irreflexive(Nil) = False.
+irreflexive(Cons(Pos(Lt(x, y)), rest)) =
+    or2(x == y, irreflexive(rest)).
+irreflexive(Cons(l, rest)) = irreflexive(rest).
+
+asymmetric(Nil, all) = False.
+asymmetric(Cons(Pos(Lt(x, y)), rest), all) =
+    or2(member_lit(Pos(Lt(y, x)), all), asymmetric(rest, all)).
+asymmetric(Cons(l, rest), all) = asymmetric(rest, all).
+
+-- theorems exercised by the driver
+theorem(1) = Imp(Atom(Lt(1, 2)), Atom(Lt(1, 2))).
+theorem(2) = Imp(And(Atom(Lt(1, 2)), Atom(Lt(2, 1))), Atom(Eq(1, 1))).
+theorem(3) = Or(Atom(Le(1, 2)), Not(Atom(Le(1, 2)))).
+theorem(4) = Imp(Atom(Lt(1, 1)), Atom(Eq(3, 4))).
+theorem(5) = Not(And(Atom(Lt(1, 2)), Atom(Lt(2, 1)))).
+
+count_proved(k) =
+    if(k == 0, 0, if(prove(theorem(k)), 1, 0) + count_proved(k - 1)).
+
+main(x) = count_proved(5).

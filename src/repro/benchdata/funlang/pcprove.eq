@@ -1,0 +1,117 @@
+-- pcprove: propositional-calculus prover (Wang's algorithm over
+-- sequents), Hartel suite reconstruction (595 lines).  The paper
+-- singles this program out: its deeply nested function applications
+-- make the strictness analysis itself the dominant cost, unlike every
+-- other benchmark where preprocessing dominates.
+
+-- formulas: Var(n), Neg(f), Conj(f, g), Disj(f, g), Impl(f, g), Equiv(f, g)
+-- a sequent is Seq(antecedent-list, succedent-list)
+
+prove(f) = provable(Seq(Nil, Cons(f, Nil))).
+
+-- Wang's rules: decompose the first non-atomic formula on either side
+provable(Seq(ante, succ)) =
+    step_ante(find_compound(ante), ante, succ).
+
+step_ante(Found(f, rest), ante, succ) = decompose_ante(f, rest, succ).
+step_ante(NotFound, ante, succ) =
+    step_succ(find_compound(succ), ante, succ).
+
+step_succ(Found(f, rest), ante, succ) = decompose_succ(f, ante, rest).
+step_succ(NotFound, ante, succ) = axiom(ante, succ).
+
+find_compound(Nil) = NotFound.
+find_compound(Cons(Var(n), rest)) =
+    push_atom(Var(n), find_compound(rest)).
+find_compound(Cons(f, rest)) = found_if(is_compound(f), f, rest).
+
+found_if(True, f, rest) = Found(f, rest).
+found_if(False, f, rest) = push_atom(f, find_compound(rest)).
+
+push_atom(a, NotFound) = NotFound.
+push_atom(a, Found(f, rest)) = Found(f, Cons(a, rest)).
+
+is_compound(Var(n)) = False.
+is_compound(Neg(f)) = True.
+is_compound(Conj(f, g)) = True.
+is_compound(Disj(f, g)) = True.
+is_compound(Impl(f, g)) = True.
+is_compound(Equiv(f, g)) = True.
+
+-- antecedent rules
+decompose_ante(Neg(f), ante, succ) =
+    provable(Seq(ante, Cons(f, succ))).
+decompose_ante(Conj(f, g), ante, succ) =
+    provable(Seq(Cons(f, Cons(g, ante)), succ)).
+decompose_ante(Disj(f, g), ante, succ) =
+    and2(provable(Seq(Cons(f, ante), succ)),
+         provable(Seq(Cons(g, ante), succ))).
+decompose_ante(Impl(f, g), ante, succ) =
+    and2(provable(Seq(ante, Cons(f, succ))),
+         provable(Seq(Cons(g, ante), succ))).
+decompose_ante(Equiv(f, g), ante, succ) =
+    and2(provable(Seq(Cons(f, Cons(g, ante)), succ)),
+         provable(Seq(ante, Cons(f, Cons(g, succ))))).
+
+-- succedent rules
+decompose_succ(Neg(f), ante, succ) =
+    provable(Seq(Cons(f, ante), succ)).
+decompose_succ(Conj(f, g), ante, succ) =
+    and2(provable(Seq(ante, Cons(f, succ))),
+         provable(Seq(ante, Cons(g, succ)))).
+decompose_succ(Disj(f, g), ante, succ) =
+    provable(Seq(ante, Cons(f, Cons(g, succ)))).
+decompose_succ(Impl(f, g), ante, succ) =
+    provable(Seq(Cons(f, ante), Cons(g, succ))).
+decompose_succ(Equiv(f, g), ante, succ) =
+    and2(provable(Seq(Cons(f, ante), Cons(g, succ))),
+         provable(Seq(Cons(g, ante), Cons(f, succ)))).
+
+-- axiom: some atom on both sides
+axiom(ante, succ) = intersects(ante, succ).
+
+intersects(Nil, succ) = False.
+intersects(Cons(Var(n), rest), succ) =
+    or2(member_var(n, succ), intersects(rest, succ)).
+
+member_var(n, Nil) = False.
+member_var(n, Cons(Var(m), rest)) = or2(n == m, member_var(n, rest)).
+
+and2(True, True) = True.
+and2(True, False) = False.
+and2(False, b) = False.
+
+or2(True, b) = True.
+or2(False, b) = b.
+
+-- ----------------------------------------------------------------
+-- theorem corpus: classical tautologies with deep nesting
+
+-- Peirce's law: ((p -> q) -> p) -> p
+thm(1) = Impl(Impl(Impl(Var(1), Var(2)), Var(1)), Var(1)).
+-- contraposition
+thm(2) = Equiv(Impl(Var(1), Var(2)), Impl(Neg(Var(2)), Neg(Var(1)))).
+-- de Morgan, both directions, conjoined
+thm(3) = Conj(Equiv(Neg(Conj(Var(1), Var(2))),
+                    Disj(Neg(Var(1)), Neg(Var(2)))),
+              Equiv(Neg(Disj(Var(1), Var(2))),
+                    Conj(Neg(Var(1)), Neg(Var(2))))).
+-- distribution of and over or
+thm(4) = Equiv(Conj(Var(1), Disj(Var(2), Var(3))),
+               Disj(Conj(Var(1), Var(2)), Conj(Var(1), Var(3)))).
+-- a deeply nested implication chain
+thm(5) = Impl(Impl(Var(1), Impl(Var(2), Impl(Var(3), Var(4)))),
+              Impl(Conj(Var(1), Conj(Var(2), Var(3))), Var(4))).
+-- the hardest: equivalence shuffle with five variables
+thm(6) = Impl(Conj(Equiv(Var(1), Var(2)),
+                   Conj(Equiv(Var(2), Var(3)),
+                        Conj(Equiv(Var(3), Var(4)),
+                             Equiv(Var(4), Var(5))))),
+              Equiv(Var(1), Var(5))).
+-- a non-theorem, to exercise failure
+thm(7) = Impl(Disj(Var(1), Var(2)), Conj(Var(1), Var(2))).
+
+count_proved(0) = 0.
+count_proved(k) = if(prove(thm(k)), 1, 0) + count_proved(k - 1).
+
+main(x) = count_proved(7).

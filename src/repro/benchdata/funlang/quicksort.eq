@@ -1,0 +1,29 @@
+-- quicksort on integer lists (Hartel suite reconstruction, 70 lines)
+
+qsort(Nil) = Nil.
+qsort(Cons(x, xs)) =
+    append(qsort(below(x, xs)), Cons(x, qsort(above(x, xs)))).
+
+below(p, Nil) = Nil.
+below(p, Cons(x, xs)) = if(x <= p, Cons(x, below(p, xs)), below(p, xs)).
+
+above(p, Nil) = Nil.
+above(p, Cons(x, xs)) = if(x > p, Cons(x, above(p, xs)), above(p, xs)).
+
+append(Nil, ys) = ys.
+append(Cons(x, xs), ys) = Cons(x, append(xs, ys)).
+
+length(Nil) = 0.
+length(Cons(x, xs)) = 1 + length(xs).
+
+sorted(Nil) = True.
+sorted(Cons(x, Nil)) = True.
+sorted(Cons(x, Cons(y, rest))) = if(x <= y, sorted(Cons(y, rest)), False).
+
+-- a deterministic pseudo-random list via a linear congruence
+randoms(seed, 0) = Nil.
+randoms(seed, n) =
+    Cons(seed mod 1000,
+         randoms((seed * 25173 + 13849) mod 65536, n - 1)).
+
+main(n) = sorted(qsort(randoms(17, n))).

@@ -1,0 +1,60 @@
+-- strassen: Strassen multiplication of 2^k x 2^k matrices represented
+-- as quad-trees (Hartel suite reconstruction, 93 lines).
+
+-- a matrix is Leaf(x) or Quad(a, b, c, d) of equal-size quadrants
+
+madd(Leaf(x), Leaf(y)) = Leaf(x + y).
+madd(Quad(a1, b1, c1, d1), Quad(a2, b2, c2, d2)) =
+    Quad(madd(a1, a2), madd(b1, b2), madd(c1, c2), madd(d1, d2)).
+
+msub(Leaf(x), Leaf(y)) = Leaf(x - y).
+msub(Quad(a1, b1, c1, d1), Quad(a2, b2, c2, d2)) =
+    Quad(msub(a1, a2), msub(b1, b2), msub(c1, c2), msub(d1, d2)).
+
+mmul(Leaf(x), Leaf(y)) = Leaf(x * y).
+mmul(Quad(a1, b1, c1, d1), Quad(a2, b2, c2, d2)) =
+    combine(products(Quad(a1, b1, c1, d1), Quad(a2, b2, c2, d2))).
+
+-- the seven Strassen products, bundled pairwise to keep every
+-- equation narrow
+products(m, n) = P7(p1(m, n), p2(m, n), p3(m, n), p4(m, n),
+                    p5(m, n), p6(m, n), p7(m, n)).
+
+p1(Quad(a1, b1, c1, d1), Quad(a2, b2, c2, d2)) =
+    mmul(madd(a1, d1), madd(a2, d2)).
+p2(Quad(a1, b1, c1, d1), Quad(a2, b2, c2, d2)) =
+    mmul(madd(c1, d1), a2).
+p3(Quad(a1, b1, c1, d1), Quad(a2, b2, c2, d2)) =
+    mmul(a1, msub(b2, d2)).
+p4(Quad(a1, b1, c1, d1), Quad(a2, b2, c2, d2)) =
+    mmul(d1, msub(c2, a2)).
+p5(Quad(a1, b1, c1, d1), Quad(a2, b2, c2, d2)) =
+    mmul(madd(a1, b1), d2).
+p6(Quad(a1, b1, c1, d1), Quad(a2, b2, c2, d2)) =
+    mmul(msub(c1, a1), madd(a2, b2)).
+p7(Quad(a1, b1, c1, d1), Quad(a2, b2, c2, d2)) =
+    mmul(msub(b1, d1), madd(c2, d2)).
+
+combine(ps) = Quad(quadrant_a(ps), quadrant_b(ps),
+                   quadrant_c(ps), quadrant_d(ps)).
+
+quadrant_a(P7(m1, m2, m3, m4, m5, m6, m7)) =
+    madd(msub(madd(m1, m4), m5), m7).
+quadrant_b(P7(m1, m2, m3, m4, m5, m6, m7)) = madd(m3, m5).
+quadrant_c(P7(m1, m2, m3, m4, m5, m6, m7)) = madd(m2, m4).
+quadrant_d(P7(m1, m2, m3, m4, m5, m6, m7)) =
+    madd(msub(madd(m1, m3), m2), m6).
+
+-- build a test matrix of depth k filled from a seed
+build(0, seed) = Leaf(seed mod 10).
+build(k, seed) =
+    Quad(build(k - 1, seed * 3 + 1),
+         build(k - 1, seed * 3 + 2),
+         build(k - 1, seed * 3 + 3),
+         build(k - 1, seed * 3 + 4)).
+
+-- checksum of a matrix
+msum(Leaf(x)) = x.
+msum(Quad(a, b, c, d)) = msum(a) + msum(b) + msum(c) + msum(d).
+
+main(k) = msum(mmul(build(k, 1), build(k, 2))).

@@ -1,0 +1,137 @@
+"""Benchmark loading plus the paper's printed reference numbers."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.funlang.parser import parse_fun_program
+from repro.prolog.program import Program, load_program
+
+_HERE = Path(__file__).parent
+
+#: Table 1/2/4 suite, in the paper's order.
+_PROLOG_BENCHMARKS = [
+    "cs",
+    "disj",
+    "gabriel",
+    "kalah",
+    "peep",
+    "pg",
+    "plan",
+    "press1",
+    "press2",
+    "qsort",
+    "queens",
+    "read",
+]
+
+#: Table 3 suite, in the paper's order.
+_FUNLANG_BENCHMARKS = [
+    "eu",
+    "event",
+    "fft",
+    "listcompr",
+    "mergesort",
+    "nq",
+    "odprove",
+    "pcprove",
+    "quicksort",
+    "strassen",
+]
+
+
+def prolog_benchmark_names() -> list[str]:
+    return list(_PROLOG_BENCHMARKS)
+
+
+def funlang_benchmark_names() -> list[str]:
+    return list(_FUNLANG_BENCHMARKS)
+
+
+def prolog_benchmark_source(name: str) -> str:
+    path = _HERE / "prolog" / f"{name}.pl"
+    return path.read_text()
+
+
+def funlang_benchmark_source(name: str) -> str:
+    path = _HERE / "funlang" / f"{name}.eq"
+    return path.read_text()
+
+
+def load_prolog_benchmark(name: str) -> Program:
+    """Parse (dynamic-load) a Prolog benchmark by suite name."""
+    return load_program(prolog_benchmark_source(name))
+
+
+def load_funlang_benchmark(name: str):
+    """Parse a functional benchmark by suite name."""
+    return parse_fun_program(funlang_benchmark_source(name))
+
+
+# ----------------------------------------------------------------------
+# Paper reference numbers (for shape comparison in EXPERIMENTS.md).
+# Units: seconds for times, percent for compile-time increase, bytes
+# for table space, source lines for size.  Machine: Sun SPARCstation
+# (1996); absolute values are NOT expected to match ours.
+
+#: Table 1: program -> (lines, preproc, analysis, collection, total,
+#:                      compile_increase_pct, table_bytes)
+PAPER_TABLE1 = {
+    "cs": (182, 0.31, 0.11, 0.15, 0.57, 22.1, 8056),
+    "disj": (172, 0.27, 0.03, 0.10, 0.40, 26.9, 5768),
+    "gabriel": (122, 0.20, 0.05, 0.11, 0.36, 43.6, 6912),
+    "kalah": (278, 0.48, 0.06, 0.23, 0.77, 37.4, 10580),
+    "peep": (369, 0.84, 0.16, 0.09, 1.09, 23.4, 5800),
+    "pg": (53, 0.10, 0.01, 0.02, 0.13, 31.0, 2332),
+    "plan": (84, 0.14, 0.01, 0.03, 0.18, 30.8, 2888),
+    "press1": (349, 0.62, 0.38, 0.82, 1.82, 59.5, 29400),
+    "press2": (351, 0.60, 0.41, 0.83, 1.84, 60.7, 29400),
+    "qsort": (21, 0.04, 0.00, 0.01, 0.05, 33.3, 916),
+    "queens": (33, 0.04, 0.00, 0.01, 0.05, 27.8, 976),
+    "read": (443, 0.72, 0.60, 0.70, 2.02, 64.4, 26528),
+}
+
+#: Table 2: program -> (xsb_total, gaia_total) in seconds.
+PAPER_TABLE2 = {
+    "cs": (0.57, 1.34),
+    "disj": (0.40, 1.01),
+    "gabriel": (0.36, 0.47),
+    "kalah": (0.77, 0.93),
+    "peep": (1.09, 1.16),
+    "pg": (0.13, 0.16),
+    "plan": (0.18, 0.12),
+    "press1": (1.82, 5.96),
+    "press2": (1.84, 6.03),
+    "qsort": (0.05, 0.05),
+    "queens": (0.05, 0.04),
+    "read": (2.02, 1.66),
+}
+
+#: Table 3: program -> (lines, preproc, analysis, collection, total,
+#:                      table_bytes)
+PAPER_TABLE3 = {
+    "eu": (67, 0.12, 0.03, 0.01, 0.16, 2852),
+    "event": (384, 0.67, 0.63, 0.08, 1.38, 22056),
+    "fft": (343, 0.63, 0.19, 0.06, 0.88, 15780),
+    "listcompr": (241, 0.75, 0.07, 0.02, 0.84, 4688),
+    "mergesort": (65, 0.11, 0.02, 0.01, 0.14, 2332),
+    "nq": (90, 0.20, 0.12, 0.02, 0.34, 8912),
+    "odprove": (160, 0.39, 0.17, 0.02, 0.58, 3776),
+    "pcprove": (595, 1.01, 1.60, 0.10, 2.71, 25972),
+    "quicksort": (70, 0.10, 0.03, 0.01, 0.14, 2660),
+    "strassen": (93, 0.09, 0.08, 0.01, 0.18, 2760),
+}
+
+#: Table 4 (depth-k groundness; 9-program subset): program ->
+#: (preproc, analysis, collection, total, compile_increase_pct, bytes)
+PAPER_TABLE4 = {
+    "cs": (0.16, 0.03, 0.07, 0.26, 16, 12988),
+    "disj": (0.14, 0.03, 0.06, 0.23, 23, 9552),
+    "kalah": (0.24, 0.05, 0.11, 0.40, 29, 17068),
+    "peep": (0.44, 0.08, 0.05, 0.57, 18, 12784),
+    "pg": (0.05, 0.01, 0.02, 0.08, 29, 4136),
+    "plan": (0.08, 0.01, 0.02, 0.11, 29, 5324),
+    "qsort": (0.02, 0.01, 0.02, 0.05, 56, 1684),
+    "queens": (0.03, 0.00, 0.01, 0.04, 33, 1740),
+    "read": (0.36, 0.25, 0.43, 1.04, 50, 52508),
+}

@@ -1,0 +1,89 @@
+% CS -- cutting-stock configuration program (Van Hentenryck's "cs_r",
+% 182 lines in the GAIA suite).  Reconstruction: enumerate cutting
+% configurations of a raw bar into ordered piece lengths, cost them,
+% and search for a configuration set covering the demand.
+:- entry_point(cutting_stock(g, g, any)).
+
+cutting_stock(BarLength, Demands, Solution) :-
+    piece_lengths(Lengths),
+    configurations(Lengths, BarLength, Configs),
+    cover_demands(Demands, Configs, [], Solution).
+
+piece_lengths([3, 4, 5, 6, 7]).
+
+% all maximal ways to cut one bar
+configurations(Lengths, Bar, Configs) :-
+    config_list(Lengths, Bar, [], Configs).
+
+config_list(Lengths, Bar, Acc, Configs) :-
+    one_config(Lengths, Bar, Cut, Waste),
+    \+ member_config(config(Cut, Waste), Acc),
+    config_list(Lengths, Bar, [config(Cut, Waste)|Acc], Configs).
+config_list(_, _, Acc, Acc).
+
+one_config(Lengths, Bar, Cut, Waste) :-
+    cut_pieces(Lengths, Bar, Cut, Used),
+    Waste is Bar - Used,
+    Waste >= 0.
+
+cut_pieces([], _, [], 0).
+cut_pieces([L|Ls], Bar, [piece(L, N)|Cut], Used) :-
+    MaxN is Bar // L,
+    count_choice(0, MaxN, N),
+    Here is N * L,
+    Here =< Bar,
+    Remaining is Bar - Here,
+    cut_pieces(Ls, Remaining, Cut, UsedRest),
+    Used is Here + UsedRest.
+
+count_choice(Low, High, Low) :-
+    Low =< High.
+count_choice(Low, High, N) :-
+    Low < High,
+    Low1 is Low + 1,
+    count_choice(Low1, High, N).
+
+member_config(C, [C|_]).
+member_config(C, [_|Cs]) :-
+    member_config(C, Cs).
+
+% greedy covering of demands by configurations
+cover_demands(Demands, _, Acc, Acc) :-
+    all_satisfied(Demands).
+cover_demands(Demands, Configs, Acc, Solution) :-
+    \+ all_satisfied(Demands),
+    pick_config(Configs, Config),
+    apply_config(Demands, Config, Demands1),
+    cover_demands(Demands1, Configs, [Config|Acc], Solution).
+
+all_satisfied([]).
+all_satisfied([demand(_, 0)|Ds]) :-
+    all_satisfied(Ds).
+
+pick_config([C|_], C).
+pick_config([_|Cs], C) :-
+    pick_config(Cs, C).
+
+apply_config([], _, []).
+apply_config([demand(L, N)|Ds], config(Cut, Waste), [demand(L, N1)|Ds1]) :-
+    supplied(Cut, L, S),
+    reduce(N, S, N1),
+    apply_config(Ds, config(Cut, Waste), Ds1).
+
+supplied([], _, 0).
+supplied([piece(L, N)|_], L, N).
+supplied([piece(L1, _)|Ps], L, N) :-
+    L1 =\= L,
+    supplied(Ps, L, N).
+
+reduce(N, S, N1) :-
+    N >= S,
+    N1 is N - S.
+reduce(N, S, 0) :-
+    N < S.
+
+% cost of a solution: total waste
+solution_cost([], 0).
+solution_cost([config(_, Waste)|Cs], Cost) :-
+    solution_cost(Cs, Rest),
+    Cost is Waste + Rest.

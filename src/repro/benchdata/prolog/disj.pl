@@ -1,0 +1,110 @@
+% Disj -- disjunctive resource scheduling (Van Hentenryck's "disj_r",
+% 172 lines in the GAIA suite).  Reconstruction: schedules tasks with
+% precedence and disjunctive (non-overlap) constraints by naive
+% enumeration over bounded start times.
+:- entry_point(schedule(g, any)).
+
+schedule(Horizon, Schedule) :-
+    tasks(Tasks),
+    assign(Tasks, Horizon, [], Schedule).
+
+tasks([task(a, 2), task(b, 3), task(c, 2), task(d, 4),
+       task(e, 1), task(f, 3), task(g, 2)]).
+
+precedences([before(a, c), before(b, d), before(c, e),
+             before(d, g), before(e, f)]).
+
+disjunctives([disj(a, b), disj(c, d), disj(e, g), disj(f, g)]).
+
+% disjunctive (non-overlap) constraints are checked incrementally as
+% each task is placed, pruning the enumeration early
+assign([], _, Acc, Acc).
+assign([task(Name, Dur)|Tasks], Horizon, Acc, Schedule) :-
+    Latest is Horizon - Dur,
+    choose_start(0, Latest, Start),
+    End is Start + Dur,
+    disjunctives(Disjs),
+    compatible(Disjs, Name, Start, End, Acc),
+    precedences(Precs),
+    precedence_ok(Precs, [slot(Name, Start, End)|Acc]),
+    assign(Tasks, Horizon, [slot(Name, Start, End)|Acc], Schedule).
+
+% precedence constraints checked as soon as both endpoints are placed
+precedence_ok([], _).
+precedence_ok([before(A, B)|Rest], Placed) :-
+    precedence_holds(A, B, Placed),
+    precedence_ok(Rest, Placed).
+
+precedence_holds(A, B, Placed) :-
+    slot_of(A, Placed, _, EndA),
+    slot_of(B, Placed, StartB, _),
+    EndA =< StartB.
+precedence_holds(A, _, Placed) :-
+    \+ slot_of(A, Placed, _, _).
+precedence_holds(_, B, Placed) :-
+    \+ slot_of(B, Placed, _, _).
+
+compatible([], _, _, _, _).
+compatible([disj(A, B)|Rest], Name, Start, End, Placed) :-
+    disjoint_if_relevant(A, B, Name, Start, End, Placed),
+    compatible(Rest, Name, Start, End, Placed).
+
+disjoint_if_relevant(A, B, A, Start, End, Placed) :-
+    check_against(B, Start, End, Placed).
+disjoint_if_relevant(A, B, B, Start, End, Placed) :-
+    check_against(A, Start, End, Placed).
+disjoint_if_relevant(A, B, Name, _, _, _) :-
+    Name \== A,
+    Name \== B.
+
+check_against(Other, Start, End, Placed) :-
+    \+ overlapping_slot(Other, Start, End, Placed).
+
+overlapping_slot(Other, Start, End, Placed) :-
+    slot_of(Other, Placed, OStart, OEnd),
+    \+ no_overlap(Start, End, OStart, OEnd).
+
+choose_start(Low, High, Low) :-
+    Low =< High.
+choose_start(Low, High, Start) :-
+    Low < High,
+    Low1 is Low + 1,
+    choose_start(Low1, High, Start).
+
+check_precedences([], _).
+check_precedences([before(A, B)|Rest], Schedule) :-
+    slot_of(A, Schedule, _, EndA),
+    slot_of(B, Schedule, StartB, _),
+    EndA =< StartB,
+    check_precedences(Rest, Schedule).
+
+check_disjunctives([], _).
+check_disjunctives([disj(A, B)|Rest], Schedule) :-
+    slot_of(A, Schedule, StartA, EndA),
+    slot_of(B, Schedule, StartB, EndB),
+    no_overlap(StartA, EndA, StartB, EndB),
+    check_disjunctives(Rest, Schedule).
+
+no_overlap(_, EndA, StartB, _) :-
+    EndA =< StartB.
+no_overlap(StartA, _, _, EndB) :-
+    EndB =< StartA.
+
+slot_of(Name, [slot(Name, Start, End)|_], Start, End).
+slot_of(Name, [_|Slots], Start, End) :-
+    slot_of(Name, Slots, Start, End).
+
+% makespan evaluation of a complete schedule
+makespan([], 0).
+makespan([slot(_, _, End)|Slots], Span) :-
+    makespan(Slots, Rest),
+    max_of(End, Rest, Span).
+
+max_of(X, Y, X) :- X >= Y.
+max_of(X, Y, Y) :- X < Y.
+
+% optimisation wrapper: find a schedule no worse than a bound
+best_schedule(Horizon, Bound, Schedule) :-
+    schedule(Horizon, Schedule),
+    makespan(Schedule, Span),
+    Span =< Bound.

@@ -1,0 +1,71 @@
+% Gabriel -- the "browse" benchmark from the Gabriel Lisp suite in its
+% Prolog incarnation (122 lines in the GAIA suite).  Reconstruction:
+% builds a database of property-list patterns and repeatedly matches
+% tree patterns with variables against it.
+:- entry_point(browse(g, any)).
+
+browse(Iterations, Matches) :-
+    init_database(20, Db),
+    investigate_rounds(Iterations, Db, 0, Matches).
+
+investigate_rounds(0, _, Acc, Acc).
+investigate_rounds(N, Db, Acc, Matches) :-
+    N > 0,
+    patterns(Ps),
+    investigate(Db, Ps, Acc, Acc1),
+    N1 is N - 1,
+    investigate_rounds(N1, Db, Acc1, Matches).
+
+init_database(0, []).
+init_database(N, [Entry|Rest]) :-
+    N > 0,
+    make_entry(N, Entry),
+    N1 is N - 1,
+    init_database(N1, Rest).
+
+make_entry(N, props(N, [pattern(a, star, b), pattern(star, c, d),
+                        pattern(a, f(star), g(b, star))])).
+
+patterns([pattern(a, X, b),
+          pattern(X, c, Y),
+          pattern(a, f(X), g(Y, Z)),
+          pattern(f(X), Y, d)]).
+
+investigate([], _, Acc, Acc).
+investigate([props(_, Plist)|Entries], Patterns, Acc, Out) :-
+    match_patterns(Patterns, Plist, Acc, Acc1),
+    investigate(Entries, Patterns, Acc1, Out).
+
+match_patterns([], _, Acc, Acc).
+match_patterns([P|Ps], Plist, Acc, Out) :-
+    count_matches(Plist, P, Acc, Acc1),
+    match_patterns(Ps, Plist, Acc1, Out).
+
+count_matches([], _, Acc, Acc).
+count_matches([Item|Items], Pattern, Acc, Out) :-
+    ( match(Pattern, Item) ->
+        Acc1 is Acc + 1
+    ; Acc1 = Acc
+    ),
+    count_matches(Items, Pattern, Acc1, Out).
+
+% one-way pattern matching with 'star' wildcards
+match(pattern(A1, B1, C1), pattern(A2, B2, C2)) :-
+    match_part(A1, A2),
+    match_part(B1, B2),
+    match_part(C1, C2).
+
+match_part(star, _).
+match_part(_, star).
+match_part(X, X) :-
+    atomic_part(X).
+match_part(f(X), f(Y)) :-
+    match_part(X, Y).
+match_part(g(X1, Y1), g(X2, Y2)) :-
+    match_part(X1, X2),
+    match_part(Y1, Y2).
+
+atomic_part(a).
+atomic_part(b).
+atomic_part(c).
+atomic_part(d).

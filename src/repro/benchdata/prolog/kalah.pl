@@ -1,0 +1,187 @@
+% Kalah -- alpha-beta game player for the board game kalah, after
+% Sterling & Shapiro (278 lines in the GAIA suite).  Reconstruction
+% with the same architecture: game loop, move generation over pit
+% distributions, board updates, and alpha-beta search.
+:- entry_point(play(g, any)).
+
+play(Depth, Result) :-
+    initial_board(Board),
+    game_loop(Board, computer, Depth, Result).
+
+game_loop(Board, _, _, Result) :-
+    game_over(Board),
+    final_value(Board, Result).
+game_loop(Board, Player, Depth, Result) :-
+    \+ game_over(Board),
+    choose_move(Player, Board, Depth, Move),
+    apply_move(Move, Player, Board, Board1),
+    next_player(Player, Player1),
+    game_loop(Board1, Player1, Depth, Result).
+
+next_player(computer, opponent).
+next_player(opponent, computer).
+
+initial_board(board([6, 6, 6, 6, 6, 6], 0, [6, 6, 6, 6, 6, 6], 0)).
+
+game_over(board(Pits, _, _, _)) :-
+    all_empty(Pits).
+game_over(board(_, _, Pits, _)) :-
+    all_empty(Pits).
+
+all_empty([]).
+all_empty([0|Ps]) :-
+    all_empty(Ps).
+
+final_value(board(_, K1, _, K2), Value) :-
+    Value is K1 - K2.
+
+% ----------------------------------------------------------------
+% move choice: alpha-beta for the computer, greedy for the opponent
+
+choose_move(computer, Board, Depth, Move) :-
+    alpha_beta(Board, Depth, -1000, 1000, Move, _).
+choose_move(opponent, Board, _, Move) :-
+    greedy_move(Board, Move).
+
+greedy_move(Board, Move) :-
+    legal_moves(Board, [Move|_]).
+
+alpha_beta(Board, 0, _, _, none, Value) :-
+    static_value(Board, Value).
+alpha_beta(Board, Depth, Alpha, Beta, BestMove, BestValue) :-
+    Depth > 0,
+    legal_moves(Board, Moves),
+    evaluate_moves(Moves, Board, Depth, Alpha, Beta, none, BestMove, BestValue).
+
+evaluate_moves([], Board, _, Alpha, _, Move, Move, Alpha) :-
+    \+ Board = nothing.
+evaluate_moves([Move|Moves], Board, Depth, Alpha, Beta, MoveSoFar, BestMove, BestValue) :-
+    apply_move(Move, computer, Board, Board1),
+    Depth1 is Depth - 1,
+    NegBeta is -Beta,
+    NegAlpha is -Alpha,
+    alpha_beta(Board1, Depth1, NegBeta, NegAlpha, _, SubValue),
+    Value is -SubValue,
+    cutoff(Move, Value, Moves, Board, Depth, Alpha, Beta, MoveSoFar, BestMove, BestValue).
+
+cutoff(Move, Value, _, _, _, _, Beta, _, Move, Value) :-
+    Value >= Beta.
+cutoff(Move, Value, Moves, Board, Depth, Alpha, Beta, _, BestMove, BestValue) :-
+    Value > Alpha,
+    Value < Beta,
+    evaluate_moves(Moves, Board, Depth, Value, Beta, Move, BestMove, BestValue).
+cutoff(_, Value, Moves, Board, Depth, Alpha, Beta, MoveSoFar, BestMove, BestValue) :-
+    Value =< Alpha,
+    evaluate_moves(Moves, Board, Depth, Alpha, Beta, MoveSoFar, BestMove, BestValue).
+
+static_value(board(Pits1, K1, Pits2, K2), Value) :-
+    sum_pits(Pits1, S1),
+    sum_pits(Pits2, S2),
+    Value is 3 * (K1 - K2) + S1 - S2.
+
+sum_pits([], 0).
+sum_pits([P|Ps], Sum) :-
+    sum_pits(Ps, Rest),
+    Sum is P + Rest.
+
+% ----------------------------------------------------------------
+% move generation and board update
+
+legal_moves(Board, Moves) :-
+    collect_moves(1, Board, Moves).
+
+collect_moves(7, _, []).
+collect_moves(I, Board, Moves) :-
+    I < 7,
+    I1 is I + 1,
+    Board = board(Pits, _, _, _),
+    nth_pit(I, Pits, Stones),
+    add_if_legal(I, Stones, Board, I1, Moves).
+
+add_if_legal(I, Stones, Board, I1, [move(I)|Rest]) :-
+    Stones > 0,
+    collect_moves(I1, Board, Rest).
+add_if_legal(_, 0, Board, I1, Rest) :-
+    collect_moves(I1, Board, Rest).
+
+nth_pit(1, [P|_], P).
+nth_pit(N, [_|Ps], P) :-
+    N > 1,
+    N1 is N - 1,
+    nth_pit(N1, Ps, P).
+
+apply_move(none, _, Board, Board).
+apply_move(move(I), Player, Board, Board2) :-
+    orient(Player, Board, MyPits, MyKalah, OtherPits, OtherKalah),
+    nth_pit(I, MyPits, Stones),
+    set_pit(I, MyPits, 0, Pits1),
+    Next is I + 1,
+    sow(Next, Stones, Pits1, MyKalah, OtherPits, NewPits, NewKalah, NewOther),
+    capture(NewPits, NewOther, NewKalah, FinalPits, FinalOther, FinalKalah),
+    unorient(Player, FinalPits, FinalKalah, FinalOther, OtherKalah, Board2).
+
+orient(computer, board(P1, K1, P2, K2), P1, K1, P2, K2).
+orient(opponent, board(P1, K1, P2, K2), P2, K2, P1, K1).
+
+unorient(computer, P1, K1, P2, K2, board(P1, K1, P2, K2)).
+unorient(opponent, P2, K2, P1, K1, board(P1, K1, P2, K2)).
+
+set_pit(1, [_|Ps], V, [V|Ps]).
+set_pit(N, [P|Ps], V, [P|Qs]) :-
+    N > 1,
+    N1 is N - 1,
+    set_pit(N1, Ps, V, Qs).
+
+% sow stones around the board: own pits, own kalah, opponent pits
+sow(_, 0, Pits, Kalah, Other, Pits, Kalah, Other).
+sow(Pos, Stones, Pits, Kalah, Other, NewPits, NewKalah, NewOther) :-
+    Stones > 0,
+    Pos =< 6,
+    nth_pit(Pos, Pits, S),
+    S1 is S + 1,
+    set_pit(Pos, Pits, S1, Pits1),
+    Stones1 is Stones - 1,
+    Pos1 is Pos + 1,
+    sow(Pos1, Stones1, Pits1, Kalah, Other, NewPits, NewKalah, NewOther).
+sow(7, Stones, Pits, Kalah, Other, NewPits, NewKalah, NewOther) :-
+    Stones > 0,
+    Kalah1 is Kalah + 1,
+    Stones1 is Stones - 1,
+    sow_other(1, Stones1, Pits, Kalah1, Other, NewPits, NewKalah, NewOther).
+
+sow_other(_, 0, Pits, Kalah, Other, Pits, Kalah, Other).
+sow_other(Pos, Stones, Pits, Kalah, Other, NewPits, NewKalah, NewOther) :-
+    Stones > 0,
+    Pos =< 6,
+    nth_pit(Pos, Other, S),
+    S1 is S + 1,
+    set_pit(Pos, Other, S1, Other1),
+    Stones1 is Stones - 1,
+    Pos1 is Pos + 1,
+    sow_other(Pos1, Stones1, Pits, Kalah, Other1, NewPits, NewKalah, NewOther).
+sow_other(7, Stones, Pits, Kalah, Other, NewPits, NewKalah, NewOther) :-
+    Stones > 0,
+    sow(1, Stones, Pits, Kalah, Other, NewPits, NewKalah, NewOther).
+
+% capture: an empty own pit facing opponent stones takes them
+capture(Pits, Other, Kalah, Pits, NewOther, NewKalah) :-
+    capture_pit(1, Pits, Other, Captured, NewOther),
+    NewKalah is Kalah + Captured.
+
+capture_pit(7, _, Other, 0, Other).
+capture_pit(I, Pits, Other, Captured, NewOther) :-
+    I < 7,
+    nth_pit(I, Pits, Own),
+    Facing is 7 - I,
+    nth_pit(Facing, Other, Theirs),
+    I1 is I + 1,
+    capture_step(Own, Theirs, Facing, Other, I1, Pits, Captured, NewOther).
+
+capture_step(1, Theirs, Facing, Other, I1, Pits, Captured, NewOther) :-
+    Theirs > 0,
+    set_pit(Facing, Other, 0, Other1),
+    capture_pit(I1, Pits, Other1, Rest, NewOther),
+    Captured is Theirs + Rest.
+capture_step(Own, Theirs, _, Other, I1, Pits, Captured, NewOther) :-
+    ( Own =\= 1 ; Theirs =:= 0 ),
+    capture_pit(I1, Pits, Other, Captured, NewOther).

@@ -1,0 +1,187 @@
+% Peep -- peephole optimizer for PDP-11-style three-address code,
+% after Debray's SB-Prolog compiler benchmark (369 lines in the GAIA
+% suite).  Reconstruction: a window-based rewriting pass over an
+% instruction list, with pattern tables for redundant loads/stores,
+% jump chains, strength reduction and dead code.
+:- entry_point(peephole(g, any)).
+
+peephole(Code, Optimized) :-
+    optimize_pass(Code, Code1, Changed),
+    continue_opt(Changed, Code1, Optimized).
+
+continue_opt(yes, Code, Optimized) :-
+    peephole(Code, Optimized).
+continue_opt(no, Code, Code).
+
+optimize_pass([], [], no).
+optimize_pass(Code, Optimized, yes) :-
+    rewrite(Code, Code1),
+    optimize_pass(Code1, Optimized, _).
+optimize_pass([Instr|Code], [Instr|Optimized], Changed) :-
+    \+ rewrite([Instr|Code], _),
+    optimize_pass(Code, Optimized, Changed).
+
+% ----------------------------------------------------------------
+% rewriting rules over a window at the head of the instruction list
+
+% redundant load after store to the same location
+rewrite([store(R, Loc), load(Loc, R)|Rest], [store(R, Loc)|Rest]).
+% load of a value already in the register
+rewrite([load(Loc, R), load(Loc, R)|Rest], [load(Loc, R)|Rest]).
+% store then store to same location: first is dead
+rewrite([store(_, Loc), store(R2, Loc)|Rest], [store(R2, Loc)|Rest]).
+% move to self
+rewrite([move(R, R)|Rest], Rest).
+% push then pop to same register
+rewrite([push(R), pop(R)|Rest], Rest).
+% push then pop to different register is a move
+rewrite([push(R1), pop(R2)|Rest], [move(R1, R2)|Rest]) :-
+    R1 \== R2.
+% jump to next instruction
+rewrite([jump(L), label(L)|Rest], [label(L)|Rest]).
+% conditional jump over an unconditional one
+rewrite([cjump(Cond, L1), jump(L2), label(L1)|Rest],
+        [cjump(NegCond, L2), label(L1)|Rest]) :-
+    negate_condition(Cond, NegCond).
+% jump chain collapsing: jump to a label followed by another jump
+rewrite([jump(L1)|Rest], [jump(L2)|Rest]) :-
+    jump_target(Rest, L1, L2),
+    L1 \== L2.
+% arithmetic identities
+rewrite([add(R, 0)|Rest], Rest).
+rewrite([sub(R, 0)|Rest], Rest).
+rewrite([mul(R, 1)|Rest], Rest).
+rewrite([mul(R, 0)|Rest], [loadi(0, R)|Rest]).
+rewrite([div(R, 1)|Rest], Rest).
+% strength reduction: multiply by power of two becomes shift
+rewrite([mul(R, N)|Rest], [shift(R, S)|Rest]) :-
+    power_of_two(N, S),
+    N > 1.
+% add of small constants folds into increment
+rewrite([add(R, 1)|Rest], [incr(R)|Rest]).
+rewrite([sub(R, 1)|Rest], [decr(R)|Rest]).
+% consecutive immediate loads: first is dead
+rewrite([loadi(_, R), loadi(N, R)|Rest], [loadi(N, R)|Rest]).
+% compare with zero after arithmetic that sets flags
+rewrite([add(R, N), test(R)|Rest], [add(R, N)|Rest]).
+rewrite([sub(R, N), test(R)|Rest], [sub(R, N)|Rest]).
+% dead code after an unconditional jump, up to the next label
+rewrite([jump(L), Instr|Rest], [jump(L)|Rest]) :-
+    \+ is_label(Instr).
+
+negate_condition(eq, ne).
+negate_condition(ne, eq).
+negate_condition(lt, ge).
+negate_condition(ge, lt).
+negate_condition(gt, le).
+negate_condition(le, gt).
+
+is_label(label(_)).
+
+jump_target([label(L), jump(L2)|_], L, L2).
+jump_target([_|Rest], L, L2) :-
+    jump_target(Rest, L, L2).
+
+power_of_two(2, 1).
+power_of_two(4, 2).
+power_of_two(8, 3).
+power_of_two(16, 4).
+power_of_two(32, 5).
+power_of_two(64, 6).
+
+% ----------------------------------------------------------------
+% a second, flow-based pass: remove unreferenced labels and
+% unreachable blocks
+
+clean(Code, Cleaned) :-
+    referenced_labels(Code, Refs),
+    drop_unused(Code, Refs, Code1),
+    drop_unreachable(Code1, reachable, Cleaned).
+
+referenced_labels([], []).
+referenced_labels([jump(L)|Code], [L|Refs]) :-
+    referenced_labels(Code, Refs).
+referenced_labels([cjump(_, L)|Code], [L|Refs]) :-
+    referenced_labels(Code, Refs).
+referenced_labels([call(L)|Code], [L|Refs]) :-
+    referenced_labels(Code, Refs).
+referenced_labels([Instr|Code], Refs) :-
+    \+ refers(Instr),
+    referenced_labels(Code, Refs).
+
+refers(jump(_)).
+refers(cjump(_, _)).
+refers(call(_)).
+
+drop_unused([], _, []).
+drop_unused([label(L)|Code], Refs, Out) :-
+    \+ member_label(L, Refs),
+    drop_unused(Code, Refs, Out).
+drop_unused([label(L)|Code], Refs, [label(L)|Out]) :-
+    member_label(L, Refs),
+    drop_unused(Code, Refs, Out).
+drop_unused([Instr|Code], Refs, [Instr|Out]) :-
+    \+ is_label(Instr),
+    drop_unused(Code, Refs, Out).
+
+member_label(L, [L|_]).
+member_label(L, [_|Ls]) :-
+    member_label(L, Ls).
+
+drop_unreachable([], _, []).
+drop_unreachable([jump(L)|Code], reachable, [jump(L)|Out]) :-
+    drop_unreachable(Code, unreachable, Out).
+drop_unreachable([label(L)|Code], _, [label(L)|Out]) :-
+    drop_unreachable(Code, reachable, Out).
+drop_unreachable([ret|Code], reachable, [ret|Out]) :-
+    drop_unreachable(Code, unreachable, Out).
+drop_unreachable([Instr|Code], reachable, [Instr|Out]) :-
+    \+ is_label(Instr),
+    \+ Instr = jump(_),
+    \+ Instr = ret,
+    drop_unreachable(Code, reachable, Out).
+drop_unreachable([Instr|Code], unreachable, Out) :-
+    \+ is_label(Instr),
+    drop_unreachable(Code, unreachable, Out).
+
+% ----------------------------------------------------------------
+% register-use bookkeeping used by the dead-store analysis
+
+uses(load(Loc, _), Loc).
+uses(add(R, _), R).
+uses(sub(R, _), R).
+uses(mul(R, _), R).
+uses(div(R, _), R).
+uses(test(R), R).
+uses(move(R, _), R).
+uses(push(R), R).
+uses(store(R, _), R).
+
+defines(load(_, R), R).
+defines(loadi(_, R), R).
+defines(move(_, R), R).
+defines(pop(R), R).
+defines(incr(R), R).
+defines(decr(R), R).
+defines(shift(R, _), R).
+
+dead_store([store(R, Loc)|Code], Loc) :-
+    \+ used_before_redefined(Code, Loc, R).
+
+used_before_redefined([Instr|_], Loc, _) :-
+    uses(Instr, Loc).
+used_before_redefined([Instr|Code], Loc, R) :-
+    \+ uses(Instr, Loc),
+    \+ defines(Instr, Loc),
+    used_before_redefined(Code, Loc, R).
+
+% entry used by tests: optimize a sample routine
+sample(Code) :-
+    Code = [label(start), loadi(0, r1), load(x, r2), add(r2, 0),
+            mul(r2, 4), store(r2, y), load(y, r2), push(r2), pop(r2),
+            jump(endl), move(r3, r3), label(endl), ret].
+
+optimize_sample(Optimized) :-
+    sample(Code),
+    peephole(Code, Code1),
+    clean(Code1, Optimized).

@@ -1,0 +1,33 @@
+% PG -- a small specification-style problem (W. Older's "pg", 53 lines
+% in the GAIA suite): find a number equal to the sum of squares below
+% it split into bands.  Reconstruction with the same size and flavour.
+:- entry_point(pg(g, any)).
+
+pg(N, Split) :-
+    squares(1, N, Sq),
+    sum_list(Sq, Total),
+    Half is Total // 2,
+    split_bands(Sq, Half, Left, Right),
+    Split = bands(Left, Right).
+
+squares(I, N, []) :-
+    I > N.
+squares(I, N, [S|Ss]) :-
+    I =< N,
+    S is I * I,
+    I1 is I + 1,
+    squares(I1, N, Ss).
+
+sum_list([], 0).
+sum_list([X|Xs], Sum) :-
+    sum_list(Xs, Rest),
+    Sum is X + Rest.
+
+split_bands([], _, [], []).
+split_bands([X|Xs], Limit, [X|Left], Right) :-
+    X =< Limit,
+    Limit1 is Limit - X,
+    split_bands(Xs, Limit1, Left, Right).
+split_bands([X|Xs], Limit, Left, [X|Right]) :-
+    X > Limit,
+    split_bands(Xs, Limit, Left, Right).

@@ -1,0 +1,51 @@
+% Plan -- blocks-world planner (Warren's "plan", 84 lines in the GAIA
+% suite); reconstruction: depth-bounded means-ends planning over
+% stacking moves.
+:- entry_point(plan(g, g, any)).
+
+plan(State, Goal, Plan) :-
+    solve(State, Goal, [State], Plan, 6).
+
+solve(State, Goal, _, [], _) :-
+    satisfies(State, Goal).
+solve(State, Goal, Visited, [Move|Moves], Depth) :-
+    Depth > 0,
+    legal_move(State, Move, NewState),
+    \+ member_state(NewState, Visited),
+    Depth1 is Depth - 1,
+    solve(NewState, Goal, [NewState|Visited], Moves, Depth1).
+
+satisfies(_, []).
+satisfies(State, [Cond|Conds]) :-
+    holds(Cond, State),
+    satisfies(State, Conds).
+
+holds(Cond, state(Stacks)) :-
+    on_some_stack(Cond, Stacks).
+
+on_some_stack(on(A, B), [Stack|_]) :-
+    above(A, B, Stack).
+on_some_stack(Cond, [_|Stacks]) :-
+    on_some_stack(Cond, Stacks).
+
+above(A, B, [A, B|_]).
+above(A, B, [_|Rest]) :-
+    above(A, B, Rest).
+
+legal_move(state(Stacks), move(Block, To), state(NewStacks)) :-
+    pick_block(Stacks, Block, Rest),
+    place_block(Rest, Block, To, NewStacks).
+
+pick_block([[Block|Under]|Stacks], Block, [Under|Stacks]).
+pick_block([Stack|Stacks], Block, [Stack|Rest]) :-
+    pick_block(Stacks, Block, Rest).
+
+place_block([Stack|Stacks], Block, onto(Top), [[Block|Stack]|Stacks]) :-
+    Stack = [Top|_].
+place_block([Stack|Stacks], Block, To, [Stack|Rest]) :-
+    place_block(Stacks, Block, To, Rest).
+place_block(Stacks, Block, table, [[Block]|Stacks]).
+
+member_state(S, [S|_]).
+member_state(S, [_|Ss]) :-
+    member_state(S, Ss).

@@ -1,0 +1,319 @@
+% Press2 -- variant of Press1 (the GAIA suite ships both, 351 lines):
+% method order prefers polynomial solving, and a homogenisation step
+% rewrites exponential equations to a common base before isolation.
+:- entry_point(solve_equation(g, g, any)).
+
+solve_equation(Equation, Unknown, Solution) :-
+    try_methods(Equation, Unknown, Solution).
+
+try_methods(Equation, Unknown, Solution) :-
+    polynomial_method(Equation, Unknown, Solution).
+try_methods(Equation, Unknown, Solution) :-
+    factorize_method(Equation, Unknown, Solution).
+try_methods(Equation, Unknown, Solution) :-
+    homogenize_method(Equation, Unknown, Solution).
+try_methods(Equation, Unknown, Solution) :-
+    isolation_method(Equation, Unknown, Solution).
+
+% ----------------------------------------------------------------
+% homogenisation: rewrite exponentials to a shared base, solve for the
+% reduced unknown, then recover the original one
+
+homogenize_method(Equation, Unknown, Solution) :-
+    exponential_base(Equation, Unknown, Base),
+    rewrite_exponents(Equation, Base, Unknown, Reduced),
+    solve_equation(Reduced, reduced_unknown, equal(reduced_unknown, Value)),
+    solve_equation(equal(power(Base, Unknown), Value), Unknown, Solution).
+
+exponential_base(equal(L, R), Unknown, Base) :-
+    find_base(L, Unknown, Base).
+exponential_base(equal(L, R), Unknown, Base) :-
+    find_base(R, Unknown, Base).
+
+find_base(power(Base, E), Unknown, Base) :-
+    atomic(Base),
+    occurs_in(Unknown, E).
+find_base(Expr, Unknown, Base) :-
+    compound_expr(Expr, Args),
+    find_base_list(Args, Unknown, Base).
+
+find_base_list([A|_], Unknown, Base) :-
+    find_base(A, Unknown, Base).
+find_base_list([_|As], Unknown, Base) :-
+    find_base_list(As, Unknown, Base).
+
+rewrite_exponents(power(Base, E), Base, Unknown, reduced_unknown) :-
+    occurs_in(Unknown, E).
+rewrite_exponents(Term, _, _, Term) :-
+    atomic(Term).
+rewrite_exponents(equal(A, B), Base, U, equal(A1, B1)) :-
+    rewrite_exponents(A, Base, U, A1),
+    rewrite_exponents(B, Base, U, B1).
+rewrite_exponents(plus(A, B), Base, U, plus(A1, B1)) :-
+    rewrite_exponents(A, Base, U, A1),
+    rewrite_exponents(B, Base, U, B1).
+rewrite_exponents(minus(A, B), Base, U, minus(A1, B1)) :-
+    rewrite_exponents(A, Base, U, A1),
+    rewrite_exponents(B, Base, U, B1).
+rewrite_exponents(times(A, B), Base, U, times(A1, B1)) :-
+    rewrite_exponents(A, Base, U, A1),
+    rewrite_exponents(B, Base, U, B1).
+
+% ----------------------------------------------------------------
+% method 1: factorisation  A*B = 0  ->  A = 0 or B = 0
+
+factorize_method(equal(Expr, 0), Unknown, Solution) :-
+    factors(Expr, Factor),
+    occurs_in(Unknown, Factor),
+    solve_equation(equal(Factor, 0), Unknown, Solution).
+
+factors(times(A, _), F) :-
+    factors(A, F).
+factors(times(_, B), F) :-
+    factors(B, F).
+factors(Expr, Expr) :-
+    \+ Expr = times(_, _).
+
+% ----------------------------------------------------------------
+% method 2: isolation (single occurrence of the unknown)
+
+isolation_method(Equation, Unknown, Solution) :-
+    single_occurrence(Unknown, Equation),
+    position(Unknown, Equation, [Side|Path]),
+    maneuver_sides(Side, Equation, Equation1),
+    isolate(Path, Equation1, Solution).
+
+single_occurrence(Unknown, Equation) :-
+    occurrences(Unknown, Equation, 1).
+
+occurrences(Term, Term, 1).
+occurrences(Term, Expr, N) :-
+    compound_expr(Expr, Args),
+    \+ Expr = Term,
+    occurrences_list(Term, Args, N).
+occurrences(Term, Atomic, 0) :-
+    atomic_expr(Atomic),
+    \+ Atomic = Term.
+
+occurrences_list(_, [], 0).
+occurrences_list(Term, [Arg|Args], N) :-
+    occurrences(Term, Arg, N1),
+    occurrences_list(Term, Args, N2),
+    N is N1 + N2.
+
+compound_expr(equal(A, B), [A, B]).
+compound_expr(plus(A, B), [A, B]).
+compound_expr(minus(A, B), [A, B]).
+compound_expr(times(A, B), [A, B]).
+compound_expr(divide(A, B), [A, B]).
+compound_expr(power(A, B), [A, B]).
+compound_expr(minus(A), [A]).
+compound_expr(log(A, B), [A, B]).
+compound_expr(sin(A), [A]).
+compound_expr(cos(A), [A]).
+
+atomic_expr(E) :-
+    atomic(E).
+
+% position of the unknown: list of argument indices from the root
+position(Term, Term, []).
+position(Term, Expr, [N|Path]) :-
+    compound_expr(Expr, Args),
+    nth_arg(Args, 1, N, Arg),
+    position(Term, Arg, Path).
+
+nth_arg([Arg|_], N, N, Arg).
+nth_arg([_|Args], I, N, Arg) :-
+    I1 is I + 1,
+    nth_arg(Args, I1, N, Arg).
+
+% ensure the unknown ends up on the left-hand side
+maneuver_sides(1, equal(L, R), equal(L, R)).
+maneuver_sides(2, equal(L, R), equal(R, L)).
+
+% repeatedly apply inverse operations along the path
+isolate([], Equation, Equation).
+isolate([N|Path], Equation, Solution) :-
+    isolax(N, Equation, Equation1),
+    isolate(Path, Equation1, Solution).
+
+% isolation axioms: peel the outermost operator on the lhs
+isolax(1, equal(plus(A, B), R), equal(A, minus(R, B))).
+isolax(2, equal(plus(A, B), R), equal(B, minus(R, A))).
+isolax(1, equal(minus(A, B), R), equal(A, plus(R, B))).
+isolax(2, equal(minus(A, B), R), equal(B, minus(A, R))).
+isolax(1, equal(minus(A), R), equal(A, minus(R))).
+isolax(1, equal(times(A, B), R), equal(A, divide(R, B))) :-
+    nonzero(B).
+isolax(2, equal(times(A, B), R), equal(B, divide(R, A))) :-
+    nonzero(A).
+isolax(1, equal(divide(A, B), R), equal(A, times(R, B))) :-
+    nonzero(B).
+isolax(2, equal(divide(A, B), R), equal(B, divide(A, R))) :-
+    nonzero(R).
+isolax(1, equal(power(A, N), R), equal(A, power(R, divide(1, N)))) :-
+    integer(N).
+isolax(2, equal(power(A, X), R), equal(X, log(A, R))).
+isolax(1, equal(log(A, B), R), equal(A, power(B, divide(1, R)))).
+isolax(2, equal(log(A, B), R), equal(B, power(A, R))).
+isolax(1, equal(sin(A), R), equal(A, arcsin(R))).
+isolax(1, equal(cos(A), R), equal(A, arccos(R))).
+
+nonzero(E) :-
+    \+ E = 0.
+
+occurs_in(Term, Term).
+occurs_in(Term, Expr) :-
+    compound_expr(Expr, Args),
+    occurs_in_list(Term, Args).
+
+occurs_in_list(Term, [Arg|_]) :-
+    occurs_in(Term, Arg).
+occurs_in_list(Term, [_|Args]) :-
+    occurs_in_list(Term, Args).
+
+% ----------------------------------------------------------------
+% method 3: polynomial equations
+
+polynomial_method(equal(Lhs, Rhs), Unknown, Solution) :-
+    is_polynomial(Lhs, Unknown),
+    is_polynomial(Rhs, Unknown),
+    poly_normalize(minus(Lhs, Rhs), Unknown, Poly),
+    remove_trailing_zeros(Poly, Poly1),
+    solve_polynomial(Poly1, Unknown, Solution).
+
+is_polynomial(Unknown, Unknown).
+is_polynomial(Atomic, _) :-
+    atomic_expr(Atomic).
+is_polynomial(plus(A, B), U) :-
+    is_polynomial(A, U),
+    is_polynomial(B, U).
+is_polynomial(minus(A, B), U) :-
+    is_polynomial(A, U),
+    is_polynomial(B, U).
+is_polynomial(minus(A), U) :-
+    is_polynomial(A, U).
+is_polynomial(times(A, B), U) :-
+    is_polynomial(A, U),
+    is_polynomial(B, U).
+is_polynomial(power(A, N), U) :-
+    integer(N),
+    N >= 0,
+    is_polynomial(A, U).
+
+% a polynomial is a coefficient list [a0, a1, a2, ...]
+poly_normalize(Unknown, Unknown, [0, 1]).
+poly_normalize(N, _, [N]) :-
+    number(N).
+poly_normalize(plus(A, B), U, Poly) :-
+    poly_normalize(A, U, PA),
+    poly_normalize(B, U, PB),
+    poly_add(PA, PB, Poly).
+poly_normalize(minus(A, B), U, Poly) :-
+    poly_normalize(A, U, PA),
+    poly_normalize(B, U, PB),
+    poly_negate(PB, NB),
+    poly_add(PA, NB, Poly).
+poly_normalize(minus(A), U, Poly) :-
+    poly_normalize(A, U, PA),
+    poly_negate(PA, Poly).
+poly_normalize(times(A, B), U, Poly) :-
+    poly_normalize(A, U, PA),
+    poly_normalize(B, U, PB),
+    poly_mul(PA, PB, Poly).
+poly_normalize(power(A, N), U, Poly) :-
+    integer(N),
+    poly_normalize(A, U, PA),
+    poly_power(N, PA, Poly).
+
+poly_add([], P, P).
+poly_add(P, [], P) :-
+    \+ P = [].
+poly_add([A|As], [B|Bs], [C|Cs]) :-
+    C is A + B,
+    poly_add(As, Bs, Cs).
+
+poly_negate([], []).
+poly_negate([A|As], [B|Bs]) :-
+    B is -A,
+    poly_negate(As, Bs).
+
+poly_mul([], _, []).
+poly_mul([A|As], P, Poly) :-
+    scale_poly(A, P, Scaled),
+    poly_mul(As, P, Rest),
+    poly_add(Scaled, [0|Rest], Poly).
+
+scale_poly(_, [], []).
+scale_poly(K, [A|As], [B|Bs]) :-
+    B is K * A,
+    scale_poly(K, As, Bs).
+
+poly_power(0, _, [1]).
+poly_power(N, P, Poly) :-
+    N > 0,
+    N1 is N - 1,
+    poly_power(N1, P, Rest),
+    poly_mul(P, Rest, Poly).
+
+remove_trailing_zeros(Poly, Poly1) :-
+    reverse_list(Poly, R),
+    strip_zeros(R, R1),
+    reverse_list(R1, Poly1).
+
+strip_zeros([0|Rest], Out) :-
+    strip_zeros(Rest, Out).
+strip_zeros([X|Rest], [X|Rest]) :-
+    X =\= 0.
+strip_zeros([], []).
+
+reverse_list(Xs, Ys) :-
+    reverse_acc(Xs, [], Ys).
+
+reverse_acc([], Acc, Acc).
+reverse_acc([X|Xs], Acc, Ys) :-
+    reverse_acc(Xs, [X|Acc], Ys).
+
+% linear: a1*x + a0 = 0
+solve_polynomial([A0, A1], Unknown, equal(Unknown, divide(N0, A1))) :-
+    A1 =\= 0,
+    N0 is -A0.
+% quadratic: a2*x^2 + a1*x + a0 = 0
+solve_polynomial([A0, A1, A2], Unknown, Solution) :-
+    A2 =\= 0,
+    Disc is A1 * A1 - 4 * A2 * A0,
+    Disc >= 0,
+    quadratic_roots(A0, A1, A2, Disc, Unknown, Solution).
+% even powers reduce by substitution x^2 -> y
+solve_polynomial([A0, 0, A2, 0, A4], Unknown, Solution) :-
+    A4 =\= 0,
+    solve_polynomial([A0, A2, A4], squared, equal(squared, Root)),
+    Solution = equal(Unknown, power(Root, divide(1, 2))).
+
+quadratic_roots(_, A1, A2, Disc, Unknown,
+                equal(Unknown, divide(plus(minus(A1), root(Disc)), times(2, A2)))).
+quadratic_roots(_, A1, A2, Disc, Unknown,
+                equal(Unknown, divide(minus(minus(A1), root(Disc)), times(2, A2)))).
+
+% ----------------------------------------------------------------
+% test data: equations the solver is exercised on
+
+test_equation(1, equal(times(plus(x, 1), minus(x, 3)), 0), x).
+test_equation(2, equal(plus(times(2, x), 3), 9), x).
+test_equation(3, equal(power(x, 2), 16), x).
+test_equation(4, equal(log(2, power(x, 2)), 8), x).
+test_equation(5, equal(plus(power(x, 2), plus(times(3, x), 2)), 0), x).
+test_equation(6, equal(minus(power(2, times(2, x)), times(5, power(2, x))), 0), x).
+
+solve_all(Solutions) :-
+    collect_solutions([1, 2, 3, 4, 5, 6], Solutions).
+
+collect_solutions([], []).
+collect_solutions([N|Ns], [sol(N, S)|Rest]) :-
+    test_equation(N, Eq, Unknown),
+    solve_equation(Eq, Unknown, S),
+    collect_solutions(Ns, Rest).
+collect_solutions([N|Ns], Rest) :-
+    test_equation(N, Eq, Unknown),
+    \+ solve_equation(Eq, Unknown, _),
+    collect_solutions(Ns, Rest).

@@ -1,0 +1,23 @@
+% QSort -- quicksort with difference-free append partitioning.
+% Reconstruction of the classic analysis benchmark (21 lines in the
+% GAIA suite); same task and structure.
+:- entry_point(qsort(g, any)).
+
+qsort([], []).
+qsort([X|Xs], Sorted) :-
+    partition(X, Xs, Smaller, Bigger),
+    qsort(Smaller, SortedSmaller),
+    qsort(Bigger, SortedBigger),
+    append(SortedSmaller, [X|SortedBigger], Sorted).
+
+partition(_, [], [], []).
+partition(Pivot, [X|Xs], [X|Smaller], Bigger) :-
+    X =< Pivot,
+    partition(Pivot, Xs, Smaller, Bigger).
+partition(Pivot, [X|Xs], Smaller, [X|Bigger]) :-
+    X > Pivot,
+    partition(Pivot, Xs, Smaller, Bigger).
+
+append([], Ys, Ys).
+append([X|Xs], Ys, [X|Zs]) :-
+    append(Xs, Ys, Zs).

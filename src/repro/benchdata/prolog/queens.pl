@@ -1,0 +1,33 @@
+% Queens -- N-queens with explicit safety checking (33 lines in the
+% GAIA suite); reconstruction with the same task and structure.
+:- entry_point(queens(g, any)).
+
+queens(N, Qs) :-
+    range(1, N, Ns),
+    queens_aux(Ns, [], Qs).
+
+queens_aux([], Qs, Qs).
+queens_aux(UnplacedQs, SafeQs, Qs) :-
+    select(Q, UnplacedQs, UnplacedQs1),
+    not_attack(SafeQs, Q),
+    queens_aux(UnplacedQs1, [Q|SafeQs], Qs).
+
+not_attack(Xs, X) :-
+    not_attack_aux(Xs, X, 1).
+
+not_attack_aux([], _, _).
+not_attack_aux([Y|Ys], X, N) :-
+    X =\= Y + N,
+    X =\= Y - N,
+    N1 is N + 1,
+    not_attack_aux(Ys, X, N1).
+
+select(X, [X|Xs], Xs).
+select(X, [Y|Ys], [Y|Zs]) :-
+    select(X, Ys, Zs).
+
+range(N, N, [N]).
+range(M, N, [M|Ns]) :-
+    M < N,
+    M1 is M + 1,
+    range(M1, N, Ns).

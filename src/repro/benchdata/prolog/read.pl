@@ -1,0 +1,298 @@
+% Read -- a Prolog reader written in Prolog, after the classic
+% O'Keefe/Warren tokenizer + operator-precedence parser (443 lines in
+% the GAIA suite).  Reconstruction: reads a term from a character-code
+% list, through a tokenizer and a precedence-climbing parser with a
+% standard operator table.
+:- entry_point(read_term(g, any)).
+
+read_term(Chars, Term) :-
+    tokenize(Chars, Tokens),
+    parse(Tokens, Term).
+
+% ================================================================
+% tokenizer: character codes -> token list
+
+tokenize([], []).
+tokenize([C|Cs], Tokens) :-
+    layout_char(C),
+    tokenize(Cs, Tokens).
+tokenize([C|Cs], Tokens) :-
+    comment_start(C),
+    skip_comment(Cs, Rest),
+    tokenize(Rest, Tokens).
+tokenize([C|Cs], [Token|Tokens]) :-
+    digit_char(C),
+    scan_number(C, Cs, Token, Rest),
+    tokenize(Rest, Tokens).
+tokenize([C|Cs], [Token|Tokens]) :-
+    lower_char(C),
+    scan_name(C, Cs, Token, Rest),
+    tokenize(Rest, Tokens).
+tokenize([C|Cs], [Token|Tokens]) :-
+    upper_char(C),
+    scan_variable(C, Cs, Token, Rest),
+    tokenize(Rest, Tokens).
+tokenize([C|Cs], [Token|Tokens]) :-
+    quote_char(C),
+    scan_quoted(Cs, Token, Rest),
+    tokenize(Rest, Tokens).
+tokenize([C|Cs], [Token|Tokens]) :-
+    solo_char(C, Token),
+    tokenize(Cs, Tokens).
+tokenize([C|Cs], [Token|Tokens]) :-
+    symbol_char(C),
+    scan_symbol(C, Cs, Token, Rest),
+    tokenize(Rest, Tokens).
+
+layout_char(32).
+layout_char(9).
+layout_char(10).
+layout_char(13).
+
+comment_start(37).          % '%'
+
+skip_comment([], []).
+skip_comment([10|Rest], Rest).
+skip_comment([C|Cs], Rest) :-
+    C =\= 10,
+    skip_comment(Cs, Rest).
+
+digit_char(C) :- C >= 48, C =< 57.
+lower_char(C) :- C >= 97, C =< 122.
+upper_char(C) :- C >= 65, C =< 90.
+upper_char(95).             % '_'
+quote_char(39).             % quote
+
+alpha_char(C) :- lower_char(C).
+alpha_char(C) :- upper_char(C).
+alpha_char(C) :- digit_char(C).
+
+solo_char(40, punct('(')).
+solo_char(41, punct(')')).
+solo_char(91, punct('[')).
+solo_char(93, punct(']')).
+solo_char(44, punct(',')).
+solo_char(124, punct('|')).
+solo_char(33, name('!')).
+solo_char(59, name(';')).
+
+symbol_char(43).            % +
+symbol_char(45).            % -
+symbol_char(42).            % *
+symbol_char(47).            % /
+symbol_char(61).            % =
+symbol_char(60).            % <
+symbol_char(62).            % >
+symbol_char(58).            % :
+symbol_char(46).            % .
+symbol_char(92).            % backslash
+symbol_char(94).            % ^
+symbol_char(126).           % ~
+symbol_char(64).            % @
+symbol_char(35).            % #
+
+scan_number(C, Cs, integer(N), Rest) :-
+    D is C - 48,
+    scan_digits(Cs, D, N, Rest).
+
+scan_digits([C|Cs], Acc, N, Rest) :-
+    digit_char(C),
+    Acc1 is Acc * 10 + C - 48,
+    scan_digits(Cs, Acc1, N, Rest).
+scan_digits([C|Cs], N, N, [C|Cs]) :-
+    \+ digit_char(C).
+scan_digits([], N, N, []).
+
+scan_name(C, Cs, name(Atom), Rest) :-
+    scan_alphas(Cs, Alphas, Rest),
+    name(Atom, [C|Alphas]).
+
+scan_variable(C, Cs, variable(Name), Rest) :-
+    scan_alphas(Cs, Alphas, Rest),
+    name(Name, [C|Alphas]).
+
+scan_alphas([C|Cs], [C|As], Rest) :-
+    alpha_char(C),
+    scan_alphas(Cs, As, Rest).
+scan_alphas([C|Cs], [], [C|Cs]) :-
+    \+ alpha_char(C).
+scan_alphas([], [], []).
+
+scan_quoted(Cs, name(Atom), Rest) :-
+    quoted_chars(Cs, Chars, Rest),
+    name(Atom, Chars).
+
+quoted_chars([39|Rest], [], Rest).
+quoted_chars([C|Cs], [C|Chars], Rest) :-
+    C =\= 39,
+    quoted_chars(Cs, Chars, Rest).
+
+scan_symbol(C, Cs, Token, Rest) :-
+    scan_symbols(Cs, Ss, Rest0),
+    symbol_token([C|Ss], Rest0, Token, Rest).
+
+% a lone '.' before layout/eof ends the term
+symbol_token([46], Rest, end, Rest).
+symbol_token(Chars, Rest, name(Atom), Rest) :-
+    \+ Chars = [46],
+    name(Atom, Chars).
+
+scan_symbols([C|Cs], [C|Ss], Rest) :-
+    symbol_char(C),
+    scan_symbols(Cs, Ss, Rest).
+scan_symbols([C|Cs], [], [C|Cs]) :-
+    \+ symbol_char(C).
+scan_symbols([], [], []).
+
+% ================================================================
+% parser: token list -> term, precedence climbing
+
+parse(Tokens, Term) :-
+    parse_expr(1200, Tokens, Term, Rest),
+    end_of_term(Rest).
+
+end_of_term([]).
+end_of_term([end]).
+
+parse_expr(MaxPrec, Tokens, Term, Rest) :-
+    parse_left(MaxPrec, Tokens, Left, LeftPrec, Rest0),
+    parse_infix(MaxPrec, LeftPrec, Left, Rest0, Term, Rest).
+
+% prefix operators and primaries
+parse_left(MaxPrec, [name(Op)|Tokens], Term, Prec, Rest) :-
+    prefix_op(Op, Prec, ArgPrec),
+    Prec =< MaxPrec,
+    can_start_term(Tokens),
+    parse_expr(ArgPrec, Tokens, Arg, Rest),
+    Term =.. [Op, Arg].
+parse_left(_, Tokens, Term, 0, Rest) :-
+    parse_primary(Tokens, Term, Rest).
+
+can_start_term([Token|_]) :-
+    \+ Token = end,
+    \+ Token = punct(')'),
+    \+ Token = punct(']'),
+    \+ Token = punct(','),
+    \+ Token = punct('|').
+
+parse_primary([integer(N)|Rest], N, Rest).
+parse_primary([variable(Name)|Rest], var(Name), Rest).
+parse_primary([punct('(')|Tokens], Term, Rest) :-
+    parse_expr(1200, Tokens, Term, [punct(')')|Rest]).
+parse_primary([punct('[')|Tokens], List, Rest) :-
+    parse_list(Tokens, List, Rest).
+parse_primary([name(F), punct('(')|Tokens], Term, Rest) :-
+    parse_args(Tokens, Args, Rest),
+    Term =.. [F|Args].
+parse_primary([name(A)|Rest], A, Rest) :-
+    \+ Rest = [punct('(')|_].
+
+parse_args(Tokens, [Arg|Args], Rest) :-
+    parse_expr(999, Tokens, Arg, Rest0),
+    parse_more_args(Rest0, Args, Rest).
+
+parse_more_args([punct(',')|Tokens], [Arg|Args], Rest) :-
+    parse_expr(999, Tokens, Arg, Rest0),
+    parse_more_args(Rest0, Args, Rest).
+parse_more_args([punct(')')|Rest], [], Rest).
+
+parse_list([punct(']')|Rest], [], Rest).
+parse_list(Tokens, [Head|Tail], Rest) :-
+    parse_expr(999, Tokens, Head, Rest0),
+    parse_list_tail(Rest0, Tail, Rest).
+
+parse_list_tail([punct(',')|Tokens], [Head|Tail], Rest) :-
+    parse_expr(999, Tokens, Head, Rest0),
+    parse_list_tail(Rest0, Tail, Rest).
+parse_list_tail([punct('|')|Tokens], Tail, Rest) :-
+    parse_expr(999, Tokens, Tail, [punct(']')|Rest]).
+parse_list_tail([punct(']')|Rest], [], Rest).
+
+% infix loop
+parse_infix(MaxPrec, LeftPrec, Left, [name(Op)|Tokens], Term, Rest) :-
+    infix_op(Op, Prec, LMax, RMax),
+    Prec =< MaxPrec,
+    LeftPrec =< LMax,
+    parse_expr(RMax, Tokens, Right, Rest0),
+    Combined =.. [Op, Left, Right],
+    parse_infix(MaxPrec, Prec, Combined, Rest0, Term, Rest).
+parse_infix(MaxPrec, LeftPrec, Left, [punct(',')|Tokens], Term, Rest) :-
+    1000 =< MaxPrec,
+    LeftPrec =< 999,
+    parse_expr(1000, Tokens, Right, Rest0),
+    parse_infix(MaxPrec, 1000, ','(Left, Right), Rest0, Term, Rest).
+parse_infix(MaxPrec, LeftPrec, Term, Tokens, Term, Tokens) :-
+    cannot_extend(Tokens, MaxPrec, LeftPrec).
+
+% the infix loop stops when the next token is not an applicable
+% operator at this precedence level
+cannot_extend([], _, _).
+cannot_extend([end|_], _, _).
+cannot_extend([punct(')')|_], _, _).
+cannot_extend([punct(']')|_], _, _).
+cannot_extend([punct('|')|_], _, _).
+cannot_extend([integer(_)|_], _, _).
+cannot_extend([variable(_)|_], _, _).
+cannot_extend([name(Op)|_], MaxPrec, LeftPrec) :-
+    \+ applicable_op(Op, MaxPrec, LeftPrec).
+cannot_extend([punct(',')|_], MaxPrec, LeftPrec) :-
+    \+ applicable_comma(MaxPrec, LeftPrec).
+
+applicable_op(Op, MaxPrec, LeftPrec) :-
+    infix_op(Op, Prec, LMax, _),
+    Prec =< MaxPrec,
+    LeftPrec =< LMax.
+
+applicable_comma(MaxPrec, LeftPrec) :-
+    1000 =< MaxPrec,
+    LeftPrec =< 999.
+
+% ================================================================
+% operator table
+
+infix_op(':-', 1200, 1199, 1199).
+infix_op('-->', 1200, 1199, 1199).
+infix_op(';', 1100, 1099, 1100).
+infix_op('->', 1050, 1049, 1050).
+infix_op('=', 700, 699, 699).
+infix_op('is', 700, 699, 699).
+infix_op('<', 700, 699, 699).
+infix_op('>', 700, 699, 699).
+infix_op('=<', 700, 699, 699).
+infix_op('>=', 700, 699, 699).
+infix_op('==', 700, 699, 699).
+infix_op('=..', 700, 699, 699).
+infix_op('@<', 700, 699, 699).
+infix_op('+', 500, 500, 499).
+infix_op('-', 500, 500, 499).
+infix_op('/\\', 500, 500, 499).
+infix_op('\\/', 500, 500, 499).
+infix_op('*', 400, 400, 399).
+infix_op('/', 400, 400, 399).
+infix_op('//', 400, 400, 399).
+infix_op('mod', 400, 400, 399).
+infix_op('^', 200, 199, 200).
+
+prefix_op(':-', 1200, 1199).
+prefix_op('?-', 1200, 1199).
+prefix_op('\\+', 900, 900).
+prefix_op('-', 200, 200).
+prefix_op('+', 200, 200).
+
+% ================================================================
+% exercise driver: read a selection of term strings
+
+sample_chars(1, "foo(bar, Baz).").
+sample_chars(2, "X is 3 + 4 * 2.").
+sample_chars(3, "[a, b, c | Tail].").
+sample_chars(4, "f(g(h(X)), 'quoted atom', [1, 2]).").
+sample_chars(5, "a :- b, c ; d.").
+
+read_samples(Terms) :-
+    read_each([1, 2, 3, 4, 5], Terms).
+
+read_each([], []).
+read_each([N|Ns], [T|Ts]) :-
+    sample_chars(N, Chars),
+    read_term(Chars, T),
+    read_each(Ns, Ts).

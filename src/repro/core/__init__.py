@@ -1,0 +1,46 @@
+"""The paper's analyses: declarative formulations evaluated by tabling.
+
+* :mod:`repro.core.groundness` — Prop-domain groundness of logic
+  programs (paper section 3.1, Figure 1; Tables 1 and 2);
+* :mod:`repro.core.strictness` — demand-propagation strictness of lazy
+  functional programs (section 3.2, Figure 3; Table 3);
+* :mod:`repro.core.depthk` — depth-k abstract-term groundness with
+  meta-level abstract unification (section 5; Table 4);
+* :mod:`repro.core.widening` — infinite-domain analysis via the
+  engine's answer-join hook (section 6.1);
+* :mod:`repro.core.hm` — Hindley-Milner type analysis through
+  unification over type equations (section 6.1).
+"""
+
+from repro.core.propdom import PropFunction, iff_facts_program, TRUE, FALSE
+from repro.core.groundness import (
+    abstract_program,
+    analyze_groundness,
+    GroundnessResult,
+    PredicateGroundness,
+)
+from repro.core.strictness import (
+    strictness_program,
+    analyze_strictness,
+    StrictnessResult,
+    FunctionStrictness,
+)
+from repro.core.depthk import analyze_depthk, DepthKResult, abstract_unify
+
+__all__ = [
+    "PropFunction",
+    "iff_facts_program",
+    "TRUE",
+    "FALSE",
+    "abstract_program",
+    "analyze_groundness",
+    "GroundnessResult",
+    "PredicateGroundness",
+    "strictness_program",
+    "analyze_strictness",
+    "StrictnessResult",
+    "FunctionStrictness",
+    "analyze_depthk",
+    "DepthKResult",
+    "abstract_unify",
+]

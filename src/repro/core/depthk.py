@@ -1,0 +1,432 @@
+"""Groundness analysis with depth-k term abstraction (paper section 5).
+
+The abstract domain is the set of terms of depth k or less over the
+program's function symbols, a special 0-ary symbol ``gamma``
+(representing the set of *all ground terms*) and variables.  An
+abstract term is a constraint: ``gamma`` is a membership constraint,
+other symbols are equality constraints.
+
+Abstract unification differs from the engine's built-in unification
+(``gamma`` must unify with any ground term, and the paper's version
+performs the occur check), so — exactly as the paper does in XSB — it
+is implemented "at a higher level": here as the ``$aunify`` builtin plus
+the engine's call/answer abstraction hooks (depth-k truncation) and the
+pluggable answer-feed unification.
+
+The generated abstract program keeps the source program's shape but
+with flat heads::
+
+    gpk$p(A1, ..., An) :- '$aunify'(A1, t1), ..., gpk$q(s1, ...), ...
+
+Evaluation is ordinary tabled evaluation; variant checking over the
+finite depth-k domain guarantees termination.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.engine.builtins import DET_BUILTINS, is_builtin
+from repro.engine.clausedb import ClauseDB
+from repro.engine.tabling import TabledEngine
+from repro.prolog.parser import Clause
+from repro.prolog.program import Indicator, Program
+from repro.terms.subst import Subst
+from repro.terms.term import Struct, Term, Var, fresh_var, term_to_str, term_variables
+from repro.terms.unify import occurs_in
+
+GAMMA = "$gamma"
+GPK_PREFIX = "gpk$"
+AUNIFY = "$aunify"
+
+
+def gpk_name(name: str) -> str:
+    return GPK_PREFIX + name
+
+
+# ----------------------------------------------------------------------
+# Abstract unification (with occur check and the gamma rules)
+
+
+def abstract_unify(t1: Term, t2: Term, subst: Subst) -> Subst | None:
+    """Unify abstract terms: ``gamma`` matches any *ground* term.
+
+    Unifying ``gamma`` against a structure binds every variable below
+    the structure to ``gamma`` (the structure's concretizations that
+    are ground).  Performs the occur check, as the paper's version does.
+    """
+    stack = [(t1, t2)]
+    while stack:
+        a, b = stack.pop()
+        a = subst.walk(a)
+        b = subst.walk(b)
+        if isinstance(a, Var):
+            if isinstance(b, Var) and b.id == a.id:
+                continue
+            if occurs_in(a, b, subst):
+                return None
+            subst = subst.bind(a, b)
+            continue
+        if isinstance(b, Var):
+            if occurs_in(b, a, subst):
+                return None
+            subst = subst.bind(b, a)
+            continue
+        if a == GAMMA:
+            subst = _groundify(b, subst)
+            if subst is None:
+                return None
+            continue
+        if b == GAMMA:
+            subst = _groundify(a, subst)
+            if subst is None:
+                return None
+            continue
+        if isinstance(a, Struct):
+            if (
+                not isinstance(b, Struct)
+                or a.functor != b.functor
+                or len(a.args) != len(b.args)
+            ):
+                return None
+            stack.extend(zip(a.args, b.args))
+            continue
+        if a != b:
+            return None
+    return subst
+
+
+def _groundify(term: Term, subst: Subst) -> Subst | None:
+    """Bind every variable under ``term`` to gamma (meet with gamma)."""
+    stack = [term]
+    while stack:
+        t = subst.walk(stack.pop())
+        if isinstance(t, Var):
+            subst = subst.bind(t, GAMMA)
+        elif isinstance(t, Struct):
+            stack.extend(t.args)
+    return subst
+
+
+def _bi_aunify(args, subst):
+    return abstract_unify(args[0], args[1], subst)
+
+
+DET_BUILTINS[(AUNIFY, 2)] = _bi_aunify
+
+
+# ----------------------------------------------------------------------
+# Depth-k truncation
+
+
+def is_abstractly_ground(term: Term) -> bool:
+    """Ground in the abstract domain: no variables (gamma counts ground)."""
+    return not term_variables(term)
+
+
+def depth_truncate(term: Term, k: int, abstract_integers: bool = True) -> Term:
+    """Replace subterms below depth ``k`` by gamma (ground) / fresh vars.
+
+    This is the abstraction keeping the domain finite; replacing a
+    ground subtree by ``gamma`` keeps its groundness, replacing a
+    non-ground one by a fresh variable over-approximates it.  With
+    ``abstract_integers`` every integer constant maps to gamma as well
+    (still within the domain — gamma is the set of all ground terms):
+    programs that thread numeric parameters around (Read's operator
+    precedences!) otherwise spawn one call table per constant.
+    """
+    if abstract_integers and isinstance(term, int):
+        return GAMMA
+    if k <= 0:
+        return GAMMA if is_abstractly_ground(term) else fresh_var()
+    if isinstance(term, Struct):
+        args = tuple(depth_truncate(a, k - 1, abstract_integers) for a in term.args)
+        if args == term.args:
+            return term
+        return Struct(term.functor, args)
+    return term
+
+
+def truncate_goal(goal: Term, k: int, abstract_integers: bool = True) -> Term:
+    """Truncate each *argument* of a call to depth k."""
+    if isinstance(goal, Struct):
+        return Struct(
+            goal.functor,
+            tuple(depth_truncate(a, k, abstract_integers) for a in goal.args),
+        )
+    return goal
+
+
+# ----------------------------------------------------------------------
+# Abstract compilation
+
+
+class _DepthKAbstraction:
+    def __init__(self, program: Program):
+        self.program = program
+        self.literals: list[Term] = []
+        self.warnings: list[str] = []
+
+    def head(self, head: Term) -> Term:
+        if not isinstance(head, Struct):
+            return gpk_name(head)
+        fresh = tuple(fresh_var() for _ in head.args)
+        for var, arg in zip(fresh, head.args):
+            self.literals.append(Struct(AUNIFY, (var, arg)))
+        return Struct(gpk_name(head.functor), fresh)
+
+    def body(self, goal: Term) -> None:
+        if goal in ("true", "!", "otherwise"):
+            return
+        if goal == "fail" or goal == "false":
+            self.literals.append("fail")
+            return
+        if isinstance(goal, str):
+            if self.program.clauses_for((goal, 0)):
+                self.literals.append(gpk_name(goal))
+            return
+        if isinstance(goal, Var):
+            return
+        name, arity = goal.indicator
+        if name == "," and arity == 2:
+            self.body(goal.args[0])
+            self.body(goal.args[1])
+            return
+        if name == ";" and arity == 2:
+            left, right = goal.args
+            if isinstance(left, Struct) and left.indicator == ("->", 2):
+                left = Struct(",", left.args)
+            self.literals.append(
+                Struct(";", (self._subgoal(left), self._subgoal(right)))
+            )
+            return
+        if name == "->" and arity == 2:
+            self.body(goal.args[0])
+            self.body(goal.args[1])
+            return
+        if (name == "\\+" or name == "not") and arity == 1:
+            return  # no bindings on success
+        if name == "call" and arity >= 1:
+            target = goal.args[0]
+            if isinstance(target, Struct) or isinstance(target, str):
+                if arity > 1:
+                    if isinstance(target, str):
+                        target = Struct(target, tuple(goal.args[1:]))
+                    else:
+                        target = Struct(
+                            target.functor, target.args + tuple(goal.args[1:])
+                        )
+                self.body(target)
+            return
+        if self.program.clauses_for((name, arity)):
+            self.literals.append(Struct(gpk_name(name), goal.args))
+            return
+        if is_builtin((name, arity)):
+            self._builtin(goal, name, arity)
+            return
+        self.warnings.append(f"unknown predicate {name}/{arity}")
+
+    def _subgoal(self, goal: Term) -> Term:
+        saved = self.literals
+        self.literals = []
+        self.body(goal)
+        inner = self.literals
+        self.literals = saved
+        if not inner:
+            return "true"
+        result = inner[-1]
+        for literal in reversed(inner[:-1]):
+            result = Struct(",", (literal, result))
+        return result
+
+    def _builtin(self, goal: Struct, name: str, arity: int) -> None:
+        if name == "=" and arity == 2:
+            self.literals.append(Struct(AUNIFY, goal.args))
+            return
+        grounding = {
+            "is": (0, 1),
+            "<": (0, 1),
+            ">": (0, 1),
+            "=<": (0, 1),
+            ">=": (0, 1),
+            "=:=": (0, 1),
+            "=\\=": (0, 1),
+            "atom": (0,),
+            "number": (0,),
+            "integer": (0,),
+            "atomic": (0,),
+            "between": (0, 1, 2),
+        }.get(name)
+        if grounding is not None:
+            for index in grounding:
+                for var in term_variables(goal.args[index]):
+                    self.literals.append(Struct(AUNIFY, (var, GAMMA)))
+        # all other builtins: no constraint (sound over-approximation)
+
+
+def depthk_program(program: Program) -> tuple[Program, list[str]]:
+    """Transform ``program`` into its depth-k abstract program."""
+    out = Program()
+    warnings: list[str] = []
+    for indicator in program.predicates():
+        name, arity = indicator
+        out.tabled.add((gpk_name(name), arity))
+        for clause in program.clauses_for(indicator):
+            abstraction = _DepthKAbstraction(program)
+            new_head = abstraction.head(clause.head)
+            head_literals = list(abstraction.literals)
+            abstraction.literals = []
+            abstraction.body(clause.body)
+            body = head_literals + abstraction.literals
+            out.add_clause(Clause(new_head, _conj(body), {}, clause.line))
+            warnings.extend(abstraction.warnings)
+    return out, warnings
+
+
+def _conj(literals: list[Term]) -> Term:
+    if not literals:
+        return "true"
+    result = literals[-1]
+    for literal in reversed(literals[:-1]):
+        result = Struct(",", (literal, result))
+    return result
+
+
+# ----------------------------------------------------------------------
+# Driver
+
+
+@dataclass
+class PredicateShapes:
+    """Depth-k results for one predicate: answer shapes + groundness."""
+
+    name: str
+    arity: int
+    answers: list[Term]
+    call_patterns: list[Term]
+
+    @property
+    def ground_on_success(self) -> tuple:
+        if not self.answers:
+            return tuple(True for _ in range(self.arity))
+        flags = []
+        for i in range(self.arity):
+            flags.append(
+                all(
+                    isinstance(a, Struct) and is_abstractly_ground(a.args[i])
+                    for a in self.answers
+                )
+            )
+        return tuple(flags)
+
+    def shapes(self) -> list[str]:
+        return [term_to_str(a) for a in self.answers]
+
+
+@dataclass
+class DepthKResult:
+    predicates: dict[Indicator, PredicateShapes]
+    depth: int
+    times: dict[str, float]
+    table_space: int
+    stats: dict
+    warnings: list[str]
+    abstract: Program | None = None
+
+    @property
+    def total_time(self) -> float:
+        return sum(self.times.values())
+
+    def __getitem__(self, indicator: Indicator) -> PredicateShapes:
+        return self.predicates[indicator]
+
+
+def analyze_depthk(
+    program: Program,
+    depth: int = 2,
+    entries: list[Term] | None = None,
+    compiled: bool = False,
+    scheduling: str = "lifo",
+    keep_abstract: bool = False,
+    abstract_integers: bool = True,
+) -> DepthKResult:
+    """Depth-k groundness/shape analysis via the tabled engine.
+
+    Entry goals use the source predicate names (``gpk$`` is added); the
+    ``:- entry_point(p(g, any))`` directives of the source program are
+    honoured with ``g`` mapping to ``gamma``.
+    """
+    t0 = time.perf_counter()
+    abstract, warnings = depthk_program(program)
+    db = ClauseDB(abstract, compiled=compiled)
+    t1 = time.perf_counter()
+
+    engine = TabledEngine(
+        db,
+        scheduling=scheduling,
+        call_abstraction=lambda goal: truncate_goal(goal, depth, abstract_integers),
+        answer_abstraction=lambda answer: truncate_goal(
+            answer, depth, abstract_integers
+        ),
+        feed_unify=abstract_unify,
+        # subsumed answers denote no extra instances: merging is sound
+        answer_subsumption=True,
+    )
+    goals = entries if entries is not None else _entry_points(program)
+    if not goals:
+        goals = [_open_goal(ind) for ind in program.predicates()]
+    for goal in goals:
+        engine.solve(goal)
+    for indicator in program.predicates():
+        name, arity = indicator
+        if not engine.tables_by_pred.get((gpk_name(name), arity)):
+            engine.solve(_open_goal(indicator))
+    t2 = time.perf_counter()
+
+    predicates = {}
+    for indicator in program.predicates():
+        name, arity = indicator
+        answers: list[Term] = []
+        calls: list[Term] = []
+        for table in engine.tables_by_pred.get((gpk_name(name), arity), []):
+            calls.append(table.call)
+            answers.extend(table.answers)
+        predicates[indicator] = PredicateShapes(name, arity, answers, calls)
+    t3 = time.perf_counter()
+
+    return DepthKResult(
+        predicates=predicates,
+        depth=depth,
+        times={
+            "preprocess": t1 - t0,
+            "analysis": t2 - t1,
+            "collection": t3 - t2,
+        },
+        table_space=engine.table_space_bytes(),
+        stats=engine.stats.as_dict(),
+        warnings=warnings,
+        abstract=abstract if keep_abstract else None,
+    )
+
+
+def _entry_points(program: Program) -> list[Term]:
+    entries = []
+    for directive in program.directives:
+        if isinstance(directive, Struct) and directive.indicator == ("entry_point", 1):
+            pattern = directive.args[0]
+            if isinstance(pattern, Struct):
+                args = tuple(
+                    GAMMA if a == "g" else fresh_var() for a in pattern.args
+                )
+                entries.append(Struct(gpk_name(pattern.functor), args))
+            elif isinstance(pattern, str):
+                entries.append(gpk_name(pattern))
+    return entries
+
+
+def _open_goal(indicator: Indicator) -> Term:
+    name, arity = indicator
+    if arity == 0:
+        return gpk_name(name)
+    return Struct(gpk_name(name), tuple(fresh_var() for _ in range(arity)))

@@ -1,0 +1,535 @@
+"""Prop-domain groundness analysis of logic programs (paper section 3.1).
+
+The transformation of Figure 1 maps a program ``P`` to an abstract
+program ``P#`` over the Prop domain: every predicate ``p/n`` gets an
+abstract counterpart ``gp$p/n`` whose success set is the truth table of
+``p``'s output-groundness formula, and every source variable ``X`` is
+tracked by an abstract variable ``TX`` ranging over ``{true, false}``
+(ground / possibly nonground).  Argument terms are linked to their
+variables through enumerated ``iff$k`` truth-table predicates:
+``iff$k(A, T1, ..., Tk)`` holds iff ``A <-> T1 /\\ ... /\\ Tk``.
+
+Evaluating ``P#`` on the tabled engine gives:
+
+* **output groundness** — the answer tables of the ``gp$`` predicates;
+* **input groundness** — the *call* tables, recorded for free by
+  tabling (the property the paper highlights over magic-sets-based
+  bottom-up analysis).
+
+``optimize=True`` applies the paper's "coding the rules to take
+advantage of the evaluation mechanism" step: variable arguments reuse
+the variable's abstract var directly (no ``iff$1`` literal) and ground
+arguments become the constant ``true``, which shortens clauses and cuts
+backtracking.  ``optimize=False`` generates the Figure-1 rules
+literally (used by the ablation benchmarks).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from itertools import product
+
+from repro.engine.builtins import is_builtin
+from repro.engine.tabling import TabledEngine
+from repro.prolog.parser import Clause
+from repro.prolog.program import Indicator, Program
+from repro.terms.term import Struct, Term, Var, fresh_var, term_variables
+from repro.core.propdom import (
+    DEFAULT_MAX_ENUM_ARITY,
+    PropFunction,
+    iff_facts,
+    iff_facts_compact,
+    iff_name,
+    iff_recursive,
+    iff_support_clauses,
+)
+
+GP_PREFIX = "gp$"
+
+
+def gp_name(name: str) -> str:
+    return GP_PREFIX + name
+
+
+def is_gp(name: str) -> bool:
+    return name.startswith(GP_PREFIX)
+
+
+@dataclass
+class AbstractionInfo:
+    """Bookkeeping from the abstract compilation."""
+
+    predicates: list[Indicator] = field(default_factory=list)
+    iff_arities: set[int] = field(default_factory=set)
+    warnings: list[str] = field(default_factory=list)
+    entry_points: list[Term] = field(default_factory=list)
+
+
+class _ClauseAbstraction:
+    """Abstracts one clause; carries the source-var -> abstract-var map."""
+
+    def __init__(self, info: AbstractionInfo, optimize: bool):
+        self.info = info
+        self.optimize = optimize
+        self.varmap: dict[int, Var] = {}
+        self.literals: list[Term] = []
+
+    def abstract_var(self, var: Var) -> Var:
+        abstract = self.varmap.get(var.id)
+        if abstract is None:
+            abstract = fresh_var(f"T{var.name or var.id}")
+            self.varmap[var.id] = abstract
+        return abstract
+
+    # -- E[t] of Figure 1 ------------------------------------------------
+    def arg_value(self, term: Term) -> Term:
+        """Abstract value for an argument term, emitting iff literals.
+
+        Returns the term to place in the abstract literal's argument
+        position: with ``optimize`` this is ``TX`` for a variable,
+        ``true`` for a ground term, and a fresh var tied by an ``iff$k``
+        literal otherwise; without, always the fresh-var + iff encoding.
+        """
+        if self.optimize:
+            if isinstance(term, Var):
+                return self.abstract_var(term)
+            variables = term_variables(term)
+            if not variables:
+                return "true"
+            result = fresh_var()
+            self.emit_iff(result, variables)
+            return result
+        result = fresh_var()
+        self.constrain(term, result)
+        return result
+
+    def constrain(self, term: Term, value: Term) -> None:
+        """Emit ``value <-> conj(vars(term))``."""
+        variables = term_variables(term)
+        if self.optimize and isinstance(term, Var):
+            self.literals.append(Struct("=", (value, self.abstract_var(term))))
+            return
+        if self.optimize and not variables:
+            self.literals.append(Struct("=", (value, "true")))
+            return
+        self.emit_iff(value, variables)
+
+    def emit_iff(self, value: Term, variables: list[Var]) -> None:
+        self.info.iff_arities.add(len(variables))
+        args = (value, *(self.abstract_var(v) for v in variables))
+        self.literals.append(Struct(iff_name(len(variables)), args))
+
+    def force_ground(self, term: Term) -> None:
+        """Emit constraints making every variable of ``term`` true."""
+        for var in term_variables(term):
+            self.literals.append(Struct("=", (self.abstract_var(var), "true")))
+
+    # -- L[c] of Figure 1 -------------------------------------------------
+    def body(self, goal: Term, program: Program) -> None:
+        done = self._control(goal, program)
+        if done:
+            return
+        indicator = goal.indicator if isinstance(goal, Struct) else (goal, 0)
+        if program.clauses_for(indicator):
+            self._user_call(goal)
+            return
+        if is_builtin(indicator):
+            self._builtin(goal, indicator)
+            return
+        self.info.warnings.append(
+            f"unknown predicate {indicator[0]}/{indicator[1]}: no constraint assumed"
+        )
+
+    def _control(self, goal: Term, program: Program) -> bool:
+        if goal in ("true", "!", "otherwise"):
+            return True
+        if goal == "fail" or goal == "false":
+            self.literals.append("fail")
+            return True
+        if not isinstance(goal, Struct):
+            return False
+        name, arity = goal.indicator
+        if name == "," and arity == 2:
+            self.body(goal.args[0], program)
+            self.body(goal.args[1], program)
+            return True
+        if name == ";" and arity == 2:
+            left, right = goal.args
+            if isinstance(left, Struct) and left.indicator == ("->", 2):
+                # (C -> T ; E) over-approximated by ((C, T) ; E)
+                left = Struct(",", left.args)
+            self.literals.append(
+                Struct(";", (self._subgoal(left, program), self._subgoal(right, program)))
+            )
+            return True
+        if name == "->" and arity == 2:
+            self.body(goal.args[0], program)
+            self.body(goal.args[1], program)
+            return True
+        if (name == "\\+" or name == "not") and arity == 1:
+            # No bindings on success; still visit the subgoal in a
+            # "don't care" disjunct so its call patterns are recorded.
+            inner = subgoal = self._subgoal(goal.args[0], program)
+            if subgoal != "true":
+                self.literals.append(Struct(";", (inner, "true")))
+            return True
+        if name == "call" and arity >= 1:
+            target = goal.args[0]
+            if isinstance(target, Var):
+                return True  # unknown goal: no constraint
+            if arity > 1:
+                if isinstance(target, str):
+                    target = Struct(target, tuple(goal.args[1:]))
+                else:
+                    target = Struct(target.functor, target.args + tuple(goal.args[1:]))
+            self.body(target, program)
+            return True
+        if name == "findall" and arity == 3 or name == "bagof" and arity == 3 or name == "setof" and arity == 3:
+            # goal argument runs but bindings don't escape; record calls
+            subgoal = self._subgoal(goal.args[1], program)
+            if subgoal != "true":
+                self.literals.append(Struct(";", (subgoal, "true")))
+            return True
+        return False
+
+    def _subgoal(self, goal: Term, program: Program) -> Term:
+        saved = self.literals
+        self.literals = []
+        self.body(goal, program)
+        inner = self.literals
+        self.literals = saved
+        if not inner:
+            return "true"
+        result = inner[-1]
+        for literal in reversed(inner[:-1]):
+            result = Struct(",", (literal, result))
+        return result
+
+    def _user_call(self, goal: Term) -> None:
+        if isinstance(goal, str):
+            self.literals.append(gp_name(goal))
+            return
+        args = tuple(self.arg_value(a) for a in goal.args)
+        self.literals.append(Struct(gp_name(goal.functor), args))
+
+    def _builtin(self, goal: Term, indicator: Indicator) -> None:
+        name, arity = indicator
+        args = goal.args if isinstance(goal, Struct) else ()
+        if name == "=" and arity == 2:
+            shared = fresh_var()
+            if self.optimize and isinstance(args[0], Var):
+                self.constrain(args[1], self.abstract_var(args[0]))
+                return
+            if self.optimize and isinstance(args[1], Var):
+                self.constrain(args[0], self.abstract_var(args[1]))
+                return
+            self.constrain(args[0], shared)
+            self.constrain(args[1], shared)
+            return
+        if name in _GROUNDING_BUILTINS and arity in _GROUNDING_BUILTINS[name]:
+            positions = _GROUNDING_BUILTINS[name][arity]
+            for index in positions:
+                self.force_ground(args[index])
+            return
+        if name == "==" and arity == 2 or name == "=.." and arity == 2:
+            shared = fresh_var()
+            self.constrain(args[0], shared)
+            self.constrain(args[1], shared)
+            return
+        # remaining builtins: no groundness effect assumed (sound)
+
+
+#: builtin name -> arity -> argument positions that are ground on success
+_GROUNDING_BUILTINS: dict[str, dict[int, tuple]] = {
+    "is": {2: (0, 1)},
+    "<": {2: (0, 1)},
+    ">": {2: (0, 1)},
+    "=<": {2: (0, 1)},
+    ">=": {2: (0, 1)},
+    "=:=": {2: (0, 1)},
+    "=\\=": {2: (0, 1)},
+    "atom": {1: (0,)},
+    "number": {1: (0,)},
+    "integer": {1: (0,)},
+    "atomic": {1: (0,)},
+    "functor": {3: (1, 2)},
+    "arg": {3: (0,)},
+    "length": {2: (1,)},
+    "atom_codes": {2: (0, 1)},
+    "name": {2: (0, 1)},
+    "number_codes": {2: (0, 1)},
+    "between": {3: (0, 1, 2)},
+    "tab": {1: (0,)},
+    "put": {1: (0,)},
+}
+
+
+def abstract_program(
+    program: Program,
+    optimize: bool = True,
+    max_enum_arity: int = DEFAULT_MAX_ENUM_ARITY,
+    encoding: str = "compact",
+) -> tuple[Program, AbstractionInfo]:
+    """Figure-1 transformation: source program -> abstract Prop program.
+
+    The result has one tabled ``gp$p/n`` predicate per source ``p/n``,
+    plus the ``iff$k`` truth tables for every right-hand-side variable
+    count ``k`` encountered.  ``encoding`` selects the truth-table
+    representation: ``"compact"`` (default) uses the k+1 most-general
+    facts with the same success set; ``"enumerated"`` uses the paper's
+    literal 2^k rows (falling back to a linear recursive program above
+    ``max_enum_arity``) — kept for the representation ablation.
+    """
+    info = AbstractionInfo()
+    out = Program()
+    for indicator in program.predicates():
+        name, arity = indicator
+        info.predicates.append(indicator)
+        out.tabled.add((gp_name(name), arity))
+        for clause in program.clauses_for(indicator):
+            abstraction = _ClauseAbstraction(info, optimize)
+            head = clause.head
+            if isinstance(head, Struct):
+                head_args = tuple(abstraction.arg_value(a) for a in head.args)
+                head_literals = list(abstraction.literals)
+                abstraction.literals = []
+                new_head: Term = Struct(gp_name(name), head_args)
+            else:
+                head_literals = []
+                new_head = gp_name(name)
+            abstraction.body(clause.body, program)
+            body_literals = head_literals + abstraction.literals
+            out.add_clause(Clause(new_head, _conj(body_literals), {}, clause.line))
+    needs_support = False
+    for nvars in sorted(info.iff_arities):
+        if encoding == "compact":
+            out.add_clauses(iff_facts_compact(nvars))
+        elif nvars <= max_enum_arity:
+            out.add_clauses(iff_facts(nvars))
+        else:
+            out.add_clauses(iff_recursive(nvars))
+            needs_support = True
+    if needs_support:
+        out.add_clauses(iff_support_clauses())
+    info.entry_points = _entry_points(program)
+    return out, info
+
+
+def _conj(literals: list[Term]) -> Term:
+    if not literals:
+        return "true"
+    result = literals[-1]
+    for literal in reversed(literals[:-1]):
+        result = Struct(",", (literal, result))
+    return result
+
+
+def _entry_points(program: Program) -> list[Term]:
+    """``:- entry_point(p(g, any)).`` directives, as abstract goals.
+
+    ``g`` marks an argument known ground at entry; anything else is
+    unknown.  Used to make the *input* groundness (call patterns)
+    meaningful; without entry points all predicates are analysed with
+    open calls.
+    """
+    entries = []
+    for directive in program.directives:
+        if (
+            isinstance(directive, Struct)
+            and directive.indicator == ("entry_point", 1)
+        ):
+            pattern = directive.args[0]
+            if isinstance(pattern, Struct):
+                args = tuple(
+                    "true" if a == "g" else fresh_var() for a in pattern.args
+                )
+                entries.append(Struct(gp_name(pattern.functor), args))
+            elif isinstance(pattern, str):
+                entries.append(gp_name(pattern))
+    return entries
+
+
+# ----------------------------------------------------------------------
+# Driver and collection
+
+
+@dataclass
+class PredicateGroundness:
+    """Collected analysis results for one source predicate."""
+
+    name: str
+    arity: int
+    success: PropFunction
+    call_patterns: list[tuple]
+    answer_count: int
+
+    @property
+    def ground_on_success(self) -> tuple:
+        """Arguments definitely ground in every answer (output modes)."""
+        return self.success.definitely_true()
+
+    @property
+    def ground_at_call(self) -> tuple:
+        """Arguments definitely ground in every recorded call (input modes)."""
+        if not self.call_patterns:
+            return tuple(False for _ in range(self.arity))
+        return tuple(
+            all(pattern[i] is True for pattern in self.call_patterns)
+            for i in range(self.arity)
+        )
+
+    def formula(self, names: list[str] | None = None) -> str:
+        return self.success.dnf(names)
+
+
+@dataclass
+class GroundnessResult:
+    """Full analysis output: per-predicate results plus phase metrics."""
+
+    predicates: dict[Indicator, PredicateGroundness]
+    times: dict[str, float]
+    table_space: int
+    stats: dict
+    warnings: list[str]
+    abstract: Program | None = None
+
+    @property
+    def total_time(self) -> float:
+        return sum(self.times.values())
+
+    def __getitem__(self, indicator: Indicator) -> PredicateGroundness:
+        return self.predicates[indicator]
+
+
+def analyze_groundness(
+    program: Program,
+    entries: list[Term] | None = None,
+    optimize: bool = True,
+    compiled: bool = False,
+    max_enum_arity: int = DEFAULT_MAX_ENUM_ARITY,
+    encoding: str = "compact",
+    scheduling: str = "lifo",
+    keep_abstract: bool = False,
+) -> GroundnessResult:
+    """Run the full groundness analysis pipeline on ``program``.
+
+    Phases (each timed, per the paper's metrics): *preprocess*
+    (abstract compilation + clause-database preparation), *analysis*
+    (tabled evaluation) and *collection* (combining table answers into
+    per-predicate results).
+
+    ``entries`` are abstract entry goals (``gp$``-named); when omitted,
+    ``:- entry_point(...)`` directives are used, and failing those every
+    predicate is analysed with an open call.
+    """
+    t0 = time.perf_counter()
+    abstract, info = abstract_program(program, optimize, max_enum_arity, encoding)
+    from repro.engine.clausedb import ClauseDB
+
+    db = ClauseDB(abstract, compiled=compiled)
+    t1 = time.perf_counter()
+
+    engine = TabledEngine(db, scheduling=scheduling)
+    goals = entries if entries is not None else info.entry_points
+    if not goals:
+        goals = [_open_goal(ind) for ind in info.predicates]
+    for goal in goals:
+        engine.solve(goal)
+    # ensure every predicate has at least an output-groundness table
+    for indicator in info.predicates:
+        if not _tables_for(engine, indicator):
+            engine.solve(_open_goal(indicator))
+    t2 = time.perf_counter()
+
+    predicates = {}
+    for indicator in info.predicates:
+        predicates[indicator] = _collect(engine, indicator)
+    t3 = time.perf_counter()
+
+    return GroundnessResult(
+        predicates=predicates,
+        times={
+            "preprocess": t1 - t0,
+            "analysis": t2 - t1,
+            "collection": t3 - t2,
+        },
+        table_space=engine.table_space_bytes(),
+        stats=engine.stats.as_dict(),
+        warnings=info.warnings,
+        abstract=abstract if keep_abstract else None,
+    )
+
+
+def _open_goal(indicator: Indicator) -> Term:
+    name, arity = indicator
+    if arity == 0:
+        return gp_name(name)
+    return Struct(gp_name(name), tuple(fresh_var() for _ in range(arity)))
+
+
+def _tables_for(engine: TabledEngine, indicator: Indicator):
+    name, arity = indicator
+    return engine.tables_by_pred.get((gp_name(name), arity), [])
+
+
+def _collect(engine: TabledEngine, indicator: Indicator) -> PredicateGroundness:
+    name, arity = indicator
+    rows: set[tuple] = set()
+    calls: list[tuple] = []
+    answer_count = 0
+    for table in _tables_for(engine, indicator):
+        calls.append(_pattern(table.call, arity))
+        for answer in table.answers:
+            answer_count += 1
+            rows.update(_expand(answer, arity))
+    return PredicateGroundness(
+        name=name,
+        arity=arity,
+        success=PropFunction(arity, rows),
+        call_patterns=calls,
+        answer_count=answer_count,
+    )
+
+
+def _pattern(call: Term, arity: int) -> tuple:
+    """Call pattern: True (ground), False or None (unknown) per argument."""
+    if not isinstance(call, Struct):
+        return ()
+    out = []
+    for arg in call.args:
+        if arg == "true":
+            out.append(True)
+        elif arg == "false":
+            out.append(False)
+        else:
+            out.append(None)
+    return tuple(out)
+
+
+def _expand(answer: Term, arity: int):
+    """Expand an answer (may contain unbound vars) into truth-table rows.
+
+    Unbound variables stand for "either value", but *shared* variables
+    must take the same value in a row: ``gp$ap(true, A, A)`` denotes
+    exactly {(T,T,T), (T,F,F)}.
+    """
+    if arity == 0:
+        return [()]
+    assert isinstance(answer, Struct)
+    variables = term_variables(answer)
+    rows = []
+    for assignment in product((True, False), repeat=len(variables)):
+        env = {v.id: val for v, val in zip(variables, assignment)}
+        row = []
+        for arg in answer.args:
+            if arg == "true":
+                row.append(True)
+            elif arg == "false":
+                row.append(False)
+            elif isinstance(arg, Var):
+                row.append(env[arg.id])
+            else:
+                raise ValueError(f"non-boolean answer argument {arg!r}")
+        rows.append(tuple(row))
+    return rows

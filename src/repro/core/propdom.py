@@ -1,0 +1,228 @@
+"""The Prop abstract domain, represented enumeratively (truth tables).
+
+Prop (Marriott & Sondergaard) abstracts substitutions by positive
+boolean formulas over the clause variables: ``X <-> Y /\\ Z`` reads "X is
+ground iff Y and Z are".  Following the paper (after Codish & Demoen),
+a formula is represented by its *truth table*: the set of assignments
+satisfying it.  Conjunction of formulas is natural join; disjunction is
+union.  The analysis encodes the tables as logic-program facts
+(``iff`` predicates), so the engine's own evaluation performs the
+joins; this module holds the fact generators plus a
+:class:`PropFunction` value type used by collectors and baselines.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.prolog.parser import Clause
+from repro.prolog.program import Program
+from repro.terms.term import Struct, Term, fresh_var
+
+TRUE = "true"
+FALSE = "false"
+
+#: Above this many right-hand-side variables the iff truth table is not
+#: enumerated as facts but encoded as a linear recursive program (same
+#: success set, avoids 2^k fact explosion on pathological clauses).
+DEFAULT_MAX_ENUM_ARITY = 8
+
+IFF_PREFIX = "iff$"
+IFF_LIST = "iff$list"
+IFF_AND = "iff$and"
+IFF_BOOL = "iff$bool"
+
+
+def iff_name(nvars: int) -> str:
+    """Name of the iff predicate relating a LHS to ``nvars`` RHS vars."""
+    return f"{IFF_PREFIX}{nvars}"
+
+
+def iff_facts(nvars: int) -> list[Clause]:
+    """Truth-table facts for ``B <-> A1 /\\ ... /\\ Ak`` (k = nvars).
+
+    ``iff$k(B, A1, ..., Ak)`` has one fact per assignment of the ``Ai``
+    with ``B`` forced to their conjunction — 2^k facts, the fully
+    enumerated representation of paper section 3.1.
+    """
+    name = iff_name(nvars)
+    clauses = []
+    for assignment in product((TRUE, FALSE), repeat=nvars):
+        value = TRUE if all(a == TRUE for a in assignment) else FALSE
+        if nvars == 0:
+            clauses.append(Clause(Struct(name, (value,)), "true"))
+        else:
+            clauses.append(Clause(Struct(name, (value, *assignment)), "true"))
+    return clauses
+
+
+def iff_facts_compact(nvars: int) -> list[Clause]:
+    """Most-general facts with the same success set as :func:`iff_facts`.
+
+    ``k + 1`` facts instead of ``2^k``: the all-true row, plus — for
+    each position — a fact pinning that position to false, the head to
+    false, and leaving every other position as a free variable.  The
+    set of ground instances is exactly the truth table, but the engine
+    explores ``k + 1`` alternatives instead of ``2^k`` when the
+    arguments are unbound — the "coding the rules to take advantage of
+    the evaluation mechanism" step the paper highlights.
+    """
+    name = iff_name(nvars)
+    if nvars == 0:
+        return [Clause(Struct(name, (TRUE,)), "true")]
+    clauses = [Clause(Struct(name, (TRUE, *(TRUE,) * nvars)), "true")]
+    for position in range(nvars):
+        args = [fresh_var() for _ in range(nvars)]
+        args[position] = FALSE
+        clauses.append(Clause(Struct(name, (FALSE, *args)), "true"))
+    return clauses
+
+
+def iff_recursive(nvars: int) -> list[Clause]:
+    """Linear encoding of iff$k for large k via an accumulator list.
+
+    Same success set as :func:`iff_facts` but O(k) clauses; the engine
+    enumerates assignments on demand instead of storing 2^k facts.
+    """
+    head_vars = [fresh_var(f"A{i}") for i in range(nvars)]
+    b = fresh_var("B")
+    from repro.terms.term import make_list
+
+    head = Struct(iff_name(nvars), (b, *head_vars))
+    body = Struct(IFF_LIST, (b, make_list(head_vars)))
+    return [Clause(head, body)]
+
+
+def iff_support_clauses() -> list[Clause]:
+    """The shared helpers for :func:`iff_recursive` encodings."""
+    from repro.prolog.parser import parse_program
+
+    source = f"""
+    '{IFF_BOOL}'(true).
+    '{IFF_BOOL}'(false).
+    '{IFF_AND}'(true, true, true).
+    '{IFF_AND}'(true, false, false).
+    '{IFF_AND}'(false, true, false).
+    '{IFF_AND}'(false, false, false).
+    '{IFF_LIST}'(true, []).
+    '{IFF_LIST}'(B, [A|As]) :- '{IFF_BOOL}'(A), '{IFF_LIST}'(B1, As), '{IFF_AND}'(A, B1, B).
+    """
+    return parse_program(source)
+
+
+def iff_facts_program(max_nvars: int) -> Program:
+    """A program containing iff$0 .. iff$max_nvars fact tables."""
+    program = Program()
+    for nvars in range(max_nvars + 1):
+        program.add_clauses(iff_facts(nvars))
+    return program
+
+
+class PropFunction:
+    """A boolean function over ``n`` arguments as an explicit truth set.
+
+    Used by the collectors and the special-purpose (GAIA stand-in)
+    analyzer: rows are tuples over ``{True, False}``; the function is
+    the set of satisfying rows (a *positive* formula in the analyses,
+    though the type does not enforce it).
+    """
+
+    __slots__ = ("arity", "rows")
+
+    def __init__(self, arity: int, rows=()):
+        self.arity = arity
+        self.rows = frozenset(rows)
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def bottom(cls, arity: int) -> "PropFunction":
+        """The unsatisfiable function (no successes)."""
+        return cls(arity, ())
+
+    @classmethod
+    def top(cls, arity: int) -> "PropFunction":
+        """The always-true function (all assignments)."""
+        return cls(arity, product((True, False), repeat=arity))
+
+    @classmethod
+    def iff_conj(cls, arity: int, lhs: int, rhs: tuple) -> "PropFunction":
+        """``x_lhs <-> /\\ x_i (i in rhs)`` as a truth set."""
+        rows = []
+        for row in product((True, False), repeat=arity):
+            if row[lhs] == all(row[i] for i in rhs):
+                rows.append(row)
+        return cls(arity, rows)
+
+    @classmethod
+    def var_is(cls, arity: int, index: int, value: bool) -> "PropFunction":
+        rows = [
+            row
+            for row in product((True, False), repeat=arity)
+            if row[index] == value
+        ]
+        return cls(arity, rows)
+
+    # -- lattice/logic operations ----------------------------------------
+    def conj(self, other: "PropFunction") -> "PropFunction":
+        assert self.arity == other.arity
+        return PropFunction(self.arity, self.rows & other.rows)
+
+    def disj(self, other: "PropFunction") -> "PropFunction":
+        assert self.arity == other.arity
+        return PropFunction(self.arity, self.rows | other.rows)
+
+    def exists(self, index: int) -> "PropFunction":
+        """Existentially quantify argument ``index`` away (arity drops)."""
+        rows = {row[:index] + row[index + 1 :] for row in self.rows}
+        return PropFunction(self.arity - 1, rows)
+
+    def restrict_to(self, indexes: tuple) -> "PropFunction":
+        """Project onto the given argument positions, in order."""
+        rows = {tuple(row[i] for i in indexes) for row in self.rows}
+        return PropFunction(len(indexes), rows)
+
+    def definitely_true(self) -> tuple:
+        """Per-argument "true in every satisfying row" flags.
+
+        In groundness terms: which arguments are definitely ground in
+        every success — the collection step of paper section 4.
+        """
+        if not self.rows:
+            return tuple(True for _ in range(self.arity))
+        return tuple(
+            all(row[i] for row in self.rows) for i in range(self.arity)
+        )
+
+    def is_bottom(self) -> bool:
+        return not self.rows
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, PropFunction)
+            and other.arity == self.arity
+            and other.rows == self.rows
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.arity, self.rows))
+
+    def __le__(self, other: "PropFunction") -> bool:
+        return self.rows <= other.rows
+
+    def __repr__(self) -> str:
+        return f"PropFunction({self.arity}, {sorted(self.rows)})"
+
+    def dnf(self, names: list[str] | None = None) -> str:
+        """A human-readable disjunctive normal form of the truth set."""
+        if not self.rows:
+            return "false"
+        if len(self.rows) == 2**self.arity:
+            return "true"
+        names = names or [f"X{i + 1}" for i in range(self.arity)]
+        clauses = []
+        for row in sorted(self.rows, reverse=True):
+            literals = [
+                name if value else f"~{name}" for name, value in zip(names, row)
+            ]
+            clauses.append(" & ".join(literals) if literals else "true")
+        return " | ".join(f"({c})" for c in clauses)

@@ -1,0 +1,22 @@
+"""Evaluation engines: SLD, tabled (SLG/OLDT-style) and bottom-up.
+
+The tabled engine (:mod:`repro.engine.tabling`) is the reproduction's
+stand-in for XSB: a complete evaluator for definite programs over finite
+domains, recording calls and answers in tables.  The SLD engine is the
+ordinary (incomplete) Prolog baseline used to run concrete programs, and
+the bottom-up engine is the Coral-style comparator.
+"""
+
+from repro.engine.clausedb import ClauseDB
+from repro.engine.sld import SLDEngine, sld_solve
+from repro.engine.tabling import TabledEngine, TableStats
+from repro.engine.bottomup import BottomUpEngine
+
+__all__ = [
+    "ClauseDB",
+    "SLDEngine",
+    "sld_solve",
+    "TabledEngine",
+    "TableStats",
+    "BottomUpEngine",
+]

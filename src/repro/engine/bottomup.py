@@ -1,0 +1,241 @@
+"""Semi-naive bottom-up evaluation — the Coral-style comparator.
+
+Computes the minimal model of a definite program by fixed-point
+iteration with delta sets (semi-naive evaluation): each round joins the
+*new* facts of the previous round with the full store, so no rule
+instance is re-derived needlessly.  This is the deductive-database
+evaluation strategy the paper contrasts with top-down tabling
+(sections 2 and 7).
+
+Supported programs: definite clauses whose body literals are user
+predicates or deterministic builtins.  Derived facts may contain
+variables (non-ground facts are stored canonically), which the
+Prop-domain abstract programs need (``sp_f(n, X, Y)`` style answers).
+"""
+
+from __future__ import annotations
+
+from repro.engine.builtins import DET_BUILTINS, NONDET_BUILTINS, PrologError
+from repro.prolog.program import Indicator, Program
+from repro.terms.subst import EMPTY_SUBST, Subst
+from repro.terms.term import Struct, Term, Var
+from repro.terms.unify import unify
+from repro.terms.variant import canonical, rename_apart, variant_key
+
+
+class _Relation:
+    """Fact store for one predicate, with delta tracking."""
+
+    __slots__ = ("facts", "keys")
+
+    def __init__(self):
+        self.facts: list[Term] = []
+        self.keys: set = set()
+
+    def add(self, fact: Term) -> bool:
+        key = variant_key(fact)
+        if key in self.keys:
+            return False
+        self.keys.add(key)
+        self.facts.append(fact)
+        return True
+
+
+class BottomUpEngine:
+    """Semi-naive evaluation of a definite program's minimal model."""
+
+    def __init__(self, program: Program, max_rounds: int | None = None):
+        self.program = program
+        self.max_rounds = max_rounds
+        self.relations: dict[Indicator, _Relation] = {}
+        self.rounds = 0
+        self.derivations = 0
+        self._evaluated = False
+
+    # ------------------------------------------------------------------
+    def evaluate(self) -> "BottomUpEngine":
+        """Run to fixed point; idempotent."""
+        if self._evaluated:
+            return self
+        rules = []
+        delta: list[Term] = []
+        for indicator in self.program.predicates():
+            for clause in self.program.clauses_for(indicator):
+                body = _flatten_body(clause.body)
+                if not body:
+                    fact = canonical(clause.head)
+                    if self._relation(indicator).add(fact):
+                        delta.append(fact)
+                else:
+                    rules.append((indicator, clause.head, body))
+        # index rules by the body predicates they contain
+        by_pred: dict[Indicator, list] = {}
+        for rule in rules:
+            for literal in rule[2]:
+                ind = _indicator(literal)
+                if not _is_builtin(ind):
+                    by_pred.setdefault(ind, []).append(rule)
+
+        while delta:
+            self.rounds += 1
+            if self.max_rounds is not None and self.rounds > self.max_rounds:
+                raise PrologError(f"exceeded round budget {self.max_rounds}")
+            delta_keys = {variant_key(f) for f in delta}
+            delta_by_pred: dict[Indicator, list[Term]] = {}
+            for fact in delta:
+                delta_by_pred.setdefault(_indicator(fact), []).append(fact)
+            next_delta: list[Term] = []
+            seen_rules = set()
+            for ind in delta_by_pred:
+                for rule in by_pred.get(ind, ()):
+                    rule_id = id(rule)
+                    if rule_id in seen_rules:
+                        continue
+                    seen_rules.add(rule_id)
+                    self._fire(rule, delta_keys, delta_by_pred, next_delta)
+            delta = next_delta
+        self._evaluated = True
+        return self
+
+    def facts(self, indicator: Indicator) -> list[Term]:
+        """All derived facts for a predicate (after :meth:`evaluate`)."""
+        self.evaluate()
+        relation = self.relations.get(indicator)
+        return list(relation.facts) if relation else []
+
+    def holds(self, goal: Term) -> list[Term]:
+        """Instances of ``goal`` in the minimal model."""
+        self.evaluate()
+        results = []
+        for fact in self.facts(_indicator(goal)):
+            subst = unify(goal, rename_apart(fact), EMPTY_SUBST)
+            if subst is not None:
+                results.append(subst.resolve(goal))
+        return results
+
+    # ------------------------------------------------------------------
+    def _relation(self, indicator: Indicator) -> _Relation:
+        relation = self.relations.get(indicator)
+        if relation is None:
+            relation = _Relation()
+            self.relations[indicator] = relation
+        return relation
+
+    def _fire(self, rule, delta_keys, delta_by_pred, next_delta):
+        """Semi-naive firing: require >= 1 delta fact among body matches.
+
+        For each body position holding a user literal, join that
+        position against the delta and the remaining positions against
+        the full store; deduplicate via the canonical fact keys.
+        """
+        indicator, head, body = rule
+        positions = [
+            i for i, literal in enumerate(body) if not _is_builtin(_indicator(literal))
+        ]
+        if not positions:
+            return
+        for delta_position in positions:
+            lit_ind = _indicator(body[delta_position])
+            if lit_ind not in delta_by_pred:
+                continue
+            renamed = rename_apart(Struct("$rule", (head, *body)))
+            r_head, r_body = renamed.args[0], list(renamed.args[1:])
+            self._join(
+                indicator,
+                r_head,
+                r_body,
+                0,
+                EMPTY_SUBST,
+                delta_position,
+                delta_keys,
+                next_delta,
+            )
+
+    def _join(
+        self,
+        indicator,
+        head,
+        body,
+        position,
+        subst: Subst,
+        delta_position,
+        delta_keys,
+        next_delta,
+    ):
+        if position == len(body):
+            fact = canonical(head, subst)
+            self.derivations += 1
+            if self._relation(indicator).add(fact):
+                next_delta.append(fact)
+            return
+        literal = body[position]
+        lit_ind = _indicator(literal)
+        if _is_builtin(lit_ind):
+            for extended in _eval_builtin(literal, lit_ind, subst):
+                self._join(
+                    indicator,
+                    head,
+                    body,
+                    position + 1,
+                    extended,
+                    delta_position,
+                    delta_keys,
+                    next_delta,
+                )
+            return
+        relation = self.relations.get(lit_ind)
+        if relation is None:
+            return
+        for fact in relation.facts:
+            if position == delta_position and variant_key(fact) not in delta_keys:
+                continue
+            extended = unify(literal, rename_apart(fact), subst)
+            if extended is not None:
+                self._join(
+                    indicator,
+                    head,
+                    body,
+                    position + 1,
+                    extended,
+                    delta_position,
+                    delta_keys,
+                    next_delta,
+                )
+
+
+def _flatten_body(body: Term) -> list[Term]:
+    if body == "true":
+        return []
+    items: list[Term] = []
+    stack = [body]
+    while stack:
+        term = stack.pop()
+        if isinstance(term, Struct) and term.functor == "," and term.arity == 2:
+            stack.append(term.args[1])
+            stack.append(term.args[0])
+        elif term == "true":
+            continue
+        else:
+            items.append(term)
+    return items
+
+
+def _indicator(term: Term) -> Indicator:
+    if isinstance(term, Struct):
+        return term.indicator
+    if isinstance(term, str):
+        return (term, 0)
+    raise PrologError(f"not a literal: {term!r}")
+
+
+def _is_builtin(indicator: Indicator) -> bool:
+    return indicator in DET_BUILTINS or indicator in NONDET_BUILTINS
+
+
+def _eval_builtin(literal: Term, indicator: Indicator, subst: Subst):
+    args = literal.args if isinstance(literal, Struct) else ()
+    det = DET_BUILTINS.get(indicator)
+    if det is not None:
+        extended = det(args, subst)
+        return [extended] if extended is not None else []
+    return NONDET_BUILTINS[indicator](args, subst)

@@ -1,0 +1,373 @@
+"""Builtin predicates shared by the SLD and tabled engines.
+
+Builtins come in two tables:
+
+* :data:`DET_BUILTINS` — ``fn(args, subst) -> Subst | None`` (at most one
+  solution);
+* :data:`NONDET_BUILTINS` — ``fn(args, subst) -> iterator of Subst``.
+
+Control constructs (``,``, ``;``, ``->``, ``!``, ``\\+``, ``call``) are
+handled inside the engines, not here.
+"""
+
+from __future__ import annotations
+
+from repro.terms.subst import Subst
+from repro.terms.term import Struct, Term, Var, fresh_var, make_list, list_elements
+from repro.terms.unify import unify
+from repro.terms.variant import rename_apart
+
+
+class PrologError(Exception):
+    """Runtime error in evaluation (instantiation, type, undefined...)."""
+
+
+# ----------------------------------------------------------------------
+# Arithmetic
+
+
+def eval_arith(term: Term, subst: Subst):
+    """Evaluate an arithmetic expression to a Python number."""
+    term = subst.walk(term)
+    if isinstance(term, int):
+        return term
+    if isinstance(term, Var):
+        raise PrologError("arithmetic: unbound variable")
+    if isinstance(term, Struct):
+        name, arity = term.functor, term.arity
+        if arity == 2:
+            a = eval_arith(term.args[0], subst)
+            b = eval_arith(term.args[1], subst)
+            op = _BINARY_ARITH.get(name)
+            if op is not None:
+                return op(a, b)
+        elif arity == 1:
+            a = eval_arith(term.args[0], subst)
+            op = _UNARY_ARITH.get(name)
+            if op is not None:
+                return op(a)
+    raise PrologError(f"arithmetic: unknown expression {term!r}")
+
+
+def _int_div(a, b):
+    if b == 0:
+        raise PrologError("arithmetic: division by zero")
+    return int(a / b) if (a < 0) != (b < 0) and a % b != 0 else a // b
+
+
+def _div(a, b):
+    if b == 0:
+        raise PrologError("arithmetic: division by zero")
+    return a // b if a % b == 0 else a / b
+
+
+_BINARY_ARITH = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "//": _int_div,
+    "/": _div,
+    "mod": lambda a, b: a % b if b else _raise_zero(),
+    "rem": lambda a, b: int(a - _int_div(a, b) * b),
+    "min": min,
+    "max": max,
+    "<<": lambda a, b: a << b,
+    ">>": lambda a, b: a >> b,
+    "/\\": lambda a, b: a & b,
+    "\\/": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "**": lambda a, b: a**b,
+    "^": lambda a, b: a**b,
+    "gcd": lambda a, b: __import__("math").gcd(a, b),
+}
+
+_UNARY_ARITH = {
+    "-": lambda a: -a,
+    "+": lambda a: a,
+    "abs": abs,
+    "sign": lambda a: (a > 0) - (a < 0),
+    "\\": lambda a: ~a,
+}
+
+
+def _raise_zero():
+    raise PrologError("arithmetic: division by zero")
+
+
+# ----------------------------------------------------------------------
+# Standard order of terms
+
+
+def _order_key(term: Term, subst: Subst):
+    term = subst.walk(term)
+    if isinstance(term, Var):
+        return (0, term.id)
+    if isinstance(term, int):
+        return (1, term)
+    if isinstance(term, str):
+        return (2, term)
+    return (3, term.arity, term.functor, tuple(_order_key(a, subst) for a in term.args))
+
+
+def term_compare(t1: Term, t2: Term, subst: Subst) -> int:
+    k1, k2 = _order_key(t1, subst), _order_key(t2, subst)
+    return -1 if k1 < k2 else (1 if k1 > k2 else 0)
+
+
+# ----------------------------------------------------------------------
+# Deterministic builtins
+
+
+def _bi_unify(args, subst):
+    return unify(args[0], args[1], subst)
+
+
+def _bi_not_unify(args, subst):
+    return None if unify(args[0], args[1], subst) is not None else subst
+
+
+def _bi_struct_eq(args, subst):
+    return subst if subst.resolve(args[0]) == subst.resolve(args[1]) else None
+
+
+def _bi_struct_ne(args, subst):
+    return subst if subst.resolve(args[0]) != subst.resolve(args[1]) else None
+
+
+def _bi_is(args, subst):
+    value = eval_arith(args[1], subst)
+    if isinstance(value, float) and value.is_integer():
+        value = int(value)
+    if not isinstance(value, int):
+        raise PrologError("arithmetic: non-integer result unsupported")
+    return unify(args[0], value, subst)
+
+
+def _arith_cmp(op):
+    def bi(args, subst):
+        a = eval_arith(args[0], subst)
+        b = eval_arith(args[1], subst)
+        return subst if op(a, b) else None
+
+    return bi
+
+
+def _order_cmp(op):
+    def bi(args, subst):
+        return subst if op(term_compare(args[0], args[1], subst), 0) else None
+
+    return bi
+
+
+def _type_test(test):
+    def bi(args, subst):
+        return subst if test(subst.walk(args[0])) else None
+
+    return bi
+
+
+def _bi_functor(args, subst):
+    term = subst.walk(args[0])
+    if isinstance(term, Var):
+        name = subst.walk(args[1])
+        arity = subst.walk(args[2])
+        if isinstance(arity, Var) or not isinstance(arity, int):
+            raise PrologError("functor/3: arity not an integer")
+        if arity == 0:
+            return unify(term, name, subst)
+        if not isinstance(name, str):
+            raise PrologError("functor/3: name not an atom")
+        fresh = Struct(name, tuple(fresh_var() for _ in range(arity)))
+        return unify(term, fresh, subst)
+    if isinstance(term, Struct):
+        subst2 = unify(args[1], term.functor, subst)
+        return unify(args[2], term.arity, subst2) if subst2 is not None else None
+    subst2 = unify(args[1], term, subst)
+    return unify(args[2], 0, subst2) if subst2 is not None else None
+
+
+def _bi_arg(args, subst):
+    index = subst.walk(args[0])
+    term = subst.walk(args[1])
+    if not isinstance(index, int) or not isinstance(term, Struct):
+        raise PrologError("arg/3: bad arguments")
+    if 1 <= index <= term.arity:
+        return unify(args[2], term.args[index - 1], subst)
+    return None
+
+
+def _bi_univ(args, subst):
+    term = subst.walk(args[0])
+    if isinstance(term, Struct):
+        return unify(args[1], make_list([term.functor, *term.args]), subst)
+    if not isinstance(term, Var):
+        return unify(args[1], make_list([term]), subst)
+    elements, tail = list_elements(subst.resolve(args[1]))
+    if tail != "[]" or not elements:
+        raise PrologError("=../2: right side not a proper list")
+    name = elements[0]
+    if len(elements) == 1:
+        return unify(term, name, subst)
+    if not isinstance(name, str):
+        raise PrologError("=../2: functor not an atom")
+    return unify(term, Struct(name, tuple(elements[1:])), subst)
+
+
+def _bi_copy_term(args, subst):
+    copy = rename_apart(subst.resolve(args[0]))
+    return unify(args[1], copy, subst)
+
+
+def _bi_length(args, subst):
+    term = subst.walk(args[0])
+    elements, tail = list_elements(subst.resolve(term))
+    if tail == "[]":
+        return unify(args[1], len(elements), subst)
+    length = subst.walk(args[1])
+    if isinstance(length, int):
+        if length < len(elements):
+            return None
+        extension = make_list([fresh_var() for _ in range(length - len(elements))])
+        return unify(tail, extension, subst)
+    raise PrologError("length/2: insufficiently instantiated")
+
+
+def _bi_atom_codes(args, subst):
+    atom = subst.walk(args[0])
+    if isinstance(atom, str):
+        return unify(args[1], make_list([ord(c) for c in atom]), subst)
+    if isinstance(atom, int):
+        return unify(args[1], make_list([ord(c) for c in str(atom)]), subst)
+    elements, tail = list_elements(subst.resolve(args[1]))
+    if tail != "[]":
+        raise PrologError("atom_codes/2: insufficiently instantiated")
+    text = "".join(chr(c) for c in elements if isinstance(c, int))
+    return unify(atom, text, subst)
+
+
+def _bi_number_codes(args, subst):
+    number = subst.walk(args[0])
+    if isinstance(number, int):
+        return unify(args[1], make_list([ord(c) for c in str(number)]), subst)
+    elements, tail = list_elements(subst.resolve(args[1]))
+    if tail != "[]":
+        raise PrologError("number_codes/2: insufficiently instantiated")
+    text = "".join(chr(c) for c in elements if isinstance(c, int))
+    try:
+        return unify(number, int(text), subst)
+    except ValueError:
+        raise PrologError(f"number_codes/2: not a number {text!r}") from None
+
+
+def _bi_noop(args, subst):
+    return subst
+
+
+def _is_proper_list(term, subst):
+    while True:
+        term = subst.walk(term)
+        if term == "[]":
+            return True
+        if not (isinstance(term, Struct) and term.functor == "." and term.arity == 2):
+            return False
+        term = term.args[1]
+
+
+DET_BUILTINS = {
+    ("=", 2): _bi_unify,
+    ("\\=", 2): _bi_not_unify,
+    ("==", 2): _bi_struct_eq,
+    ("\\==", 2): _bi_struct_ne,
+    ("is", 2): _bi_is,
+    ("<", 2): _arith_cmp(lambda a, b: a < b),
+    (">", 2): _arith_cmp(lambda a, b: a > b),
+    ("=<", 2): _arith_cmp(lambda a, b: a <= b),
+    (">=", 2): _arith_cmp(lambda a, b: a >= b),
+    ("=:=", 2): _arith_cmp(lambda a, b: a == b),
+    ("=\\=", 2): _arith_cmp(lambda a, b: a != b),
+    ("@<", 2): _order_cmp(lambda c, z: c < z),
+    ("@>", 2): _order_cmp(lambda c, z: c > z),
+    ("@=<", 2): _order_cmp(lambda c, z: c <= z),
+    ("@>=", 2): _order_cmp(lambda c, z: c >= z),
+    ("var", 1): _type_test(lambda t: isinstance(t, Var)),
+    ("nonvar", 1): _type_test(lambda t: not isinstance(t, Var)),
+    ("atom", 1): _type_test(lambda t: isinstance(t, str)),
+    ("number", 1): _type_test(lambda t: isinstance(t, int)),
+    ("integer", 1): _type_test(lambda t: isinstance(t, int)),
+    ("atomic", 1): _type_test(lambda t: isinstance(t, (str, int))),
+    ("compound", 1): _type_test(lambda t: isinstance(t, Struct)),
+    ("callable", 1): _type_test(lambda t: isinstance(t, (str, Struct))),
+    ("functor", 3): _bi_functor,
+    ("arg", 3): _bi_arg,
+    ("=..", 2): _bi_univ,
+    ("copy_term", 2): _bi_copy_term,
+    ("length", 2): _bi_length,
+    ("atom_codes", 2): _bi_atom_codes,
+    ("name", 2): _bi_atom_codes,
+    ("number_codes", 2): _bi_number_codes,
+    # Output builtins are no-ops: analysis never runs them for effect.
+    ("write", 1): _bi_noop,
+    ("print", 1): _bi_noop,
+    ("writeln", 1): _bi_noop,
+    ("nl", 0): _bi_noop,
+    ("tab", 1): _bi_noop,
+    ("put", 1): _bi_noop,
+}
+
+
+# ----------------------------------------------------------------------
+# Nondeterministic builtins
+
+
+def _bi_between(args, subst):
+    low = subst.walk(args[0])
+    high = subst.walk(args[1])
+    if not isinstance(low, int) or not isinstance(high, int):
+        raise PrologError("between/3: bounds must be integers")
+    for value in range(low, high + 1):
+        extended = unify(args[2], value, subst)
+        if extended is not None:
+            yield extended
+
+
+def _bi_member(args, subst):
+    """member/2 provided natively: ubiquitous in the benchmark suite."""
+    target = args[0]
+    rest = args[1]
+    while True:
+        rest = subst.walk(rest)
+        if isinstance(rest, Struct) and rest.functor == "." and rest.arity == 2:
+            extended = unify(target, rest.args[0], subst)
+            if extended is not None:
+                yield extended
+            rest = rest.args[1]
+        else:
+            return
+
+
+NONDET_BUILTINS = {
+    ("between", 3): _bi_between,
+    ("member", 2): _bi_member,
+}
+
+CONTROL = {
+    (",", 2),
+    (";", 2),
+    ("->", 2),
+    ("\\+", 1),
+    ("not", 1),
+    ("!", 0),
+    ("true", 0),
+    ("fail", 0),
+    ("false", 0),
+    ("call", 1),
+    ("otherwise", 0),
+}
+
+
+def is_builtin(indicator) -> bool:
+    return (
+        indicator in DET_BUILTINS
+        or indicator in NONDET_BUILTINS
+        or indicator in CONTROL
+    )

@@ -1,0 +1,288 @@
+"""Clause database: dynamic (interpreted) vs compiled clause access.
+
+This module realises the preprocessing trade-off at the centre of the
+paper's Section 4: analysis rules may be loaded as *dynamic* code
+(XSB ``assert``: cheap to load, resolved by generic renaming +
+unification) or *fully compiled* (XSB compilation to WAM code: expensive
+to prepare, faster to resolve).  Our "compilation" builds, per clause:
+
+* a variable-numbered template whose instantiation shares ground
+  subterms instead of copying them, and
+* a first-argument index for clause selection.
+
+Both modes expose the same interface: :meth:`ClauseDB.resolve` yields
+``(body_goal, new_subst)`` pairs for a goal.
+"""
+
+from __future__ import annotations
+
+from repro.prolog.parser import Clause
+from repro.prolog.program import Indicator, Program
+from repro.terms.subst import Subst
+from repro.terms.term import Struct, Term, Var, fresh_var
+from repro.terms.unify import unify
+
+
+class _Slot:
+    """A numbered variable placeholder inside a compiled template."""
+
+    __slots__ = ("index",)
+
+    def __init__(self, index: int):
+        self.index = index
+
+    def __repr__(self) -> str:
+        return f"_Slot({self.index})"
+
+
+class CompiledClause:
+    """A clause preprocessed for fast resolution."""
+
+    __slots__ = ("head_template", "body_template", "nvars", "index_key", "source")
+
+    def __init__(self, clause: Clause):
+        self.source = clause
+        numbering: dict[int, _Slot] = {}
+        self.head_template = _compile_term(clause.head, numbering)
+        self.body_template = _compile_term(clause.body, numbering)
+        self.nvars = len(numbering)
+        self.index_key = _index_key_of_head(clause.head)
+
+    def instantiate(self) -> tuple[Term, Term]:
+        """A fresh (head, body) copy sharing all ground subterms."""
+        fresh = [fresh_var() for _ in range(self.nvars)]
+        return (
+            _instantiate(self.head_template, fresh),
+            _instantiate(self.body_template, fresh),
+        )
+
+
+class _Tmpl:
+    """A compound template node containing at least one slot below it."""
+
+    __slots__ = ("functor", "args")
+
+    def __init__(self, functor: str, args: tuple):
+        self.functor = functor
+        self.args = args
+
+
+def _compile_term(term: Term, numbering: dict[int, _Slot]):
+    if isinstance(term, Var):
+        slot = numbering.get(term.id)
+        if slot is None:
+            slot = _Slot(len(numbering))
+            numbering[term.id] = slot
+        return slot
+    if isinstance(term, Struct):
+        args = tuple(_compile_term(a, numbering) for a in term.args)
+        if all(a is b for a, b in zip(args, term.args)):
+            return term  # fully ground subterm: share the original object
+        return _Tmpl(term.functor, args)
+    return term
+
+
+def _instantiate(template, fresh: list[Var]) -> Term:
+    if isinstance(template, _Slot):
+        return fresh[template.index]
+    if isinstance(template, _Tmpl):
+        return Struct(
+            template.functor, tuple(_instantiate(a, fresh) for a in template.args)
+        )
+    return template
+
+
+def _index_key_of_head(head: Term):
+    """First-argument index key: constant, functor indicator, or None (var)."""
+    if not isinstance(head, Struct):
+        return ()
+    first = head.args[0]
+    if isinstance(first, Var):
+        return None
+    if isinstance(first, Struct):
+        return ("s", first.functor, len(first.args))
+    return ("c", first)
+
+
+def _index_key_of_goal(goal: Term, subst: Subst):
+    if not isinstance(goal, Struct):
+        return ()
+    first = subst.walk(goal.args[0])
+    if isinstance(first, Var):
+        return None
+    if isinstance(first, Struct):
+        return ("s", first.functor, len(first.args))
+    return ("c", first)
+
+
+class ClauseDB:
+    """Predicate-indexed clause storage with a resolve step.
+
+    ``compiled=False`` is the dynamic-code path: clauses are stored as
+    parsed and renamed apart with a generic term walk on every
+    resolution.  ``compiled=True`` preprocesses every clause
+    (:class:`CompiledClause`) and builds first-argument indexes.
+    """
+
+    #: fact relations at least this large get per-argument indexes
+    FACT_INDEX_THRESHOLD = 8
+
+    def __init__(self, program: Program, compiled: bool = False):
+        self.program = program
+        self.compiled = compiled
+        self.clauses: dict[Indicator, list] = {}
+        self.indexes: dict[Indicator, dict] = {}
+        self.fact_indexes: dict[Indicator, "_FactIndex"] = {}
+        for indicator in program.predicates():
+            group = program.clauses_for(indicator)
+            if compiled:
+                records = [CompiledClause(c) for c in group]
+                self.clauses[indicator] = records
+                self.indexes[indicator] = _build_index(records)
+            else:
+                self.clauses[indicator] = list(group)
+            if len(group) >= self.FACT_INDEX_THRESHOLD and all(
+                c.is_fact() for c in group
+            ):
+                self.fact_indexes[indicator] = _FactIndex(
+                    [c.head for c in group], self.clauses[indicator]
+                )
+
+    def defines(self, indicator: Indicator) -> bool:
+        return indicator in self.clauses
+
+    def is_tabled(self, indicator: Indicator) -> bool:
+        return self.program.is_tabled(indicator)
+
+    def candidates(self, indicator: Indicator, goal: Term, subst: Subst) -> list:
+        """Clauses possibly matching ``goal``, via the available indexes.
+
+        Large all-fact relations use per-argument indexes (any bound
+        argument position prunes); compiled clauses use the
+        first-argument index; dynamic code falls back to a scan.
+        """
+        group = self.clauses.get(indicator)
+        if group is None:
+            return []
+        fact_index = self.fact_indexes.get(indicator)
+        if fact_index is not None and isinstance(goal, Struct):
+            narrowed = fact_index.candidates(goal, subst)
+            if narrowed is not None:
+                return narrowed
+        if not self.compiled:
+            return group
+        key = _index_key_of_goal(goal, subst)
+        if key is None or key == ():
+            return group
+        index = self.indexes[indicator]
+        return index.get(key, index.get(None, _EMPTY))
+
+    def resolve(self, indicator: Indicator, goal: Term, subst: Subst):
+        """Yield ``(body, new_subst)`` for each clause unifying with goal."""
+        for record in self.candidates(indicator, goal, subst):
+            head, body = self.rename(record)
+            extended = unify(goal, head, subst)
+            if extended is not None:
+                yield body, extended
+
+    def rename(self, record) -> tuple[Term, Term]:
+        """A standardized-apart (head, body) copy of a clause record."""
+        if self.compiled:
+            return record.instantiate()
+        ground = getattr(record, "ground_fact", None)
+        if ground is None:
+            from repro.terms.term import term_variables
+
+            ground = record.is_fact() and not term_variables(record.head)
+            record.ground_fact = ground
+        if ground:
+            return record.head, record.body
+        from repro.terms.variant import rename_apart
+
+        renamed = rename_apart(Struct(":-", (record.head, record.body)))
+        return renamed.args[0], renamed.args[1]
+
+
+_EMPTY: list = []
+
+
+class _FactIndex:
+    """Per-argument-position index over an all-fact relation.
+
+    For each argument position, facts are bucketed by the constant (or
+    principal functor) at that position; facts with a variable there go
+    in every lookup's result.  ``candidates`` picks the most selective
+    bound position of the goal — this is what keeps the enumerative
+    truth-table representation (``iff$k``, ``pm$c``) cheap to join
+    against, the role the underlying engine's indexing plays in XSB.
+    """
+
+    __slots__ = ("arity", "buckets", "wildcards", "records")
+
+    def __init__(self, heads: list, records: list):
+        first = heads[0]
+        self.arity = first.arity if isinstance(first, Struct) else 0
+        self.records = records
+        self.buckets: list[dict] = [{} for _ in range(self.arity)]
+        self.wildcards: list[list] = [[] for _ in range(self.arity)]
+        for head, record in zip(heads, records):
+            for position in range(self.arity):
+                arg = head.args[position]
+                if isinstance(arg, Var):
+                    self.wildcards[position].append(record)
+                else:
+                    key = _value_key(arg)
+                    self.buckets[position].setdefault(key, []).append(record)
+
+    def candidates(self, goal: Struct, subst: Subst):
+        """Most selective candidate list, or None if no arg is bound."""
+        best = None
+        best_size = None
+        for position in range(self.arity):
+            arg = subst.walk(goal.args[position])
+            if isinstance(arg, Var):
+                continue
+            bucket = self.buckets[position].get(_value_key(arg), _EMPTY)
+            size = len(bucket) + len(self.wildcards[position])
+            if best_size is None or size < best_size:
+                best_size = size
+                best = (position, bucket)
+                if size == 0:
+                    break
+        if best is None:
+            return None
+        position, bucket = best
+        wildcards = self.wildcards[position]
+        if not wildcards:
+            return bucket
+        if not bucket:
+            return wildcards
+        # merge preserving original order (both lists are order-sorted
+        # sublists of the fact list, and facts commute anyway)
+        return bucket + wildcards
+
+
+def _value_key(term: Term):
+    if isinstance(term, Struct):
+        return ("s", term.functor, term.arity)
+    return ("c", term)
+
+
+def _build_index(records: list[CompiledClause]) -> dict:
+    """Map index key -> clause sublist; var-headed clauses go everywhere.
+
+    ``None`` maps to the variable-first-argument clauses (always
+    candidates); concrete keys map to matching clauses *plus* the
+    variable ones, preserving source order.
+    """
+    index: dict = {None: []}
+    keys = {r.index_key for r in records if r.index_key not in (None, ())}
+    for key in keys:
+        index[key] = []
+    for record in records:
+        if record.index_key in (None, ()):
+            for bucket in index.values():
+                bucket.append(record)
+        else:
+            index[record.index_key].append(record)
+    return index

@@ -1,0 +1,485 @@
+"""Tabled (OLDT/SLG-style) evaluation — the XSB stand-in.
+
+At a high level (paper section 2): subgoals of *tabled* predicates and
+their provable instances are recorded in a table.  A tabled subgoal
+already present (up to variance) is resolved against the recorded
+answers; a new subgoal is entered into the table and its answers,
+produced by program-clause resolution, are entered as they are derived.
+Nontabled predicates use ordinary clause resolution.
+
+The machine here is task-based: every node of the OLDT forest is an
+explicit task ``(goals, subst, context)``.  Encountering a tabled call
+registers a *consumer* continuation on the call's table; new answers
+wake consumers.  For definite programs over finite domains the task
+pool drains and evaluation is complete — exactly the fixed-point
+guarantee the paper relies on.
+
+Engine options reproduce the paper's discussion points:
+
+* ``scheduling`` — ``"lifo"`` (depth-biased, local-style) or ``"fifo"``
+  (breadth-first, section 6.2's aggregation-friendly strategy);
+* ``call_abstraction`` / ``answer_abstraction`` — hooks used by the
+  depth-k analysis (section 5) and by widening (section 6.1);
+* ``answer_join`` — in-table widening: may replace the recorded answer
+  set when a new answer arrives (section 6.1);
+* ``subsumption`` / ``open_calls`` — forward subsumption and the
+  open-call strategy for bottom-up-style analyses (section 6.2);
+* ``cut`` — ``"ignore"`` treats ``!`` as ``true`` (sound for the
+  over-approximating analyses here), ``"error"`` rejects it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.engine.builtins import (
+    DET_BUILTINS,
+    NONDET_BUILTINS,
+    PrologError,
+)
+from repro.engine.clausedb import ClauseDB
+from repro.prolog.program import Program
+from repro.terms.subst import EMPTY_SUBST, Subst
+from repro.terms.term import Struct, Term, Var, term_to_str
+from repro.terms.unify import match, unify
+from repro.terms.variant import canonical, rename_apart, variant_key
+
+
+class TableStats:
+    """Counters describing one evaluation run."""
+
+    def __init__(self):
+        self.tasks = 0
+        self.calls = 0
+        self.answers = 0
+        self.duplicate_answers = 0
+        self.resumptions = 0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{k}={v}" for k, v in self.__dict__.items())
+        return f"TableStats({parts})"
+
+
+class Table:
+    """One call-table entry: the canonical call, its answers, consumers."""
+
+    __slots__ = (
+        "call",
+        "key",
+        "answers",
+        "answer_keys",
+        "consumers",
+        "complete",
+        "ground_call",
+        "satisfied",
+    )
+
+    def __init__(self, call: Term, key):
+        self.call = call
+        self.key = key
+        self.answers: list[Term] = []
+        self.answer_keys: set = set()
+        self.consumers: list[_Consumer] = []
+        self.complete = False
+        self.ground_call = False
+        self.satisfied = False
+
+    def indicator(self):
+        if isinstance(self.call, Struct):
+            return self.call.indicator
+        return (self.call, 0)
+
+
+class _Consumer:
+    """A derivation suspended on a table, waiting for (more) answers."""
+
+    __slots__ = ("call_instance", "goals", "subst", "context", "next_answer")
+
+    def __init__(self, call_instance, goals, subst, context):
+        self.call_instance = call_instance
+        self.goals = goals
+        self.subst = subst
+        self.context = context
+        self.next_answer = 0
+
+
+class _Context:
+    """Where a finished derivation delivers its answer."""
+
+    __slots__ = ("table", "template", "sink")
+
+    def __init__(self, table: Table | None, template: Term, sink=None):
+        self.table = table
+        self.template = template
+        self.sink = sink  # top-level query collector
+
+
+class TabledEngine:
+    """Complete tabled evaluation over a :class:`ClauseDB`.
+
+    Tables persist across :meth:`solve` calls (an XSB session style);
+    use a fresh engine for independent runs.
+    """
+
+    def __init__(
+        self,
+        program: Program | ClauseDB,
+        compiled: bool = False,
+        scheduling: str = "lifo",
+        call_abstraction=None,
+        answer_abstraction=None,
+        answer_join=None,
+        subsumption: bool = False,
+        open_calls: bool = False,
+        cut: str = "ignore",
+        max_tasks: int | None = None,
+        table_all: bool = False,
+        feed_unify=None,
+        answer_subsumption: bool = False,
+        early_completion: bool = False,
+    ):
+        if isinstance(program, ClauseDB):
+            self.db = program
+        else:
+            prepared = getattr(program, "prepared_db", None)
+            self.db = prepared if prepared is not None else ClauseDB(program, compiled)
+        if scheduling not in ("lifo", "fifo"):
+            raise ValueError(f"unknown scheduling strategy {scheduling!r}")
+        self.scheduling = scheduling
+        self.call_abstraction = call_abstraction
+        self.answer_abstraction = answer_abstraction
+        self.answer_join = answer_join
+        self.subsumption = subsumption or open_calls
+        self.open_calls = open_calls
+        self.cut = cut
+        self.max_tasks = max_tasks
+        self.table_all = table_all
+        self.feed_unify = feed_unify if feed_unify is not None else unify
+        self.answer_subsumption = answer_subsumption
+        self.early_completion = early_completion
+        self.tables: dict = {}
+        self.tables_by_pred: dict = {}
+        self.stats = TableStats()
+        self._worklist: deque = deque()
+
+    # ------------------------------------------------------------------
+    # Public interface
+
+    def solve(self, goal: Term) -> list[Term]:
+        """Evaluate ``goal`` to completion; return its answer instances.
+
+        ``goal`` may be any body goal (conjunctions and disjunctions
+        included).  All tables touched by the evaluation are complete
+        when this returns.
+        """
+        results: list[Term] = []
+        seen: set = set()
+
+        def sink(term: Term):
+            key = variant_key(term)
+            if key not in seen:
+                seen.add(key)
+                results.append(term)
+
+        context = _Context(None, goal, sink)
+        self._push_task((goal, None), EMPTY_SUBST, context)
+        self._run()
+        return results
+
+    def table_for(self, goal: Term) -> Table | None:
+        """The table entry whose call is a variant of ``goal``, if any."""
+        return self.tables.get(variant_key(goal))
+
+    def all_tables(self) -> list[Table]:
+        return list(self.tables.values())
+
+    def table_space_bytes(self) -> int:
+        """Printed-size proxy for XSB's table space metric.
+
+        Bytes of the canonically printed calls and answers across all
+        tables (documented substitute for XSB's internal byte counts).
+        """
+        total = 0
+        for table in self.tables.values():
+            total += len(term_to_str(table.call)) + 16
+            for answer in table.answers:
+                total += len(term_to_str(answer)) + 8
+        return total
+
+    # ------------------------------------------------------------------
+    # Scheduler
+
+    def _push_task(self, goals, subst: Subst, context: _Context):
+        self._worklist.append(("task", goals, subst, context))
+
+    def _push_consume(self, consumer: _Consumer, table: Table):
+        self._worklist.append(("consume", consumer, table))
+
+    def _run(self):
+        pop = self._worklist.pop if self.scheduling == "lifo" else self._worklist.popleft
+        while self._worklist:
+            item = pop()
+            if item[0] == "task":
+                _, goals, subst, context = item
+                if (
+                    context.table is not None
+                    and context.table.satisfied
+                ):
+                    continue  # early completion: ground call already answered
+                self.stats.tasks += 1
+                if self.max_tasks is not None and self.stats.tasks > self.max_tasks:
+                    raise PrologError(f"exceeded task budget {self.max_tasks}")
+                self._step(goals, subst, context)
+            else:
+                _, consumer, table = item
+                self._feed_consumer(consumer, table)
+        for table in self.tables.values():
+            table.complete = True
+
+    # ------------------------------------------------------------------
+    # One resolution step of a task
+
+    def _step(self, goals, subst: Subst, context: _Context):
+        while True:
+            if goals is None:
+                self._deliver_answer(subst, context)
+                return
+            goal, rest = goals
+            goal = subst.walk(goal)
+
+            if isinstance(goal, Var):
+                raise PrologError("call: unbound goal")
+            indicator = goal.indicator if isinstance(goal, Struct) else (goal, 0)
+            name, arity = indicator
+
+            # -- control ---------------------------------------------------
+            if arity == 0:
+                if name == "true" or name == "otherwise":
+                    goals = rest
+                    continue
+                if name == "fail" or name == "false":
+                    return
+                if name == "!":
+                    if self.cut == "error":
+                        raise PrologError("cut is not supported under tabling")
+                    goals = rest  # sound: ignoring cut over-approximates
+                    continue
+            if name == "," and arity == 2:
+                goals = (goal.args[0], (goal.args[1], rest))
+                continue
+            if name == ";" and arity == 2:
+                left, right = goal.args
+                walked = subst.walk(left)
+                if isinstance(walked, Struct) and walked.indicator == ("->", 2):
+                    # Logical (complete) reading: (C,T) ; (\+C, E).
+                    cond, then = walked.args
+                    self._push_task((cond, (then, rest)), subst, context)
+                    neg = Struct("\\+", (cond,))
+                    self._push_task((neg, (right, rest)), subst, context)
+                    return
+                self._push_task((left, rest), subst, context)
+                goals = (right, rest)
+                continue
+            if name == "->" and arity == 2:
+                goals = (goal.args[0], (goal.args[1], rest))
+                continue
+            if (name == "\\+" or name == "not") and arity == 1:
+                if self._nested_holds(goal.args[0], subst):
+                    return
+                goals = rest
+                continue
+            if name == "call" and arity >= 1:
+                target = subst.walk(goal.args[0])
+                if arity > 1:
+                    target = _add_args(target, goal.args[1:])
+                goals = (target, rest)
+                continue
+
+            # -- user predicates (tabled or not) ----------------------------
+            if self.db.defines(indicator):
+                if self.table_all or self.db.is_tabled(indicator):
+                    self._tabled_call(goal, rest, subst, context)
+                    return
+                first = True
+                for body, extended in self.db.resolve(indicator, goal, subst):
+                    if first:
+                        # continue this task in-place for the first clause
+                        first_state = (body, extended)
+                        first = False
+                    else:
+                        self._push_task((body, rest), extended, context)
+                if first:
+                    return
+                body, extended = first_state
+                goals, subst = (body, rest), extended
+                continue
+
+            # -- builtins ---------------------------------------------------
+            det = DET_BUILTINS.get(indicator)
+            if det is not None:
+                args = goal.args if isinstance(goal, Struct) else ()
+                extended = det(args, subst)
+                if extended is None:
+                    return
+                goals, subst = rest, extended
+                continue
+            nondet = NONDET_BUILTINS.get(indicator)
+            if nondet is not None:
+                args = goal.args if isinstance(goal, Struct) else ()
+                for extended in nondet(args, subst):
+                    self._push_task(rest, extended, context)
+                return
+
+            raise PrologError(f"undefined predicate {name}/{arity}")
+
+    # ------------------------------------------------------------------
+    # Tabled call machinery
+
+    def _tabled_call(self, goal: Term, rest, subst: Subst, context: _Context):
+        instance = subst.resolve(goal)
+        lookup = instance
+        if self.call_abstraction is not None:
+            lookup = self.call_abstraction(instance)
+        key = variant_key(lookup)
+        table = self.tables.get(key)
+        if table is None and self.subsumption:
+            table = self._find_subsuming(lookup)
+        if table is None and self.open_calls:
+            table = self._get_or_create_open(lookup)
+        if table is None:
+            table = self._create_table(lookup, key)
+        consumer = _Consumer(instance, rest, subst, context)
+        table.consumers.append(consumer)
+        self._push_consume(consumer, table)
+
+    def _create_table(self, call: Term, key) -> Table:
+        from repro.terms.term import term_variables
+
+        call = canonical(call)
+        table = Table(call, key)
+        table.ground_call = not term_variables(call)
+        self.tables[key] = table
+        self.tables_by_pred.setdefault(table.indicator(), []).append(table)
+        self.stats.calls += 1
+        # schedule generators: clause resolution for the tabled call
+        context = _Context(table, call)
+        indicator = table.indicator()
+        for body, extended in self.db.resolve(indicator, call, EMPTY_SUBST):
+            self._push_task((body, None), extended, context)
+        return table
+
+    def _find_subsuming(self, call: Term) -> Table | None:
+        indicator = call.indicator if isinstance(call, Struct) else (call, 0)
+        for table in self.tables_by_pred.get(indicator, ()):
+            if match(rename_apart(table.call), call, EMPTY_SUBST) is not None:
+                return table
+        return None
+
+    def _get_or_create_open(self, call: Term) -> Table:
+        from repro.terms.term import fresh_var
+
+        if isinstance(call, Struct):
+            open_call = Struct(call.functor, tuple(fresh_var() for _ in call.args))
+        else:
+            open_call = call
+        key = variant_key(open_call)
+        table = self.tables.get(key)
+        if table is None:
+            table = self._create_table(open_call, key)
+        return table
+
+    def _deliver_answer(self, subst: Subst, context: _Context):
+        answer = canonical(context.template, subst)
+        if context.sink is not None:
+            context.sink(answer)
+            return
+        table = context.table
+        if self.answer_abstraction is not None:
+            answer = canonical(self.answer_abstraction(answer))
+        if self.answer_join is not None:
+            self._join_answer(table, answer)
+            return
+        self._add_answer(table, answer)
+
+    def _add_answer(self, table: Table, answer: Term) -> bool:
+        key = variant_key(answer)
+        if key in table.answer_keys:
+            self.stats.duplicate_answers += 1
+            return False
+        if self.answer_subsumption:
+            for existing in table.answers:
+                if match(rename_apart(existing), answer, EMPTY_SUBST) is not None:
+                    self.stats.duplicate_answers += 1
+                    return False
+        table.answer_keys.add(key)
+        table.answers.append(answer)
+        self.stats.answers += 1
+        if self.early_completion and table.ground_call:
+            table.satisfied = True
+        for consumer in table.consumers:
+            self._push_consume(consumer, table)
+        return True
+
+    def _join_answer(self, table: Table, answer: Term):
+        """Widening path: let the join hook replace the answer set."""
+        replacement = self.answer_join(list(table.answers), answer)
+        if replacement is None:
+            self._add_answer(table, answer)
+            return
+        for new_answer in replacement:
+            self._add_answer(table, canonical(new_answer))
+
+    def _feed_consumer(self, consumer: _Consumer, table: Table):
+        answers = table.answers
+        while consumer.next_answer < len(answers):
+            answer = answers[consumer.next_answer]
+            consumer.next_answer += 1
+            extended = self.feed_unify(
+                consumer.call_instance, rename_apart(answer), consumer.subst
+            )
+            if extended is not None:
+                self.stats.resumptions += 1
+                self._push_task(consumer.goals, extended, consumer.context)
+
+    def _nested_holds(self, goal: Term, subst: Subst) -> bool:
+        """Negation as failure via a nested, independent evaluation.
+
+        Sound for stratified uses: the negated subgoal must not depend
+        on tables currently under computation.  Fact-defined and
+        builtin subgoals take a direct fast path (no nested engine).
+        """
+        walked = subst.walk(goal)
+        indicator = (
+            walked.indicator if isinstance(walked, Struct) else (walked, 0)
+        )
+        if isinstance(walked, (Struct, str)):
+            records = self.db.clauses.get(indicator)
+            if records is not None and all(
+                getattr(r, "source", r).is_fact() for r in records
+            ):
+                for _body, _s in self.db.resolve(indicator, walked, subst):
+                    return True
+                return False
+            det = DET_BUILTINS.get(indicator)
+            if det is not None and records is None:
+                args = walked.args if isinstance(walked, Struct) else ()
+                return det(args, subst) is not None
+        nested = TabledEngine(
+            self.db,
+            scheduling=self.scheduling,
+            cut=self.cut,
+            max_tasks=self.max_tasks,
+            table_all=self.table_all,
+        )
+        return bool(nested.solve(subst.resolve(goal)))
+
+
+def _add_args(target: Term, extra: tuple) -> Term:
+    if isinstance(target, str):
+        return Struct(target, tuple(extra))
+    if isinstance(target, Struct):
+        return Struct(target.functor, target.args + tuple(extra))
+    raise PrologError("call/N: not callable")

@@ -1,0 +1,66 @@
+"""A small lazy first-order functional language (the EQUALS stand-in).
+
+Programs are sets of equations in a Haskell-like first-order style::
+
+    ap(Nil, ys) = ys.
+    ap(Cons(x, xs), ys) = Cons(x, ap(xs, ys)).
+    fib(n) = if(n < 2, n, fib(n - 1) + fib(n - 2)).
+
+Identifiers starting with an upper-case letter are constructors;
+lower-case identifiers are variables (in patterns) or functions (when
+applied / defined).  ``if/3`` is a library function over the ``True`` /
+``False`` constructors, injected automatically when used.  Equations
+end with ``.``.
+
+The language is the substrate of the strictness analysis (paper
+section 3.2): :mod:`repro.core.strictness` compiles these equations
+into demand-propagation logic programs.  The lazy interpreter here
+(call-by-need with an observable bottom) is used by the test suite to
+*validate* strictness claims against actual divergence behaviour.
+"""
+
+from repro.funlang.ast import (
+    Equation,
+    FunProgram,
+    Pat,
+    PVar,
+    PCons,
+    PLit,
+    Expr,
+    EVar,
+    ELit,
+    ECall,
+    ECons,
+    EPrim,
+    EBottom,
+)
+from repro.funlang.parser import parse_fun_program, parse_expr, FunSyntaxError
+from repro.funlang.interp import (
+    LazyInterpreter,
+    Divergence,
+    FuelExhausted,
+    BOTTOM,
+)
+
+__all__ = [
+    "Equation",
+    "FunProgram",
+    "Pat",
+    "PVar",
+    "PCons",
+    "PLit",
+    "Expr",
+    "EVar",
+    "ELit",
+    "ECall",
+    "ECons",
+    "EPrim",
+    "EBottom",
+    "parse_fun_program",
+    "parse_expr",
+    "FunSyntaxError",
+    "LazyInterpreter",
+    "Divergence",
+    "FuelExhausted",
+    "BOTTOM",
+]

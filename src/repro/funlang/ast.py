@@ -1,0 +1,207 @@
+"""Abstract syntax for the lazy functional language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+# ----------------------------------------------------------------------
+# Patterns
+
+
+@dataclass(frozen=True)
+class PVar:
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class PCons:
+    cname: str
+    args: tuple
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.cname
+        return f"{self.cname}({', '.join(map(str, self.args))})"
+
+
+@dataclass(frozen=True)
+class PLit:
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+Pat = Union[PVar, PCons, PLit]
+
+
+def pattern_variables(pattern: Pat) -> list[str]:
+    """Variable names of a pattern, in left-to-right order."""
+    if isinstance(pattern, PVar):
+        return [pattern.name]
+    if isinstance(pattern, PCons):
+        out: list[str] = []
+        for sub in pattern.args:
+            out.extend(pattern_variables(sub))
+        return out
+    return []
+
+
+# ----------------------------------------------------------------------
+# Expressions
+
+
+@dataclass(frozen=True)
+class EVar:
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class ELit:
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class ECall:
+    fname: str
+    args: tuple
+
+    def __str__(self) -> str:
+        return f"{self.fname}({', '.join(map(str, self.args))})"
+
+
+@dataclass(frozen=True)
+class ECons:
+    cname: str
+    args: tuple
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.cname
+        return f"{self.cname}({', '.join(map(str, self.args))})"
+
+
+@dataclass(frozen=True)
+class EPrim:
+    """A strict primitive: arithmetic or comparison on integers."""
+
+    op: str
+    args: tuple
+
+    def __str__(self) -> str:
+        if len(self.args) == 2:
+            return f"({self.args[0]} {self.op} {self.args[1]})"
+        return f"{self.op}({', '.join(map(str, self.args))})"
+
+
+@dataclass(frozen=True)
+class EBottom:
+    """An explicitly divergent expression (used by strictness tests)."""
+
+    def __str__(self) -> str:
+        return "bottom"
+
+
+Expr = Union[EVar, ELit, ECall, ECons, EPrim, EBottom]
+
+
+def expr_variables(expr: Expr) -> list[str]:
+    """Variable names occurring in ``expr`` (with repetitions, in order)."""
+    if isinstance(expr, EVar):
+        return [expr.name]
+    if isinstance(expr, (ECall, ECons, EPrim)):
+        out: list[str] = []
+        for sub in expr.args:
+            out.extend(expr_variables(sub))
+        return out
+    return []
+
+
+# ----------------------------------------------------------------------
+# Equations and programs
+
+
+@dataclass
+class Equation:
+    fname: str
+    patterns: tuple
+    rhs: Expr
+    line: int = 0
+
+    @property
+    def arity(self) -> int:
+        return len(self.patterns)
+
+    def __str__(self) -> str:
+        args = ", ".join(map(str, self.patterns))
+        return f"{self.fname}({args}) = {self.rhs}."
+
+
+#: Comparison primitives return Bool constructors; arithmetic returns ints.
+PRIM_COMPARISONS = {"<", "<=", ">", ">=", "==", "/="}
+PRIM_ARITH = {"+", "-", "*", "div", "mod"}
+
+
+class FunProgram:
+    """Equations grouped by function, plus the constructor signature."""
+
+    def __init__(self):
+        self.equations: dict[tuple[str, int], list[Equation]] = {}
+        self.order: list[tuple[str, int]] = []
+        self.constructors: dict[str, int] = {}
+        self.source_lines = 0
+
+    def add(self, equation: Equation) -> None:
+        key = (equation.fname, equation.arity)
+        group = self.equations.get(key)
+        if group is None:
+            group = []
+            self.equations[key] = group
+            self.order.append(key)
+        group.append(equation)
+        for pattern in equation.patterns:
+            self._register_pattern(pattern)
+        self._register_expr(equation.rhs)
+
+    def _register_pattern(self, pattern: Pat) -> None:
+        if isinstance(pattern, PCons):
+            self._register_constructor(pattern.cname, len(pattern.args))
+            for sub in pattern.args:
+                self._register_pattern(sub)
+
+    def _register_expr(self, expr: Expr) -> None:
+        if isinstance(expr, ECons):
+            self._register_constructor(expr.cname, len(expr.args))
+        if isinstance(expr, (ECall, ECons, EPrim)):
+            for sub in expr.args:
+                self._register_expr(sub)
+
+    def _register_constructor(self, name: str, arity: int) -> None:
+        known = self.constructors.get(name)
+        if known is not None and known != arity:
+            raise ValueError(
+                f"constructor {name} used with arities {known} and {arity}"
+            )
+        self.constructors[name] = arity
+
+    def functions(self) -> list[tuple[str, int]]:
+        return list(self.order)
+
+    def equations_for(self, fname: str, arity: int) -> list[Equation]:
+        return self.equations.get((fname, arity), [])
+
+    def defines(self, fname: str, arity: int) -> bool:
+        return (fname, arity) in self.equations
+
+    def __len__(self) -> int:
+        return sum(len(g) for g in self.equations.values())

@@ -1,0 +1,209 @@
+"""Call-by-need interpreter with observable divergence.
+
+Used to *validate* strictness analysis results: if the analysis claims
+``f`` places demand ``d`` (or ``e``) on argument ``i``, then calling
+``f`` with ``bottom`` in that position (or with a value whose spine
+contains ``bottom``, for ``e``) must diverge whenever the result is
+demanded.  Divergence is observable: forcing ``bottom`` raises
+:class:`Divergence`, and runaway recursion exhausts the step *fuel* and
+raises :class:`FuelExhausted`.
+"""
+
+from __future__ import annotations
+
+from repro.funlang.ast import (
+    EBottom,
+    ECall,
+    ECons,
+    ELit,
+    EPrim,
+    EVar,
+    FunProgram,
+    PCons,
+    PLit,
+    PVar,
+    PRIM_COMPARISONS,
+)
+
+
+class Divergence(Exception):
+    """Raised when evaluation forces an explicit ``bottom``."""
+
+
+class FuelExhausted(Exception):
+    """Raised when the evaluation step budget runs out."""
+
+
+class VCons:
+    """A constructor value in WHNF; fields are thunks."""
+
+    __slots__ = ("cname", "fields")
+
+    def __init__(self, cname: str, fields: tuple):
+        self.cname = cname
+        self.fields = fields
+
+    def __repr__(self) -> str:
+        return f"VCons({self.cname}, {len(self.fields)} fields)"
+
+
+class Thunk:
+    """A delayed computation, updated in place when forced."""
+
+    __slots__ = ("expr", "env", "value", "forced")
+
+    def __init__(self, expr, env):
+        self.expr = expr
+        self.env = env
+        self.value = None
+        self.forced = False
+
+    @classmethod
+    def of_value(cls, value) -> "Thunk":
+        thunk = cls(None, None)
+        thunk.value = value
+        thunk.forced = True
+        return thunk
+
+    @classmethod
+    def bottom(cls) -> "Thunk":
+        return cls(EBottom(), {})
+
+
+BOTTOM = EBottom()
+
+_TRUE = VCons("True", ())
+_FALSE = VCons("False", ())
+
+
+class LazyInterpreter:
+    """Evaluates expressions of a :class:`FunProgram` lazily."""
+
+    def __init__(self, program: FunProgram, fuel: int = 1_000_000):
+        self.program = program
+        self.fuel = fuel
+        self.steps = 0
+
+    # ------------------------------------------------------------------
+    def force(self, thunk: Thunk):
+        """Force a thunk to WHNF (an int or a :class:`VCons`)."""
+        if thunk.forced:
+            return thunk.value
+        value = self.eval_whnf(thunk.expr, thunk.env)
+        thunk.value = value
+        thunk.forced = True
+        thunk.expr = thunk.env = None
+        return value
+
+    def eval_whnf(self, expr, env: dict):
+        self.steps += 1
+        if self.steps > self.fuel:
+            raise FuelExhausted(f"exceeded {self.fuel} evaluation steps")
+        if isinstance(expr, ELit):
+            return expr.value
+        if isinstance(expr, EVar):
+            thunk = env.get(expr.name)
+            if thunk is None:
+                raise KeyError(f"unbound variable {expr.name}")
+            return self.force(thunk)
+        if isinstance(expr, ECons):
+            return VCons(expr.cname, tuple(Thunk(a, env) for a in expr.args))
+        if isinstance(expr, EPrim):
+            return self._prim(expr, env)
+        if isinstance(expr, ECall):
+            thunks = tuple(Thunk(a, env) for a in expr.args)
+            return self.call(expr.fname, thunks)
+        if isinstance(expr, EBottom):
+            raise Divergence("forced bottom")
+        raise TypeError(f"cannot evaluate {expr!r}")
+
+    def _prim(self, expr: EPrim, env: dict):
+        left = self.eval_whnf(expr.args[0], env)
+        right = self.eval_whnf(expr.args[1], env)
+        if not isinstance(left, int) or not isinstance(right, int):
+            raise TypeError(f"primitive {expr.op} on non-integers")
+        op = expr.op
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "div":
+            return left // right
+        if op == "mod":
+            return left % right
+        if op in PRIM_COMPARISONS:
+            result = {
+                "<": left < right,
+                "<=": left <= right,
+                ">": left > right,
+                ">=": left >= right,
+                "==": left == right,
+                "/=": left != right,
+            }[op]
+            return _TRUE if result else _FALSE
+        raise TypeError(f"unknown primitive {op}")
+
+    def call(self, fname: str, thunks: tuple):
+        equations = self.program.equations_for(fname, len(thunks))
+        if not equations:
+            raise KeyError(f"undefined function {fname}/{len(thunks)}")
+        for equation in equations:
+            env: dict = {}
+            if self._match_all(equation.patterns, thunks, env):
+                return self.eval_whnf(equation.rhs, env)
+        raise ValueError(f"pattern match failure in {fname}/{len(thunks)}")
+
+    def _match_all(self, patterns, thunks, env: dict) -> bool:
+        for pattern, thunk in zip(patterns, thunks):
+            if not self._match(pattern, thunk, env):
+                return False
+        return True
+
+    def _match(self, pattern, thunk: Thunk, env: dict) -> bool:
+        if isinstance(pattern, PVar):
+            env[pattern.name] = thunk
+            return True
+        value = self.force(thunk)
+        if isinstance(pattern, PLit):
+            return value == pattern.value
+        assert isinstance(pattern, PCons)
+        if not isinstance(value, VCons) or value.cname != pattern.cname:
+            return False
+        if len(value.fields) != len(pattern.args):
+            return False
+        return self._match_all(pattern.args, value.fields, env)
+
+    # ------------------------------------------------------------------
+    def eval_nf(self, expr, env: dict | None = None):
+        """Evaluate fully, returning ints and ``(CName, fields...)`` tuples."""
+        value = self.eval_whnf(expr, env or {})
+        return self._deep(value)
+
+    def _deep(self, value):
+        if isinstance(value, int):
+            return value
+        assert isinstance(value, VCons)
+        return (value.cname, *(self._deep(self.force(f)) for f in value.fields))
+
+    def run(self, text: str, to: str = "nf"):
+        """Parse and evaluate ``text``; ``to`` is ``"nf"`` or ``"whnf"``."""
+        from repro.funlang.parser import parse_expr
+
+        expr = parse_expr(text)
+        if to == "nf":
+            return self.eval_nf(expr)
+        value = self.eval_whnf(expr, {})
+        if isinstance(value, int):
+            return value
+        return value.cname
+
+
+def make_list(elements) -> object:
+    """Build a ``Cons``/``Nil`` expression list from Python ints/exprs."""
+    result = ECons("Nil", ())
+    for element in reversed(list(elements)):
+        item = ELit(element) if isinstance(element, int) else element
+        result = ECons("Cons", (item, result))
+    return result

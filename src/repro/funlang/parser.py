@@ -1,0 +1,283 @@
+"""Lexer and parser for the functional language.
+
+Grammar (equations end with ``.``; ``--`` and ``%`` start line comments)::
+
+    program  ::= equation*
+    equation ::= lower '(' pattern (',' pattern)* ')' '=' expr '.'
+               | lower '=' expr '.'                     (0-ary function)
+    pattern  ::= lower | Upper ['(' pattern, ... ')'] | int
+    expr     ::= infix expression over applications, with
+                 < <= > >= == /=  (lowest), + -, * div mod (highest)
+
+Applications are ``name(e1, ..., en)``; ``bottom`` is the divergent
+expression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.funlang.ast import (
+    EBottom,
+    ECall,
+    ECons,
+    ELit,
+    EPrim,
+    Equation,
+    EVar,
+    FunProgram,
+    PCons,
+    PLit,
+    PVar,
+)
+
+
+class FunSyntaxError(Exception):
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+@dataclass
+class _Tok:
+    kind: str  # lower, upper, int, op, punct, end, eof
+    value: object
+    line: int
+
+
+_OPS = ["<=", ">=", "==", "/=", "<", ">", "+", "-", "*", "="]
+_PUNCT = set("(),")
+
+
+def _tokenize(text: str) -> list[_Tok]:
+    tokens: list[_Tok] = []
+    i, n, line = 0, len(text), 1
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if c in " \t\r":
+            i += 1
+            continue
+        if c == "%" or text.startswith("--", i):
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if c == "." and (i + 1 >= n or text[i + 1] in " \t\r\n%"):
+            tokens.append(_Tok("end", ".", line))
+            i += 1
+            continue
+        if c in _PUNCT:
+            tokens.append(_Tok("punct", c, line))
+            i += 1
+            continue
+        if c.isdigit():
+            j = i
+            while j < n and text[j].isdigit():
+                j += 1
+            tokens.append(_Tok("int", int(text[i:j]), line))
+            i = j
+            continue
+        if c.isalpha() or c == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] in "_'"):
+                j += 1
+            word = text[i:j]
+            if word in ("div", "mod"):
+                tokens.append(_Tok("op", word, line))
+            elif word[0].isupper():
+                tokens.append(_Tok("upper", word, line))
+            else:
+                tokens.append(_Tok("lower", word, line))
+            i = j
+            continue
+        for op in _OPS:
+            if text.startswith(op, i):
+                tokens.append(_Tok("op", op, line))
+                i += len(op)
+                break
+        else:
+            raise FunSyntaxError(f"unexpected character {c!r}", line)
+    tokens.append(_Tok("eof", None, line))
+    return tokens
+
+
+#: operator precedence levels, loosest first
+_LEVELS = [
+    {"<", "<=", ">", ">=", "==", "/="},
+    {"+", "-"},
+    {"*", "div", "mod"},
+]
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Tok]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> _Tok:
+        return self.tokens[self.pos]
+
+    def next(self) -> _Tok:
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def expect(self, kind: str, value=None) -> _Tok:
+        tok = self.next()
+        if tok.kind != kind or (value is not None and tok.value != value):
+            raise FunSyntaxError(
+                f"expected {value or kind}, got {tok.value!r}", tok.line
+            )
+        return tok
+
+    # ------------------------------------------------------------------
+    def parse_program(self) -> FunProgram:
+        program = FunProgram()
+        while self.peek().kind != "eof":
+            program.add(self.parse_equation())
+        return program
+
+    def parse_equation(self) -> Equation:
+        tok = self.expect("lower")
+        fname = tok.value
+        patterns: list = []
+        if self.peek().kind == "punct" and self.peek().value == "(":
+            self.next()
+            if self.peek().kind == "punct" and self.peek().value == ")":
+                self.next()
+            else:
+                patterns.append(self.parse_pattern())
+                while self.peek().value == ",":
+                    self.next()
+                    patterns.append(self.parse_pattern())
+                self.expect("punct", ")")
+        self.expect("op", "=")
+        rhs = self.parse_expr(0)
+        self.expect("end")
+        return Equation(fname, tuple(patterns), rhs, tok.line)
+
+    def parse_pattern(self):
+        tok = self.next()
+        if tok.kind == "lower":
+            return PVar(tok.value)
+        if tok.kind == "int":
+            return PLit(tok.value)
+        if tok.kind == "op" and tok.value == "-" and self.peek().kind == "int":
+            return PLit(-self.next().value)
+        if tok.kind == "upper":
+            args: list = []
+            if self.peek().kind == "punct" and self.peek().value == "(":
+                self.next()
+                args.append(self.parse_pattern())
+                while self.peek().value == ",":
+                    self.next()
+                    args.append(self.parse_pattern())
+                self.expect("punct", ")")
+            return PCons(tok.value, tuple(args))
+        raise FunSyntaxError(f"bad pattern start {tok.value!r}", tok.line)
+
+    # ------------------------------------------------------------------
+    def parse_expr(self, level: int):
+        if level >= len(_LEVELS):
+            return self.parse_atom()
+        left = self.parse_expr(level + 1)
+        while self.peek().kind == "op" and self.peek().value in _LEVELS[level]:
+            op = self.next().value
+            right = self.parse_expr(level + 1)
+            left = EPrim(op, (left, right))
+        return left
+
+    def parse_atom(self):
+        tok = self.next()
+        if tok.kind == "int":
+            return ELit(tok.value)
+        if tok.kind == "op" and tok.value == "-":
+            inner = self.parse_atom()
+            if isinstance(inner, ELit):
+                return ELit(-inner.value)
+            return EPrim("-", (ELit(0), inner))
+        if tok.kind == "punct" and tok.value == "(":
+            inner = self.parse_expr(0)
+            self.expect("punct", ")")
+            return inner
+        if tok.kind == "lower":
+            if tok.value == "bottom":
+                return EBottom()
+            if self.peek().kind == "punct" and self.peek().value == "(":
+                args = self.parse_args()
+                return ECall(tok.value, tuple(args))
+            return EVar(tok.value)
+        if tok.kind == "upper":
+            if self.peek().kind == "punct" and self.peek().value == "(":
+                args = self.parse_args()
+                return ECons(tok.value, tuple(args))
+            return ECons(tok.value, ())
+        raise FunSyntaxError(f"bad expression start {tok.value!r}", tok.line)
+
+    def parse_args(self) -> list:
+        self.expect("punct", "(")
+        if self.peek().kind == "punct" and self.peek().value == ")":
+            self.next()
+            return []
+        args = [self.parse_expr(0)]
+        while self.peek().value == ",":
+            self.next()
+            args.append(self.parse_expr(0))
+        self.expect("punct", ")")
+        return args
+
+
+#: library equations injected on demand (if/3 over Bool constructors)
+_IF_EQUATIONS = """
+if(True, t, e) = t.
+if(False, t, e) = e.
+"""
+
+
+def parse_fun_program(text: str) -> FunProgram:
+    """Parse a program; injects ``if/3`` equations when ``if`` is used."""
+    parser = _Parser(_tokenize(text))
+    program = parser.parse_program()
+    program.source_lines = _count_lines(text)
+    if _uses_if(program) and not program.defines("if", 3):
+        lib = _Parser(_tokenize(_IF_EQUATIONS)).parse_program()
+        for group in lib.equations.values():
+            for equation in group:
+                program.add(equation)
+    return program
+
+
+def parse_expr(text: str):
+    """Parse a single expression (used by tests and the interpreter API)."""
+    parser = _Parser(_tokenize(text))
+    expr = parser.parse_expr(0)
+    tok = parser.next()
+    if tok.kind not in ("eof", "end"):
+        raise FunSyntaxError(f"trailing input {tok.value!r}", tok.line)
+    return expr
+
+
+def _uses_if(program: FunProgram) -> bool:
+    def expr_uses(expr) -> bool:
+        if isinstance(expr, ECall):
+            if expr.fname == "if" and len(expr.args) == 3:
+                return True
+        if isinstance(expr, (ECall, ECons, EPrim)):
+            return any(expr_uses(a) for a in expr.args)
+        return False
+
+    return any(
+        expr_uses(eq.rhs) for group in program.equations.values() for eq in group
+    )
+
+
+def _count_lines(text: str) -> int:
+    count = 0
+    for raw in text.splitlines():
+        line = raw.strip()
+        if line and not line.startswith("%") and not line.startswith("--"):
+            count += 1
+    return count

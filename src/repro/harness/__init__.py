@@ -1,0 +1,21 @@
+"""Benchmark harness: phase timing, compile baseline, table rendering."""
+
+from repro.harness.metrics import (
+    compile_baseline,
+    ghc_like_compile_baseline,
+    groundness_row,
+    strictness_row,
+    depthk_row,
+    render_table,
+    Row,
+)
+
+__all__ = [
+    "compile_baseline",
+    "ghc_like_compile_baseline",
+    "groundness_row",
+    "strictness_row",
+    "depthk_row",
+    "render_table",
+    "Row",
+]

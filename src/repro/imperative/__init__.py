@@ -1,0 +1,30 @@
+"""Demand-driven dataflow analysis of imperative programs (section 7).
+
+The paper's closing argument cites Reps: dataflow properties of
+imperative programs can be stored as database facts with the demand
+analysis posed as a query, and a general-purpose logic engine answers
+it within a small factor of a special-purpose C solver.  This package
+reproduces that experiment shape:
+
+* :mod:`repro.imperative.lang` — a small imperative IR (procedures,
+  statements with defs/uses/kills, calls) and a workload generator;
+* :mod:`repro.imperative.facts` — the encoding of a program as datalog
+  facts plus the reaching-definitions rules;
+* :mod:`repro.imperative.worklist` — the dedicated (special-purpose)
+  worklist solver used as the baseline.
+"""
+
+from repro.imperative.lang import Procedure, Stmt, Program, make_pipeline_program
+from repro.imperative.facts import dataflow_program, demand_query
+from repro.imperative.worklist import reaching_definitions, demand_reaching
+
+__all__ = [
+    "Procedure",
+    "Stmt",
+    "Program",
+    "make_pipeline_program",
+    "dataflow_program",
+    "demand_query",
+    "reaching_definitions",
+    "demand_reaching",
+]

@@ -1,0 +1,58 @@
+"""Dataflow properties as logic-program facts + rules (Reps' style).
+
+The program's supergraph becomes ``flow/2``, ``def/3`` and ``kill/2``
+facts; reaching definitions is the usual two-rule datalog::
+
+    reach(D, Var, N) :- def(D, Var, N1), flow(N1, N).
+    reach(D, Var, N) :- reach(D, Var, N1), \\+ kill(N1, Var), flow(N1, N).
+
+A *demand* query asks which definitions reach one specific use — the
+goal-directed evaluation the paper contrasts with exhaustive solving.
+"""
+
+from __future__ import annotations
+
+from repro.imperative.lang import Program
+from repro.prolog.parser import parse_program
+from repro.prolog.program import Program as LogicProgram
+from repro.terms.term import Struct, Term
+
+RULES = """
+:- table reach/3.
+reach(D, V, N) :- def(D, V, N1), flow(N1, N).
+reach(D, V, N) :- reach(D, V, N1), \\+ kill(N1, V), flow(N1, N).
+"""
+
+
+def _node_term(node) -> Term:
+    name, index = node
+    return Struct("n", (name, index))
+
+
+def dataflow_program(program: Program) -> LogicProgram:
+    """Encode the supergraph and def/kill sets as a logic program."""
+    logic = LogicProgram()
+    logic.add_clauses(parse_program(RULES))
+    from repro.prolog.parser import Clause
+
+    for source, target in program.flow_edges():
+        head = Struct("flow", (_node_term(source), _node_term(target)))
+        logic.add_clause(Clause(head, "true"))
+    for node in program.nodes():
+        stmt = program.stmt(node)
+        for var in stmt.defs:
+            identifier = f"d_{node[0]}_{node[1]}_{var}"
+            logic.add_clause(
+                Clause(Struct("def", (identifier, var, _node_term(node))), "true")
+            )
+            logic.add_clause(
+                Clause(Struct("kill", (_node_term(node), var)), "true")
+            )
+    return logic
+
+
+def demand_query(node, var) -> Term:
+    """The demand goal: definitions of ``var`` reaching ``node``."""
+    from repro.terms.term import fresh_var
+
+    return Struct("reach", (fresh_var("D"), var, _node_term(node)))

@@ -1,0 +1,111 @@
+"""A small imperative IR for the dataflow experiments.
+
+A :class:`Program` is a set of procedures; each procedure is a list of
+statements with explicit def/use sets and optional control-flow
+successors (defaulting to fall-through).  Call statements connect to
+the callee's entry, and the callee's exit flows back to the statement
+after the call — the usual supergraph construction, kept
+context-insensitive (as the demand analysis of Reps' example is at its
+coarsest level).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Stmt:
+    """One statement: node ``(proc, index)`` in the supergraph."""
+
+    defs: tuple = ()
+    uses: tuple = ()
+    calls: str | None = None
+    #: explicit successor indices; None = fall through to index + 1
+    succs: tuple | None = None
+
+
+@dataclass
+class Procedure:
+    name: str
+    stmts: list[Stmt] = field(default_factory=list)
+
+
+class Program:
+    """A whole-program collection of procedures with a supergraph view."""
+
+    def __init__(self, procedures: list[Procedure]):
+        self.procedures = {p.name: p for p in procedures}
+
+    def nodes(self):
+        for proc in self.procedures.values():
+            for index in range(len(proc.stmts)):
+                yield (proc.name, index)
+
+    def stmt(self, node) -> Stmt:
+        name, index = node
+        return self.procedures[name].stmts[index]
+
+    def successors(self, node):
+        """Supergraph successors: intra edges, call and return edges."""
+        name, index = node
+        proc = self.procedures[name]
+        stmt = proc.stmts[index]
+        out = []
+        if stmt.calls is not None and stmt.calls in self.procedures:
+            callee = self.procedures[stmt.calls]
+            if callee.stmts:
+                out.append((stmt.calls, 0))
+            # return edge emitted from the callee exit (see below)
+        else:
+            out.extend(self._intra_succs(name, proc, index, stmt))
+        return out
+
+    def _intra_succs(self, name, proc, index, stmt):
+        if stmt.succs is not None:
+            return [(name, s) for s in stmt.succs]
+        if index + 1 < len(proc.stmts):
+            return [(name, index + 1)]
+        return []
+
+    def flow_edges(self):
+        """All supergraph edges, including call-to-entry and exit-to-return."""
+        edges = []
+        for node in self.nodes():
+            name, index = node
+            stmt = self.stmt(node)
+            for succ in self.successors(node):
+                edges.append((node, succ))
+            if stmt.calls is not None and stmt.calls in self.procedures:
+                callee = self.procedures[stmt.calls]
+                exit_node = (stmt.calls, len(callee.stmts) - 1)
+                proc = self.procedures[name]
+                for ret in self._intra_succs(name, proc, index, stmt):
+                    edges.append((exit_node, ret))
+        return edges
+
+
+def make_pipeline_program(procs: int = 4, stmts_per_proc: int = 8) -> Program:
+    """A synthetic workload: a chain of procedures passing data along.
+
+    Each procedure defines a few variables, uses earlier ones, loops
+    once (a back edge) and calls the next procedure in the chain —
+    enough structure for reaching definitions to be non-trivial
+    (kills, loops, interprocedural flow).
+    """
+    procedures = []
+    for p in range(procs):
+        name = f"proc{p}"
+        stmts = []
+        for i in range(stmts_per_proc):
+            var = f"v{p}_{i % 3}"
+            used = (f"v{p}_{(i + 1) % 3}",) if i else ()
+            calls = None
+            succs = None
+            if i == stmts_per_proc - 3 and p + 1 < procs:
+                calls = f"proc{p + 1}"
+            if i == stmts_per_proc - 2:
+                succs = (1, stmts_per_proc - 1)  # loop back edge
+            stmts.append(Stmt(defs=(var,), uses=used, calls=calls, succs=succs))
+        procedures.append(Procedure(name, stmts))
+    return Program(procedures)

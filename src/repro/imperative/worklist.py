@@ -1,0 +1,76 @@
+"""The special-purpose comparator: a hand-coded worklist solver.
+
+This plays the role of the C demand algorithm in [31]: reaching
+definitions over the supergraph by iterate-to-fixpoint with explicit
+bitsets (Python sets), plus a demand-driven backward variant answering
+a single query.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.imperative.lang import Program
+
+
+def reaching_definitions(program: Program) -> dict:
+    """Exhaustive solution: node -> set of (def_id, var) reaching it."""
+    predecessors: dict = {}
+    for source, target in program.flow_edges():
+        predecessors.setdefault(target, []).append(source)
+    gen: dict = {}
+    kill_vars: dict = {}
+    for node in program.nodes():
+        stmt = program.stmt(node)
+        gen[node] = {
+            (f"d_{node[0]}_{node[1]}_{var}", var) for var in stmt.defs
+        }
+        kill_vars[node] = set(stmt.defs)
+
+    reach_in: dict = {node: set() for node in program.nodes()}
+    reach_out: dict = {node: set(gen[node]) for node in program.nodes()}
+    worklist = deque(program.nodes())
+    while worklist:
+        node = worklist.popleft()
+        incoming = set()
+        for pred in predecessors.get(node, ()):
+            incoming |= reach_out[pred]
+        if incoming == reach_in[node]:
+            continue
+        reach_in[node] = incoming
+        survived = {
+            (d, v) for (d, v) in incoming if v not in kill_vars[node]
+        }
+        new_out = gen[node] | survived
+        if new_out != reach_out[node]:
+            reach_out[node] = new_out
+            for source, target in program.flow_edges():
+                if source == node:
+                    worklist.append(target)
+    return reach_in
+
+
+def demand_reaching(program: Program, node, var) -> set:
+    """Demand variant: which defs of ``var`` reach ``node``?
+
+    Backward search from the query point, following predecessors until
+    definitions of ``var`` (which also stop propagation — the kill).
+    """
+    predecessors: dict = {}
+    for source, target in program.flow_edges():
+        predecessors.setdefault(target, []).append(source)
+
+    found: set = set()
+    visited: set = set()
+    worklist = deque(predecessors.get(node, ()))
+    while worklist:
+        current = worklist.popleft()
+        if current in visited:
+            continue
+        visited.add(current)
+        stmt = program.stmt(current)
+        if var in stmt.defs:
+            found.add(f"d_{current[0]}_{current[1]}_{var}")
+            continue  # killed: stop propagating past this node
+        worklist.extend(predecessors.get(current, ()))
+    return found

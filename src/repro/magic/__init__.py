@@ -1,0 +1,21 @@
+"""Magic-sets transformation (Bancilhon et al.; Beeri & Ramakrishnan).
+
+Rewrites a program + query into one whose bottom-up evaluation performs
+only the goal-directed work a top-down evaluation would.  In the paper
+(section 3.1), magic sets is the transformation one needs to obtain
+*input* groundness with a bottom-up engine — and the point is that a
+tabled engine records calls anyway, making the transformation
+unnecessary.  We implement it to run that comparison (experiment E8).
+"""
+
+from repro.magic.adorn import adorn_program, adornment_of, AdornedProgram
+from repro.magic.magic import magic_transform, supplementary_transform, magic_answers
+
+__all__ = [
+    "adorn_program",
+    "adornment_of",
+    "AdornedProgram",
+    "magic_transform",
+    "supplementary_transform",
+    "magic_answers",
+]

@@ -1,0 +1,143 @@
+"""Adornment: annotate predicates with bound/free argument patterns.
+
+An adornment is a string over ``{'b', 'f'}``, one character per
+argument.  Starting from the query's adornment, rules are specialised
+left-to-right (the standard sideways-information-passing strategy): an
+argument is bound if all its variables are bound by the head's bound
+arguments or by earlier body literals.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.engine.builtins import is_builtin
+from repro.prolog.parser import Clause
+from repro.prolog.program import Indicator, Program
+from repro.terms.subst import EMPTY_SUBST
+from repro.terms.term import Struct, Term, Var, term_variables
+
+
+def adornment_of(goal: Term) -> str:
+    """Adornment of a query goal: 'b' for ground args, 'f' otherwise."""
+    if not isinstance(goal, Struct):
+        return ""
+    return "".join(
+        "b" if EMPTY_SUBST.is_ground(arg) else "f" for arg in goal.args
+    )
+
+
+def adorned_name(name: str, adornment: str) -> str:
+    return f"{name}__{adornment}" if adornment else name
+
+
+@dataclass
+class AdornedProgram:
+    """The adorned rules plus bookkeeping for the magic rewrite."""
+
+    program: Program
+    query_indicator: Indicator
+    query_adornment: str
+    # (original indicator, adornment) pairs reached from the query
+    reached: set[tuple[Indicator, str]] = field(default_factory=set)
+
+
+def adorn_program(program: Program, query: Term) -> AdornedProgram:
+    """Adorn ``program`` for ``query``; returns a new program.
+
+    Predicate ``p/n`` with adornment ``a`` becomes ``p__a/n``.  Builtins
+    are untouched and treated as binding all their variables afterwards
+    (safe for the left-to-right strategy used here).
+    """
+    if not isinstance(query, Struct):
+        raise ValueError("query must be a compound goal")
+    query_adornment = adornment_of(query)
+    out = Program()
+    result = AdornedProgram(out, query.indicator, query_adornment)
+    worklist: deque[tuple[Indicator, str]] = deque([(query.indicator, query_adornment)])
+    while worklist:
+        indicator, adornment = worklist.popleft()
+        if (indicator, adornment) in result.reached:
+            continue
+        result.reached.add((indicator, adornment))
+        for clause in program.clauses_for(indicator):
+            adorned = _adorn_clause(clause, adornment, worklist)
+            out.add_clause(adorned)
+    return result
+
+
+def _adorn_clause(clause: Clause, adornment: str, worklist: deque) -> Clause:
+    head = clause.head
+    if not isinstance(head, Struct):
+        raise ValueError(f"cannot adorn 0-ary head {head!r}")
+    bound: set[int] = set()
+    for arg, kind in zip(head.args, adornment):
+        if kind == "b":
+            bound.update(v.id for v in term_variables(arg))
+    new_body: list[Term] = []
+    for literal in _flatten(clause.body):
+        indicator = _literal_indicator(literal)
+        if indicator is None or is_builtin(indicator):
+            new_body.append(literal)
+            _bind_all(literal, bound)
+            continue
+        lit_adornment = _literal_adornment(literal, bound)
+        worklist.append((indicator, lit_adornment))
+        new_body.append(_rename_literal(literal, lit_adornment))
+        _bind_all(literal, bound)
+    new_head = Struct(adorned_name(head.functor, adornment), head.args)
+    return Clause(new_head, _rebuild_body(new_body), clause.varmap, clause.line)
+
+
+def _literal_indicator(literal: Term) -> Indicator | None:
+    if isinstance(literal, Struct):
+        return literal.indicator
+    if isinstance(literal, str):
+        return (literal, 0)
+    return None
+
+
+def _literal_adornment(literal: Term, bound: set[int]) -> str:
+    if not isinstance(literal, Struct):
+        return ""
+    return "".join(
+        "b" if all(v.id in bound for v in term_variables(arg)) else "f"
+        for arg in literal.args
+    )
+
+
+def _rename_literal(literal: Term, adornment: str) -> Term:
+    if isinstance(literal, Struct):
+        return Struct(adorned_name(literal.functor, adornment), literal.args)
+    return adorned_name(literal, adornment)
+
+
+def _bind_all(literal: Term, bound: set[int]) -> None:
+    bound.update(v.id for v in term_variables(literal))
+
+
+def _flatten(body: Term) -> list[Term]:
+    if body == "true":
+        return []
+    items: list[Term] = []
+    stack = [body]
+    while stack:
+        term = stack.pop()
+        if isinstance(term, Struct) and term.functor == "," and term.arity == 2:
+            stack.append(term.args[1])
+            stack.append(term.args[0])
+        elif term == "true":
+            continue
+        else:
+            items.append(term)
+    return items
+
+
+def _rebuild_body(literals: list[Term]) -> Term:
+    if not literals:
+        return "true"
+    body = literals[-1]
+    for literal in reversed(literals[:-1]):
+        body = Struct(",", (literal, body))
+    return body

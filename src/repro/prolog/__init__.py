@@ -1,0 +1,33 @@
+"""Prolog front end: reader, program representation and writer.
+
+This is the "components to read and preprocess input programs" part of
+the paper's 500-line system: a tokenizer and operator-precedence parser
+for a practical subset of ISO Prolog, a :class:`Program` container with
+first-argument clause indexing, and a pretty writer.
+"""
+
+from repro.prolog.lexer import tokenize, Token, PrologSyntaxError
+from repro.prolog.parser import (
+    parse_program,
+    parse_term,
+    parse_query,
+    Clause,
+)
+from repro.prolog.program import Program, compile_program, load_program
+from repro.prolog.writer import write_term, write_clause, write_program
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "PrologSyntaxError",
+    "parse_program",
+    "parse_term",
+    "parse_query",
+    "Clause",
+    "Program",
+    "compile_program",
+    "load_program",
+    "write_term",
+    "write_clause",
+    "write_program",
+]

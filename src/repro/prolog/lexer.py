@@ -1,0 +1,206 @@
+"""Tokenizer for the Prolog reader.
+
+Produces a stream of :class:`Token` objects.  Handles ``%`` line
+comments, ``/* */`` block comments, quoted atoms with escapes, symbolic
+atoms (maximal munch over symbol characters), ``0'c`` character codes
+and double-quoted strings (read as code lists by the parser).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class PrologSyntaxError(Exception):
+    """Raised on lexical or syntax errors, with line information."""
+
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+# Token kinds
+ATOM = "atom"  # value: atom name (unquoted or quoted)
+QATOM = "qatom"  # quoted atom: never an operator
+VAR = "var"  # value: variable name
+INT = "int"  # value: int
+STRING = "string"  # value: str contents
+PUNCT = "punct"  # value: one of ( ) [ ] { } , |
+OPEN_CT = "open_ct"  # '(' immediately after an atom (no layout): call syntax
+END = "end"  # clause-terminating '.'
+EOF = "eof"
+
+
+@dataclass
+class Token:
+    kind: str
+    value: object
+    line: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r})"
+
+
+_SYMBOL_CHARS = set("+-*/\\^<>=~:.?@#&$")
+_SOLO = set("()[]{},|")
+_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "a": "\a",
+    "b": "\b",
+    "f": "\f",
+    "v": "\v",
+    "\\": "\\",
+    "'": "'",
+    '"': '"',
+    "`": "`",
+    "0": "\0",
+}
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text`` into a list ending with an EOF token."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    line = 1
+    prev_solid = False  # previous char ended an atom/var/int (for open_ct)
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            prev_solid = False
+            continue
+        if c in " \t\r\f":
+            i += 1
+            prev_solid = False
+            continue
+        if c == "%":
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if c == "/" and i + 1 < n and text[i + 1] == "*":
+            end = text.find("*/", i + 2)
+            if end < 0:
+                raise PrologSyntaxError("unterminated block comment", line)
+            line += text.count("\n", i, end)
+            i = end + 2
+            prev_solid = False
+            continue
+        if c == "(":
+            tokens.append(Token(OPEN_CT if prev_solid else PUNCT, "(", line))
+            i += 1
+            prev_solid = False
+            continue
+        if c in _SOLO:
+            tokens.append(Token(PUNCT, c, line))
+            i += 1
+            prev_solid = False
+            continue
+        if c == "!" or c == ";":
+            tokens.append(Token(ATOM, c, line))
+            i += 1
+            prev_solid = True
+            continue
+        if c.isdigit():
+            i, line = _lex_number(text, i, line, tokens)
+            prev_solid = True
+            continue
+        if c == "_" or c.isupper():
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            tokens.append(Token(VAR, text[i:j], line))
+            i = j
+            prev_solid = True
+            continue
+        if c.islower():
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            tokens.append(Token(ATOM, text[i:j], line))
+            i = j
+            prev_solid = True
+            continue
+        if c == "'":
+            value, i, line = _lex_quoted(text, i + 1, line, "'")
+            tokens.append(Token(QATOM, value, line))
+            prev_solid = True
+            continue
+        if c == '"':
+            value, i, line = _lex_quoted(text, i + 1, line, '"')
+            tokens.append(Token(STRING, value, line))
+            prev_solid = True
+            continue
+        if c in _SYMBOL_CHARS:
+            j = i + 1
+            while j < n and text[j] in _SYMBOL_CHARS:
+                j += 1
+            symbol = text[i:j]
+            if symbol == "." and (j >= n or text[j] in " \t\r\n%"):
+                tokens.append(Token(END, ".", line))
+            else:
+                tokens.append(Token(ATOM, symbol, line))
+            i = j
+            prev_solid = True
+            continue
+        raise PrologSyntaxError(f"unexpected character {c!r}", line)
+    tokens.append(Token(EOF, None, line))
+    return tokens
+
+
+def _lex_number(text: str, i: int, line: int, tokens: list[Token]) -> tuple[int, int]:
+    n = len(text)
+    # 0'c character code
+    if text[i] == "0" and i + 1 < n and text[i + 1] == "'":
+        if i + 2 < n and text[i + 2] == "\\" and i + 3 < n:
+            esc = _ESCAPES.get(text[i + 3])
+            if esc is None:
+                raise PrologSyntaxError(f"bad escape \\{text[i + 3]}", line)
+            tokens.append(Token(INT, ord(esc), line))
+            return i + 4, line
+        if i + 2 < n:
+            tokens.append(Token(INT, ord(text[i + 2]), line))
+            return i + 3, line
+        raise PrologSyntaxError("unterminated character code", line)
+    if text[i] == "0" and i + 1 < n and text[i + 1] == "x":
+        j = i + 2
+        while j < n and text[j] in "0123456789abcdefABCDEF":
+            j += 1
+        tokens.append(Token(INT, int(text[i + 2 : j], 16), line))
+        return j, line
+    j = i
+    while j < n and text[j].isdigit():
+        j += 1
+    tokens.append(Token(INT, int(text[i:j]), line))
+    return j, line
+
+
+def _lex_quoted(text: str, i: int, line: int, quote: str) -> tuple[str, int, int]:
+    n = len(text)
+    parts: list[str] = []
+    while i < n:
+        c = text[i]
+        if c == quote:
+            if i + 1 < n and text[i + 1] == quote:  # doubled quote
+                parts.append(quote)
+                i += 2
+                continue
+            return "".join(parts), i + 1, line
+        if c == "\\":
+            if i + 1 < n and text[i + 1] == "\n":  # line continuation
+                line += 1
+                i += 2
+                continue
+            if i + 1 < n and text[i + 1] in _ESCAPES:
+                parts.append(_ESCAPES[text[i + 1]])
+                i += 2
+                continue
+            raise PrologSyntaxError("bad escape in quoted token", line)
+        if c == "\n":
+            line += 1
+        parts.append(c)
+        i += 1
+    raise PrologSyntaxError("unterminated quoted token", line)

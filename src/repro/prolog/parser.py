@@ -1,0 +1,290 @@
+"""Operator-precedence parser for a practical subset of ISO Prolog.
+
+Supports the standard operator table (``:-``, ``;``, ``->``, ``\\+``,
+comparison and arithmetic operators), lists, curly terms, quoted atoms
+and double-quoted strings read as code lists.  Each clause gets its own
+variable scope; ``_`` is always fresh.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.prolog import lexer
+from repro.prolog.lexer import PrologSyntaxError, Token, tokenize
+from repro.terms.term import Struct, Term, Var, fresh_var, make_list
+
+# name -> (priority, type) maps; type in xfx/xfy/yfx (infix), fy/fx (prefix)
+INFIX_OPS: dict[str, tuple[int, str]] = {
+    ":-": (1200, "xfx"),
+    "-->": (1200, "xfx"),
+    ";": (1100, "xfy"),
+    "->": (1050, "xfy"),
+    ",": (1000, "xfy"),
+    "=": (700, "xfx"),
+    "\\=": (700, "xfx"),
+    "==": (700, "xfx"),
+    "\\==": (700, "xfx"),
+    "@<": (700, "xfx"),
+    "@>": (700, "xfx"),
+    "@=<": (700, "xfx"),
+    "@>=": (700, "xfx"),
+    "=..": (700, "xfx"),
+    "is": (700, "xfx"),
+    "=:=": (700, "xfx"),
+    "=\\=": (700, "xfx"),
+    "<": (700, "xfx"),
+    ">": (700, "xfx"),
+    "=<": (700, "xfx"),
+    ">=": (700, "xfx"),
+    "+": (500, "yfx"),
+    "-": (500, "yfx"),
+    "/\\": (500, "yfx"),
+    "\\/": (500, "yfx"),
+    "xor": (500, "yfx"),
+    "*": (400, "yfx"),
+    "/": (400, "yfx"),
+    "//": (400, "yfx"),
+    "mod": (400, "yfx"),
+    "rem": (400, "yfx"),
+    "<<": (400, "yfx"),
+    ">>": (400, "yfx"),
+    "**": (200, "xfx"),
+    "^": (200, "xfy"),
+    "@": (200, "xfx"),  # used by some benchmark programs as a pairing operator
+}
+
+PREFIX_OPS: dict[str, tuple[int, str]] = {
+    ":-": (1200, "fx"),
+    "?-": (1200, "fx"),
+    # declaration operators, as in XSB
+    "table": (1150, "fx"),
+    "dynamic": (1150, "fx"),
+    "discontiguous": (1150, "fx"),
+    "multifile": (1150, "fx"),
+    "mode": (1150, "fx"),
+    "\\+": (900, "fy"),
+    "-": (200, "fy"),
+    "+": (200, "fy"),
+    "\\": (200, "fy"),
+}
+
+
+@dataclass
+class Clause:
+    """A program clause ``head :- body`` (``body is 'true'`` for facts).
+
+    ``body`` is kept as a single term (possibly a ``','``/``';'`` tree);
+    engines interpret control constructs.  ``varmap`` maps source
+    variable names to the :class:`Var` objects of this clause.
+    """
+
+    head: Term
+    body: Term
+    varmap: dict[str, Var] = field(default_factory=dict)
+    line: int = 0
+
+    @property
+    def indicator(self) -> tuple[str, int]:
+        head = self.head
+        if isinstance(head, Struct):
+            return head.indicator
+        if isinstance(head, str):
+            return (head, 0)
+        raise PrologSyntaxError(f"invalid clause head {head!r}", self.line)
+
+    def is_fact(self) -> bool:
+        return self.body == "true"
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+        self.varmap: dict[str, Var] = {}
+
+    # ------------------------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def next(self) -> Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def expect_punct(self, value: str) -> None:
+        token = self.next()
+        if not (token.kind in (lexer.PUNCT, lexer.OPEN_CT) and token.value == value):
+            raise PrologSyntaxError(f"expected {value!r}, got {token.value!r}", token.line)
+
+    # ------------------------------------------------------------------
+    def parse_clause(self) -> Clause | None:
+        if self.peek().kind == lexer.EOF:
+            return None
+        self.varmap = {}
+        line = self.peek().line
+        term = self.parse(1200)
+        token = self.next()
+        if token.kind != lexer.END:
+            raise PrologSyntaxError(
+                f"expected '.' at end of clause, got {token.value!r}", token.line
+            )
+        head, body = _split_clause(term, line)
+        return Clause(head, body, dict(self.varmap), line)
+
+    # ------------------------------------------------------------------
+    def parse(self, max_prec: int) -> Term:
+        left, left_prec = self.parse_left(max_prec)
+        return self.parse_infix(left, left_prec, max_prec)
+
+    def parse_left(self, max_prec: int) -> tuple[Term, int]:
+        token = self.peek()
+        if token.kind == lexer.ATOM and token.value in PREFIX_OPS:
+            prec, optype = PREFIX_OPS[token.value]
+            if prec <= max_prec and self.prefix_applies(token.value):
+                self.next()
+                # negative numeric literal
+                if token.value == "-" and self.peek().kind == lexer.INT:
+                    value = self.next().value
+                    return -value, 0
+                arg_max = prec if optype == "fy" else prec - 1
+                arg = self.parse(arg_max)
+                return Struct(token.value, (arg,)), prec
+        return self.parse_primary(), 0
+
+    def prefix_applies(self, name: str) -> bool:
+        """Decide whether an operator atom is used as a prefix operator here."""
+        nxt = self.tokens[self.pos + 1]
+        if nxt.kind == lexer.OPEN_CT:
+            return False  # f(...) call syntax
+        if nxt.kind in (lexer.END, lexer.EOF):
+            return False
+        if nxt.kind == lexer.PUNCT and nxt.value in ")]},|":
+            return False
+        if nxt.kind == lexer.ATOM and nxt.value in INFIX_OPS and nxt.value not in PREFIX_OPS:
+            return False  # e.g. "- =" : '-' is an operand here
+        return True
+
+    def parse_infix(self, left: Term, left_prec: int, max_prec: int) -> Term:
+        while True:
+            token = self.peek()
+            name = None
+            if token.kind == lexer.ATOM and token.value in INFIX_OPS:
+                name = token.value
+            elif token.kind == lexer.PUNCT and token.value == "," and max_prec >= 1000:
+                name = ","
+            elif token.kind == lexer.PUNCT and token.value == "|" and max_prec >= 1100:
+                name = ";"  # '|' as disjunction at clause level
+            if name is None:
+                return left
+            prec, optype = INFIX_OPS.get(name, (1100, "xfy"))
+            if prec > max_prec:
+                return left
+            left_max = prec if optype == "yfx" else prec - 1
+            if left_prec > left_max:
+                return left
+            self.next()
+            right_max = prec if optype == "xfy" else prec - 1
+            right = self.parse(right_max)
+            left = Struct(name, (left, right))
+            left_prec = prec
+
+    def parse_primary(self) -> Term:
+        token = self.next()
+        if token.kind == lexer.INT:
+            return token.value
+        if token.kind == lexer.VAR:
+            return self.make_var(token.value)
+        if token.kind == lexer.STRING:
+            return make_list([ord(c) for c in token.value])
+        if token.kind in (lexer.ATOM, lexer.QATOM):
+            if self.peek().kind == lexer.OPEN_CT:
+                self.next()
+                args = self.parse_arglist()
+                return Struct(token.value, tuple(args))
+            return token.value
+        if token.kind in (lexer.PUNCT, lexer.OPEN_CT) and token.value == "(":
+            term = self.parse(1200)
+            self.expect_punct(")")
+            return term
+        if token.kind == lexer.PUNCT and token.value == "[":
+            return self.parse_list()
+        if token.kind == lexer.PUNCT and token.value == "{":
+            if self.peek().kind == lexer.PUNCT and self.peek().value == "}":
+                self.next()
+                return "{}"
+            term = self.parse(1200)
+            self.expect_punct("}")
+            return Struct("{}", (term,))
+        raise PrologSyntaxError(f"unexpected token {token.value!r}", token.line)
+
+    def parse_arglist(self) -> list[Term]:
+        args = [self.parse(999)]
+        while self.peek().kind == lexer.PUNCT and self.peek().value == ",":
+            self.next()
+            args.append(self.parse(999))
+        self.expect_punct(")")
+        return args
+
+    def parse_list(self) -> Term:
+        if self.peek().kind == lexer.PUNCT and self.peek().value == "]":
+            self.next()
+            return "[]"
+        elements = [self.parse(999)]
+        while self.peek().kind == lexer.PUNCT and self.peek().value == ",":
+            self.next()
+            elements.append(self.parse(999))
+        tail: Term = "[]"
+        if self.peek().kind == lexer.PUNCT and self.peek().value == "|":
+            self.next()
+            tail = self.parse(999)
+        self.expect_punct("]")
+        return make_list(elements, tail)
+
+    def make_var(self, name: str) -> Var:
+        if name == "_":
+            return fresh_var("_")
+        var = self.varmap.get(name)
+        if var is None:
+            var = fresh_var(name)
+            self.varmap[name] = var
+        return var
+
+
+def _split_clause(term: Term, line: int) -> tuple[Term, Term]:
+    if isinstance(term, Struct) and term.functor == ":-" and term.arity == 2:
+        return term.args[0], term.args[1]
+    if isinstance(term, Struct) and term.functor == ":-" and term.arity == 1:
+        return ":-", term.args[0]  # directive: head is the atom ':-'
+    return term, "true"
+
+
+def parse_term(text: str) -> Term:
+    """Parse a single term (no trailing '.') from ``text``."""
+    parser = _Parser(tokenize(text))
+    term = parser.parse(1200)
+    token = parser.next()
+    if token.kind not in (lexer.EOF, lexer.END):
+        raise PrologSyntaxError(f"trailing input {token.value!r}", token.line)
+    return term
+
+
+def parse_query(text: str) -> tuple[Term, dict[str, Var]]:
+    """Parse a query; returns the goal term and its variable map."""
+    parser = _Parser(tokenize(text))
+    term = parser.parse(1200)
+    token = parser.next()
+    if token.kind not in (lexer.EOF, lexer.END):
+        raise PrologSyntaxError(f"trailing input {token.value!r}", token.line)
+    return term, dict(parser.varmap)
+
+
+def parse_program(text: str) -> list[Clause]:
+    """Parse a full program text into clauses (directives included)."""
+    parser = _Parser(tokenize(text))
+    clauses = []
+    while True:
+        clause = parser.parse_clause()
+        if clause is None:
+            return clauses
+        clauses.append(clause)

@@ -1,0 +1,72 @@
+"""Pretty writer: terms and clauses back to (operator) Prolog syntax."""
+
+from __future__ import annotations
+
+from repro.prolog.parser import INFIX_OPS, PREFIX_OPS, Clause
+from repro.terms.term import CONS, NIL, Struct, Term, Var, list_elements
+from repro.terms.term import _atom_str  # shared atom quoting
+
+
+def write_term(term: Term, max_prec: int = 1200) -> str:
+    """Render ``term`` with operators and lists reconstructed."""
+    if isinstance(term, Var):
+        return term.display()
+    if isinstance(term, int):
+        return str(term)
+    if isinstance(term, str):
+        return _atom_str(term)
+    if term.functor == CONS and term.arity == 2:
+        return _write_list(term)
+    if term.functor == "{}" and term.arity == 1:
+        return "{" + write_term(term.args[0], 1200) + "}"
+    if term.arity == 2 and term.functor in INFIX_OPS:
+        prec, optype = INFIX_OPS[term.functor]
+        lmax = prec if optype == "yfx" else prec - 1
+        rmax = prec if optype == "xfy" else prec - 1
+        text = (
+            _write_operand(term.args[0], lmax)
+            + _op_spelling(term.functor)
+            + _write_operand(term.args[1], rmax)
+        )
+        return f"({text})" if prec > max_prec else text
+    if term.arity == 1 and term.functor in PREFIX_OPS:
+        prec, optype = PREFIX_OPS[term.functor]
+        amax = prec if optype == "fy" else prec - 1
+        # parenthesize the operand: "- 0" would re-read as the integer
+        # -0 and "- +1" would lex as the symbolic atom '-+'
+        text = _atom_str(term.functor) + " (" + write_term(term.args[0], 1200) + ")"
+        return f"({text})" if prec > max_prec else text
+    args = ",".join(write_term(a, 999) for a in term.args)
+    return f"{_atom_str(term.functor)}({args})"
+
+
+def _op_spelling(name: str) -> str:
+    if name == ",":
+        return ","
+    # spaces prevent adjacent symbolic tokens from lexing as one atom
+    return f" {name} "
+
+
+def _write_operand(term: Term, max_prec: int) -> str:
+    """An infix operand; operator atoms are parenthesized: ``a - (+)``."""
+    if isinstance(term, str) and (term in INFIX_OPS or term in PREFIX_OPS):
+        return f"({_atom_str(term)})"
+    return write_term(term, max_prec)
+
+
+def _write_list(term: Term) -> str:
+    elements, tail = list_elements(term)
+    inner = ",".join(write_term(e, 999) for e in elements)
+    if tail == NIL:
+        return f"[{inner}]"
+    return f"[{inner}|{write_term(tail, 999)}]"
+
+
+def write_clause(clause: Clause) -> str:
+    if clause.is_fact():
+        return write_term(clause.head) + "."
+    return write_term(clause.head) + " :- " + write_term(clause.body, 1199) + "."
+
+
+def write_program(clauses) -> str:
+    return "\n".join(write_clause(c) for c in clauses) + "\n"

@@ -1,0 +1,106 @@
+"""Persistent substitutions (binding environments).
+
+The tabled engine suspends and resumes derivations, so bindings must be
+shareable between independent continuations.  We therefore use
+*persistent* substitutions: :meth:`Subst.bind` returns a new substitution
+and never mutates the receiver.  To keep the common case cheap, up to
+``_CHUNK`` bindings are accumulated in a small overlay dict chained to a
+parent; chains are flattened once they grow past ``_MAX_DEPTH``.
+"""
+
+from __future__ import annotations
+
+from repro.terms.term import Struct, Term, Var
+
+_MAX_DEPTH = 8
+
+
+class Subst:
+    """An immutable mapping from variables to terms.
+
+    Bindings may be to other variables (chains); :meth:`walk`
+    dereferences a term to its representative, and :meth:`resolve`
+    deeply applies the substitution.
+    """
+
+    __slots__ = ("_bindings", "_parent", "_depth")
+
+    def __init__(self, bindings=None, parent: "Subst | None" = None):
+        self._bindings: dict[int, Term] = bindings or {}
+        self._parent = parent
+        self._depth = parent._depth + 1 if parent is not None else 0
+
+    def lookup(self, var: Var) -> Term | None:
+        """The direct binding of ``var``, or None if unbound."""
+        node: Subst | None = self
+        vid = var.id
+        while node is not None:
+            value = node._bindings.get(vid)
+            if value is not None:
+                return value
+            node = node._parent
+        return None
+
+    def bind(self, var: Var, value: Term) -> "Subst":
+        """A new substitution extending this one with ``var -> value``."""
+        if self._depth >= _MAX_DEPTH:
+            flat = self._flatten()
+            flat[var.id] = value
+            return Subst(flat)
+        return Subst({var.id: value}, self)
+
+    def bind_many(self, pairs) -> "Subst":
+        """A new substitution extended with all ``(var, value)`` pairs."""
+        flat = self._flatten()
+        for var, value in pairs:
+            flat[var.id] = value
+        return Subst(flat)
+
+    def _flatten(self) -> dict[int, Term]:
+        layers = []
+        node: Subst | None = self
+        while node is not None:
+            layers.append(node._bindings)
+            node = node._parent
+        flat: dict[int, Term] = {}
+        for layer in reversed(layers):
+            flat.update(layer)
+        return flat
+
+    def walk(self, term: Term) -> Term:
+        """Dereference ``term`` through variable chains (shallow)."""
+        while isinstance(term, Var):
+            value = self.lookup(term)
+            if value is None:
+                return term
+            term = value
+        return term
+
+    def resolve(self, term: Term) -> Term:
+        """Deeply apply the substitution to ``term``."""
+        term = self.walk(term)
+        if isinstance(term, Struct):
+            args = tuple(self.resolve(a) for a in term.args)
+            if args == term.args:
+                return term
+            return Struct(term.functor, args)
+        return term
+
+    def is_ground(self, term: Term) -> bool:
+        """True iff ``term`` contains no unbound variables under self."""
+        stack = [term]
+        while stack:
+            t = self.walk(stack.pop())
+            if isinstance(t, Var):
+                return False
+            if isinstance(t, Struct):
+                stack.extend(t.args)
+        return True
+
+    def __repr__(self) -> str:
+        flat = self._flatten()
+        items = ", ".join(f"_G{k}={v!r}" for k, v in sorted(flat.items()))
+        return f"Subst({{{items}}})"
+
+
+EMPTY_SUBST = Subst()

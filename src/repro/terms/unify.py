@@ -1,0 +1,86 @@
+"""Unification and one-way matching over persistent substitutions."""
+
+from __future__ import annotations
+
+from repro.terms.subst import Subst
+from repro.terms.term import Struct, Term, Var
+
+
+def occurs_in(var: Var, term: Term, subst: Subst) -> bool:
+    """True iff ``var`` occurs in ``term`` under ``subst``."""
+    stack = [term]
+    while stack:
+        t = subst.walk(stack.pop())
+        if isinstance(t, Var):
+            if t.id == var.id:
+                return True
+        elif isinstance(t, Struct):
+            stack.extend(t.args)
+    return False
+
+
+def unify(t1: Term, t2: Term, subst: Subst, occur_check: bool = False) -> Subst | None:
+    """Most general unifier of ``t1`` and ``t2`` extending ``subst``.
+
+    Returns the extended substitution, or None when unification fails.
+    With ``occur_check=True`` binding a variable to a term containing it
+    fails (needed e.g. by Hindley-Milner type analysis, paper section
+    6.1); the default matches standard Prolog behaviour.
+    """
+    stack = [(t1, t2)]
+    while stack:
+        a, b = stack.pop()
+        a = subst.walk(a)
+        b = subst.walk(b)
+        if isinstance(a, Var):
+            if isinstance(b, Var) and b.id == a.id:
+                continue
+            if occur_check and occurs_in(a, b, subst):
+                return None
+            subst = subst.bind(a, b)
+        elif isinstance(b, Var):
+            if occur_check and occurs_in(b, a, subst):
+                return None
+            subst = subst.bind(b, a)
+        elif isinstance(a, Struct):
+            if (
+                not isinstance(b, Struct)
+                or a.functor != b.functor
+                or len(a.args) != len(b.args)
+            ):
+                return None
+            stack.extend(zip(a.args, b.args))
+        else:
+            if a != b:
+                return None
+    return subst
+
+
+def match(pattern: Term, term: Term, subst: Subst) -> Subst | None:
+    """One-way matching: bind variables of ``pattern`` only.
+
+    ``term`` is treated as fixed: its variables are constants that only
+    unify with themselves.  Used by clause indexing and the bottom-up
+    evaluator (matching rule bodies against derived facts).
+    """
+    stack = [(pattern, term)]
+    while stack:
+        p, t = stack.pop()
+        p = subst.walk(p)
+        t = subst.walk(t)
+        if isinstance(p, Var):
+            if isinstance(t, Var) and t.id == p.id:
+                continue
+            subst = subst.bind(p, t)
+        elif isinstance(p, Struct):
+            if (
+                not isinstance(t, Struct)
+                or p.functor != t.functor
+                or len(p.args) != len(t.args)
+            ):
+                return None
+            stack.extend(zip(p.args, t.args))
+        else:
+            if p != t:
+                return None
+    return subst

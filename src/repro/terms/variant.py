@@ -1,0 +1,77 @@
+"""Variant checking and canonical forms.
+
+Tabled evaluation in XSB keys the call and answer tables by *variants*:
+two terms are variants when they are identical up to a renaming of
+variables (paper section 2, footnote 1).  We implement this by mapping
+each term to a hashable *canonical key* in which variables are numbered
+in order of first occurrence; two terms are variants iff their keys are
+equal.
+"""
+
+from __future__ import annotations
+
+from repro.terms.subst import EMPTY_SUBST, Subst
+from repro.terms.term import Struct, Term, Var, fresh_var
+
+VariantKey = tuple
+
+
+def variant_key(term: Term, subst: Subst = EMPTY_SUBST) -> VariantKey:
+    """A hashable key equal for exactly the variants of ``term``.
+
+    The term is resolved under ``subst`` on the fly, so callers need not
+    build the resolved term first.
+    """
+    numbering: dict[int, int] = {}
+    return _key(term, subst, numbering)
+
+
+def _key(term: Term, subst: Subst, numbering: dict[int, int]) -> tuple:
+    term = subst.walk(term)
+    if isinstance(term, Var):
+        index = numbering.setdefault(term.id, len(numbering))
+        return ("v", index)
+    if isinstance(term, Struct):
+        return ("s", term.functor, tuple(_key(a, subst, numbering) for a in term.args))
+    if isinstance(term, int):
+        return ("i", term)
+    return ("a", term)
+
+
+def is_variant(t1: Term, t2: Term, subst: Subst = EMPTY_SUBST) -> bool:
+    """True iff ``t1`` and ``t2`` are identical up to variable renaming."""
+    return variant_key(t1, subst) == variant_key(t2, subst)
+
+
+def canonical(term: Term, subst: Subst = EMPTY_SUBST) -> Term:
+    """The canonical representative of ``term``'s variant class.
+
+    Variables are replaced by fresh ones numbered in first-occurrence
+    order, so canonical terms of distinct table entries share no
+    variables; answers stored in tables are canonical terms.
+    """
+    renaming: dict[int, Var] = {}
+    return _canon(term, subst, renaming)
+
+
+def _canon(term: Term, subst: Subst, renaming: dict[int, Var]) -> Term:
+    term = subst.walk(term)
+    if isinstance(term, Var):
+        replacement = renaming.get(term.id)
+        if replacement is None:
+            replacement = fresh_var()
+            renaming[term.id] = replacement
+        return replacement
+    if isinstance(term, Struct):
+        return Struct(term.functor, tuple(_canon(a, subst, renaming) for a in term.args))
+    return term
+
+
+def rename_apart(term: Term) -> Term:
+    """Rename all variables of a (fully resolved) term to fresh ones.
+
+    This is the "standardize apart" step of resolution: program clauses
+    and table answers are renamed before unifying with a goal.
+    """
+    renaming: dict[int, Var] = {}
+    return _canon(term, EMPTY_SUBST, renaming)

@@ -1,0 +1,87 @@
+"""GAIA stand-in and Toupie-style evaluator vs the declarative analyzer."""
+
+import pytest
+
+from repro.baselines import GaiaAnalyzer, analyze_gaia, bottom_up_success
+from repro.benchdata import load_prolog_benchmark, prolog_benchmark_names
+from repro.core import analyze_groundness
+from repro.prolog import load_program
+
+PROGRAMS = [
+    """
+    ap([], Ys, Ys).
+    ap([X|Xs], Ys, [X|Zs]) :- ap(Xs, Ys, Zs).
+    """,
+    """
+    p(X, Y) :- q(X), r(X, Y).
+    q(f(A)) :- s(A).
+    r(X, X).
+    s(a).
+    s(B) :- t(B).
+    t(g(C, C)).
+    """,
+    """
+    flip(a, b).
+    flip(f(X), f(Y)) :- flip(X, Y).
+    even([]).
+    even([_, _ | T]) :- even(T).
+    """,
+    """
+    num(X) :- X is 2 + 3.
+    branch(X) :- (X = a ; X = f(Y), num(Y)).
+    """,
+]
+
+
+@pytest.mark.parametrize("source", PROGRAMS)
+def test_gaia_identical_to_declarative(source):
+    program = load_program(source)
+    declarative = analyze_groundness(program)
+    gaia = analyze_gaia(program, with_calls=False)
+    for indicator in program.predicates():
+        assert declarative[indicator].success == gaia[indicator].success, indicator
+
+
+@pytest.mark.parametrize("name", ["qsort", "queens", "plan", "gabriel", "pg"])
+def test_gaia_identical_on_benchmarks(name):
+    program = load_prolog_benchmark(name)
+    declarative = analyze_groundness(program, entries=[])
+    gaia = analyze_gaia(program, with_calls=False)
+    for indicator in program.predicates():
+        assert declarative[indicator].success == gaia[indicator].success, indicator
+
+
+def test_propbdd_matches_gaia():
+    program = load_program(PROGRAMS[1])
+    summaries, times = bottom_up_success(program)
+    gaia = analyze_gaia(program, with_calls=False)
+    for indicator in program.predicates():
+        assert summaries[indicator] == gaia[indicator].success
+    assert times["analysis"] >= 0
+    assert times["iterations"] >= 1
+
+
+def test_gaia_call_pass_entry_directed():
+    source = """
+    :- entry_point(main(g)).
+    main(X) :- helper(X, Y), consume(Y).
+    helper(A, f(A)).
+    consume(_).
+    """
+    program = load_program(source)
+    result = analyze_gaia(program)
+    assert result[("helper", 2)].ground_at_call[0] is True
+    assert result[("main", 1)].ground_at_call == (True,)
+
+
+def test_gaia_fixpoint_iterations_bounded():
+    program = load_prolog_benchmark("qsort")
+    analyzer = GaiaAnalyzer(program)
+    analyzer.compute_success()
+    assert analyzer.iterations <= 10
+
+
+def test_gaia_times_reported():
+    result = analyze_gaia(load_program(PROGRAMS[0]))
+    assert set(result.times) == {"preprocess", "analysis", "collection"}
+    assert result.total_time > 0

@@ -1,0 +1,119 @@
+"""ROBDD package: boolean-algebra laws vs brute force (hypothesis)."""
+
+from itertools import product
+
+from hypothesis import given, strategies as st
+
+from repro.bdd import BDDManager
+from repro.bdd.robdd import FALSE, TRUE
+
+NVARS = 4
+rows = st.sets(st.tuples(*([st.booleans()] * NVARS)), max_size=12)
+
+
+def build(manager, truth_set):
+    return manager.from_rows(truth_set, range(NVARS))
+
+
+def sat(manager, bdd):
+    return set(manager.allsat(bdd, range(NVARS)))
+
+
+@given(rows, rows)
+def test_conj_disj_match_set_ops(r1, r2):
+    m = BDDManager()
+    b1, b2 = build(m, r1), build(m, r2)
+    assert sat(m, m.conj(b1, b2)) == r1 & r2
+    assert sat(m, m.disj(b1, b2)) == r1 | r2
+
+
+@given(rows)
+def test_negation_is_complement(r):
+    m = BDDManager()
+    full = set(product((False, True), repeat=NVARS))
+    assert sat(m, m.neg(build(m, r))) == full - r
+
+
+@given(rows, rows)
+def test_iff_xor(r1, r2):
+    m = BDDManager()
+    b1, b2 = build(m, r1), build(m, r2)
+    full = set(product((False, True), repeat=NVARS))
+    both_or_neither = {x for x in full if (x in r1) == (x in r2)}
+    assert sat(m, m.iff(b1, b2)) == both_or_neither
+    assert sat(m, m.xor(b1, b2)) == full - both_or_neither
+
+
+@given(rows)
+def test_canonical_form(r):
+    """Equal functions have identical node ids (hash-consing)."""
+    m = BDDManager()
+    b1 = build(m, r)
+    b2 = build(m, set(reversed(sorted(r))))
+    assert b1 == b2
+
+
+@given(rows)
+def test_satcount(r):
+    m = BDDManager()
+    assert m.satcount(build(m, r), NVARS) == len(r)
+
+
+@given(rows, st.integers(min_value=0, max_value=NVARS - 1))
+def test_restrict(r, var):
+    m = BDDManager()
+    b = build(m, r)
+    for value in (False, True):
+        expected = {
+            x for x in product((False, True), repeat=NVARS)
+            if (x[:var] + (value,) + x[var + 1 :]) in r
+        }
+        assert sat(m, m.restrict(b, var, value)) == expected
+
+
+@given(rows, st.integers(min_value=0, max_value=NVARS - 1))
+def test_exists(r, var):
+    m = BDDManager()
+    b = build(m, r)
+    expected = set()
+    for x in r:
+        for value in (False, True):
+            expected.add(x[:var] + (value,) + x[var + 1 :])
+    assert sat(m, m.exists(b, var)) == expected
+
+
+def test_terminals_and_vars():
+    m = BDDManager()
+    assert m.constant(True) == TRUE
+    assert m.constant(False) == FALSE
+    x = m.var(0)
+    assert m.eval(x, {0: True})
+    assert not m.eval(x, {0: False})
+    assert m.eval(m.nvar(0), {0: False})
+    assert m.conj(x, m.neg(x)) == FALSE
+    assert m.disj(x, m.neg(x)) == TRUE
+
+
+def test_implies_and_entails():
+    m = BDDManager()
+    x, y = m.var(0), m.var(1)
+    assert m.entails(m.conj(x, y), x)
+    assert not m.entails(x, m.conj(x, y))
+
+
+def test_iff_conj_constraint():
+    m = BDDManager()
+    f = m.iff_conj(2, [0, 1])
+    rows_found = set(m.allsat(f, range(3)))
+    expected = {
+        r for r in product((False, True), repeat=3) if r[2] == (r[0] and r[1])
+    }
+    assert rows_found == expected
+
+
+def test_size_reduced():
+    m = BDDManager()
+    x = m.var(0)
+    redundant = m.disj(m.conj(x, m.var(1)), m.conj(x, m.neg(m.var(1))))
+    assert redundant == x  # fully reduced
+    assert m.size(x) == 1

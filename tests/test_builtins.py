@@ -1,0 +1,142 @@
+"""Builtin predicate semantics."""
+
+import pytest
+
+from repro.engine.builtins import (
+    DET_BUILTINS,
+    NONDET_BUILTINS,
+    PrologError,
+    eval_arith,
+    is_builtin,
+    term_compare,
+)
+from repro.prolog import parse_term
+from repro.terms import EMPTY_SUBST, Struct, fresh_var
+
+
+def det(name, arity, *args, subst=EMPTY_SUBST):
+    return DET_BUILTINS[(name, arity)](args, subst)
+
+
+def test_eval_arith():
+    assert eval_arith(parse_term("1 + 2 * 3"), EMPTY_SUBST) == 7
+    assert eval_arith(parse_term("7 // 2"), EMPTY_SUBST) == 3
+    assert eval_arith(parse_term("-7 // 2"), EMPTY_SUBST) == -3  # truncating
+    assert eval_arith(parse_term("7 mod 3"), EMPTY_SUBST) == 1
+    assert eval_arith(parse_term("2 ** 5"), EMPTY_SUBST) == 32
+    assert eval_arith(parse_term("max(3, min(9, 5))"), EMPTY_SUBST) == 5
+    assert eval_arith(parse_term("abs(-4)"), EMPTY_SUBST) == 4
+    assert eval_arith(parse_term("5 /\\ 3"), EMPTY_SUBST) == 1
+    assert eval_arith(parse_term("1 << 4"), EMPTY_SUBST) == 16
+
+
+def test_eval_arith_errors():
+    with pytest.raises(PrologError):
+        eval_arith(fresh_var(), EMPTY_SUBST)
+    with pytest.raises(PrologError):
+        eval_arith(parse_term("1 // 0"), EMPTY_SUBST)
+    with pytest.raises(PrologError):
+        eval_arith(parse_term("foo(1)"), EMPTY_SUBST)
+
+
+def test_is_builtin_table():
+    assert is_builtin(("=", 2))
+    assert is_builtin(("between", 3))
+    assert is_builtin((",", 2))
+    assert not is_builtin(("frobnicate", 3))
+
+
+def test_comparisons():
+    assert det("<", 2, 1, 2) is not None
+    assert det("<", 2, 2, 1) is None
+    assert det("=:=", 2, parse_term("2+1"), 3) is not None
+    assert det("=\\=", 2, 3, 3) is None
+
+
+def test_standard_order():
+    v = fresh_var()
+    assert term_compare(v, 1, EMPTY_SUBST) < 0  # Var < Int
+    assert term_compare(1, "a", EMPTY_SUBST) < 0  # Int < Atom
+    assert term_compare("a", Struct("f", (1,)), EMPTY_SUBST) < 0  # Atom < Struct
+    assert term_compare(Struct("f", (1,)), Struct("f", (2,)), EMPTY_SUBST) < 0
+    assert det("@<", 2, "a", "b") is not None
+    assert det("@>=", 2, "a", "b") is None
+
+
+def test_functor_both_directions():
+    x = fresh_var()
+    s = det("functor", 3, parse_term("f(a,b)"), x, fresh_var())
+    assert s.resolve(x) == "f"
+    t = fresh_var()
+    s = det("functor", 3, t, "g", 2)
+    built = s.resolve(t)
+    assert built.indicator == ("g", 2)
+    s = det("functor", 3, fresh_var(), "atom", 0)
+    assert s is not None
+
+
+def test_arg_and_univ():
+    x = fresh_var()
+    s = det("arg", 3, 2, parse_term("f(a,b,c)"), x)
+    assert s.resolve(x) == "b"
+    assert det("arg", 3, 9, parse_term("f(a)"), x) is None
+    lst = fresh_var()
+    s = det("=..", 2, parse_term("f(a,b)"), lst)
+    from repro.terms import list_elements
+
+    elements, _ = list_elements(s.resolve(lst))
+    assert elements == ["f", "a", "b"]
+    t = fresh_var()
+    s = det("=..", 2, t, parse_term("[g, 1, 2]"))
+    assert s.resolve(t) == Struct("g", (1, 2))
+
+
+def test_type_tests():
+    assert det("atom", 1, "a") is not None
+    assert det("atom", 1, 1) is None
+    assert det("number", 1, 3) is not None
+    assert det("compound", 1, Struct("f", (1,))) is not None
+    assert det("var", 1, fresh_var()) is not None
+    assert det("nonvar", 1, fresh_var()) is None
+
+
+def test_length_and_codes():
+    n = fresh_var()
+    s = det("length", 2, parse_term("[a,b,c]"), n)
+    assert s.resolve(n) == 3
+    tail = fresh_var()
+    s = det("length", 2, tail, 2)
+    from repro.terms import list_elements
+
+    elements, end = list_elements(s.resolve(tail))
+    assert len(elements) == 2 and end == "[]"
+    codes = fresh_var()
+    s = det("atom_codes", 2, "ab", codes)
+    elements, _ = list_elements(s.resolve(codes))
+    assert elements == [97, 98]
+    atom = fresh_var()
+    s = det("atom_codes", 2, atom, parse_term("[104, 105]"))
+    assert s.resolve(atom) == "hi"
+    number = fresh_var()
+    s = det("number_codes", 2, number, parse_term('"42"'))
+    assert s.resolve(number) == 42
+
+
+def test_between_and_member():
+    x = fresh_var()
+    results = [s.resolve(x) for s in NONDET_BUILTINS[("between", 3)]((1, 3, x), EMPTY_SUBST)]
+    assert results == [1, 2, 3]
+    results = [
+        s.resolve(x)
+        for s in NONDET_BUILTINS[("member", 2)]((x, parse_term("[a,b]")), EMPTY_SUBST)
+    ]
+    assert results == ["a", "b"]
+
+
+def test_copy_term():
+    x = fresh_var()
+    copy = fresh_var()
+    s = det("copy_term", 2, Struct("f", (x, x)), copy)
+    result = s.resolve(copy)
+    assert result.args[0] == result.args[1]
+    assert result.args[0].id != x.id

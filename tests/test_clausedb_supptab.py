@@ -1,0 +1,134 @@
+"""Clause database (indexing, compilation) and supplementary tabling."""
+
+from repro.engine import SLDEngine, TabledEngine
+from repro.engine.clausedb import ClauseDB, CompiledClause
+from repro.magic.supptab import SUPP_PREFIX, supplementary_tables
+from repro.prolog import load_program, parse_query, parse_term
+from repro.terms import EMPTY_SUBST, Struct, term_to_str, term_variables, variant_key
+
+
+FACTS = "\n".join(f"color(item{i}, {c})." for i, c in enumerate(["red", "green", "blue"] * 5))
+
+
+def test_fact_index_prunes_candidates():
+    program = load_program(FACTS)
+    db = ClauseDB(program)
+    assert ("color", 2) in db.fact_indexes
+    goal = parse_term("color(X, green)")
+    candidates = db.candidates(("color", 2), goal, EMPTY_SUBST)
+    assert len(candidates) == 5  # only the green facts
+    # unbound goal: full scan
+    goal = parse_term("color(X, Y)")
+    assert len(db.candidates(("color", 2), goal, EMPTY_SUBST)) == 15
+
+
+def test_fact_index_picks_most_selective():
+    program = load_program(FACTS)
+    db = ClauseDB(program)
+    goal = parse_term("color(item3, green)")
+    candidates = db.candidates(("color", 2), goal, EMPTY_SUBST)
+    assert len(candidates) == 1  # item3 bucket is smaller than green's
+
+
+def test_fact_index_not_built_for_rules():
+    program = load_program(FACTS + "\nderived(X) :- color(X, red).")
+    db = ClauseDB(program)
+    assert ("derived", 1) not in db.fact_indexes
+
+
+def test_compiled_clause_instantiate_shares_ground():
+    clause = load_program("p(X, f(a, b), g(X)) :- q(X).").clauses_for(("p", 3))[0]
+    compiled = CompiledClause(clause)
+    head1, body1 = compiled.instantiate()
+    head2, body2 = compiled.instantiate()
+    # fresh variables each time
+    assert term_variables(head1)[0].id != term_variables(head2)[0].id
+    # ground subterm f(a,b) is shared (same object)
+    assert head1.args[1] is head2.args[1]
+    assert head1.args[1] is clause.head.args[1]
+
+
+def test_compiled_first_arg_index():
+    src = """
+    move(pawn, one).
+    move(rook, many).
+    move(knight, jump).
+    move(X, unknown) :- \\+ atom(X).
+    """
+    program = load_program(src)
+    db = ClauseDB(program, compiled=True)
+    goal = parse_term("move(rook, W)")
+    candidates = db.candidates(("move", 2), goal, EMPTY_SUBST)
+    assert len(candidates) == 2  # rook clause + the var-headed clause
+
+
+def test_interpreted_and_compiled_resolve_agree():
+    src = """
+    f(a, 1). f(b, 2).
+    g(X, Y) :- f(X, Y).
+    """
+    program = load_program(src)
+    goal = parse_term("g(b, N)")
+    for compiled in (False, True):
+        db = ClauseDB(program, compiled=compiled)
+        engine = SLDEngine(db)
+        answers = [term_to_str(s.resolve(goal)) for s in engine.solve(goal)]
+        assert answers == ["g(b,2)"]
+
+
+# ----------------------------------------------------------------------
+# supplementary tabling
+
+
+LONG_BODY = """
+:- table p/2.
+p(X, W) :- a(X, Y), b(Y, Z), c(Z, U), d(U, W).
+a(1, 2). a(1, 3).
+b(2, 4). b(3, 4).
+c(4, 5). c(4, 6).
+d(5, 7). d(6, 7).
+"""
+
+
+def test_supplementary_preserves_answers():
+    program = load_program(LONG_BODY)
+    rewritten = supplementary_tables(program)
+    goal = parse_term("p(1, W)")
+    original = {variant_key(t) for t in TabledEngine(program).solve(goal)}
+    transformed = {variant_key(t) for t in TabledEngine(rewritten).solve(goal)}
+    assert original == transformed
+
+
+def test_supplementary_structure():
+    program = load_program(LONG_BODY)
+    rewritten = supplementary_tables(program)
+    supp_preds = [
+        ind for ind in rewritten.predicates() if ind[0].startswith(SUPP_PREFIX)
+    ]
+    assert len(supp_preds) == 3  # body of 4 literals -> 3 chain stages
+    for ind in supp_preds:
+        assert rewritten.is_tabled(ind)
+
+
+def test_supplementary_skips_short_and_control():
+    src = """
+    :- table q/1.
+    q(X) :- a(X).
+    q(X) :- a(X), (b(X) ; c(X)), d(X), e(X).
+    a(1). b(1). c(1). d(1). e(1).
+    """
+    rewritten = supplementary_tables(load_program(src), min_body=3)
+    # the disjunction clause is left intact (control construct)
+    assert not any(
+        ind[0].startswith(SUPP_PREFIX) for ind in rewritten.predicates()
+    )
+
+
+def test_supplementary_dedupes_intermediate_joins():
+    program = load_program(LONG_BODY)
+    plain = TabledEngine(program)
+    plain.solve(parse_term("p(1, W)"))
+    supp = TabledEngine(supplementary_tables(program))
+    supp.solve(parse_term("p(1, W)"))
+    # the Y/Z fan-in (2 paths to the same Z) is joined once under supp
+    assert supp.stats.tasks <= plain.stats.tasks + 12  # chains add setup

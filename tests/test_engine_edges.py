@@ -1,0 +1,144 @@
+"""Edge cases across the engines: 0-ary predicates, deep structures,
+error paths, facts with variables, goal forms."""
+
+import pytest
+
+from repro.engine import BottomUpEngine, SLDEngine, TabledEngine
+from repro.engine.builtins import PrologError
+from repro.prolog import load_program, parse_query, parse_term
+from repro.terms import make_list, term_to_str
+
+
+def test_zero_arity_predicates():
+    src = """
+    :- table go/0.
+    go :- step.
+    step.
+    flag :- go.
+    """
+    program = load_program(src)
+    assert TabledEngine(program).solve(parse_term("flag")) == ["flag"]
+    assert len(list(SLDEngine(program).solve(parse_term("flag")))) == 1
+
+
+def test_deep_list_iterative_safety():
+    """A 3000-element list exercises the iterative (non-recursive) SLD."""
+    src = """
+    len([], 0).
+    len([_|T], N) :- len(T, M), N is M + 1.
+    """
+    program = load_program(src)
+    goal, varmap = parse_query("len(L, N)")
+    from repro.terms import unify, EMPTY_SUBST
+
+    big = make_list(list(range(3000)))
+    s = unify(varmap["L"], big, EMPTY_SUBST)
+    engine = SLDEngine(program)
+    solution = next(engine.solve(goal, s))
+    assert solution.resolve(varmap["N"]) == 3000
+
+
+def test_unbound_goal_errors():
+    program = load_program("p(a).")
+    goal, _ = parse_query("call(X)")
+    with pytest.raises(PrologError):
+        list(SLDEngine(program).solve(goal))
+    with pytest.raises(PrologError):
+        TabledEngine(program).solve(goal)
+
+
+def test_integer_goal_errors():
+    program = load_program("p(a).")
+    goal = parse_term("','(p(a), 42)")
+    with pytest.raises(PrologError):
+        list(SLDEngine(program).solve(goal))
+
+
+def test_facts_with_variables():
+    src = """
+    :- table any_pair/2.
+    any_pair(X, Y).
+    specific(a, b).
+    q(V, W) :- any_pair(V, W), specific(V, W).
+    """
+    program = load_program(src)
+    result = TabledEngine(program).solve(parse_term("q(A, B)"))
+    assert [term_to_str(t) for t in result] == ["q(a,b)"]
+
+
+def test_tabled_engine_repeat_solve_uses_tables():
+    src = """
+    :- table fib/2.
+    fib(0, 0).
+    fib(1, 1).
+    fib(N, F) :- N > 1, N1 is N - 1, N2 is N - 2,
+                 fib(N1, F1), fib(N2, F2), F is F1 + F2.
+    """
+    program = load_program(src)
+    engine = TabledEngine(program)
+    first = engine.solve(parse_term("fib(15, F)"))
+    assert first[0].args[1] == 610
+    tasks_after_first = engine.stats.tasks
+    second = engine.solve(parse_term("fib(15, F)"))
+    assert second[0].args[1] == 610
+    # the variant table answers the repeat almost for free
+    assert engine.stats.tasks - tasks_after_first <= 3
+
+
+def test_tabling_makes_fib_linear():
+    """Tabled fib does O(n) work; the same query is exponential in SLD."""
+    src = """
+    :- table fib/2.
+    fib(0, 0).
+    fib(1, 1).
+    fib(N, F) :- N > 1, N1 is N - 1, N2 is N - 2,
+                 fib(N1, F1), fib(N2, F2), F is F1 + F2.
+    """
+    program = load_program(src)
+    engine = TabledEngine(program)
+    engine.solve(parse_term("fib(20, F)"))
+    assert engine.stats.tasks < 1500  # linear-ish, not 2^20
+
+
+def test_bottom_up_zero_arity():
+    src = """
+    base.
+    derived :- base.
+    """
+    engine = BottomUpEngine(load_program(src))
+    assert engine.facts(("derived", 0)) == ["derived"]
+
+
+def test_bottom_up_disjunction_unsupported_shape():
+    # bodies must be conjunctive literals; a struct is treated as a
+    # literal, so ';' reads as an (undefined) user predicate
+    src = "p(X) :- (q(X) ; r(X)).\nq(1).\nr(2)."
+    engine = BottomUpEngine(load_program(src))
+    assert engine.facts(("p", 1)) == []  # ';' never derivable
+
+
+def test_sld_between_backtracking():
+    program = load_program("pick(X) :- between(1, 5, X), X mod 2 =:= 0.")
+    goal, varmap = parse_query("pick(X)")
+    values = [s.resolve(varmap["X"]) for s in SLDEngine(program).solve(goal)]
+    assert values == [2, 4]
+
+
+def test_nested_negation():
+    src = """
+    p(1). p(2).
+    q(2).
+    r(X) :- p(X), \\+ \\+ q(X).
+    """
+    program = load_program(src)
+    goal, varmap = parse_query("r(X)")
+    values = [s.resolve(varmap["X"]) for s in SLDEngine(program).solve(goal)]
+    assert values == [2]
+
+
+def test_tabled_solve_returns_canonical_instances():
+    src = ":- table p/2.\np(X, X)."
+    result = TabledEngine(load_program(src)).solve(parse_term("p(A, B)"))
+    assert len(result) == 1
+    answer = result[0]
+    assert answer.args[0] == answer.args[1]  # sharing preserved

@@ -1,0 +1,160 @@
+"""Functional language: parser, AST, lazy interpreter."""
+
+import pytest
+
+from repro.funlang import (
+    Divergence,
+    ECall,
+    ECons,
+    ELit,
+    EPrim,
+    EVar,
+    FuelExhausted,
+    FunSyntaxError,
+    LazyInterpreter,
+    PCons,
+    PLit,
+    PVar,
+    parse_expr,
+    parse_fun_program,
+)
+from repro.funlang.ast import expr_variables, pattern_variables
+
+
+def test_parse_equation_shapes():
+    program = parse_fun_program("f(Cons(x, xs), 0, y) = g(x) + 1.\n")
+    [equation] = program.equations_for("f", 3)
+    assert equation.patterns == (
+        PCons("Cons", (PVar("x"), PVar("xs"))),
+        PLit(0),
+        PVar("y"),
+    )
+    assert isinstance(equation.rhs, EPrim)
+    assert program.constructors == {"Cons": 2}
+
+
+def test_parse_precedence():
+    e = parse_expr("1 + 2 * 3 < 10 - 4")
+    assert e.op == "<"
+    assert e.args[0].op == "+"
+    e = parse_expr("a div 2 mod 3")
+    assert e.op == "mod"
+
+
+def test_parse_negative_and_parens():
+    assert parse_expr("-5") == ELit(-5)
+    e = parse_expr("0 - x")
+    assert e.op == "-"
+    e = parse_expr("(1 + 2) * 3")
+    assert e.op == "*"
+
+
+def test_zero_arity_functions():
+    program = parse_fun_program("start() = 42.\nuse(x) = start() + x.\n")
+    interp = LazyInterpreter(program)
+    assert interp.run("use(1)") == 43
+
+
+def test_constructor_arity_conflict():
+    with pytest.raises(ValueError):
+        parse_fun_program("f(x) = Pair(x).\ng(x) = Pair(x, x).\n")
+
+
+def test_syntax_errors():
+    with pytest.raises(FunSyntaxError):
+        parse_fun_program("f(x = 1.\n")
+    with pytest.raises(FunSyntaxError):
+        parse_fun_program("f(x) = .\n")
+
+
+def test_if_injection():
+    program = parse_fun_program("g(x) = if(x < 1, 0, x).\n")
+    assert program.defines("if", 3)
+    # not injected when unused
+    program = parse_fun_program("g(x) = x.\n")
+    assert not program.defines("if", 3)
+
+
+def test_variable_helpers():
+    program = parse_fun_program("f(Cons(x, xs)) = g(x, x, xs).\n")
+    [equation] = program.equations_for("f", 1)
+    assert pattern_variables(equation.patterns[0]) == ["x", "xs"]
+    assert expr_variables(equation.rhs) == ["x", "x", "xs"]
+
+
+# ----------------------------------------------------------------------
+# interpreter
+
+PROGRAM = """
+ap(Nil, ys) = ys.
+ap(Cons(x, xs), ys) = Cons(x, ap(xs, ys)).
+len(Nil) = 0.
+len(Cons(x, xs)) = 1 + len(xs).
+nats(n) = Cons(n, nats(n + 1)).
+take(0, xs) = Nil.
+take(n, Cons(x, xs)) = Cons(x, take(n - 1, xs)).
+fact(0) = 1.
+fact(n) = n * fact(n - 1).
+"""
+
+
+@pytest.fixture
+def interp():
+    return LazyInterpreter(parse_fun_program(PROGRAM))
+
+
+def test_basic_evaluation(interp):
+    assert interp.run("fact(6)") == 720
+    assert interp.run("len(ap(Cons(1, Nil), Cons(2, Nil)))") == 2
+
+
+def test_laziness_infinite_list(interp):
+    """take from an infinite list works only under call-by-need."""
+    assert interp.run("len(take(5, nats(0)))") == 5
+    result = interp.run("take(3, nats(10))")
+    assert result == ("Cons", 10, ("Cons", 11, ("Cons", 12, ("Nil",))))
+
+
+def test_whnf_does_not_force_fields(interp):
+    assert interp.run("ap(Cons(bottom, Nil), Nil)", to="whnf") == "Cons"
+
+
+def test_bottom_diverges(interp):
+    with pytest.raises(Divergence):
+        interp.run("fact(bottom)")
+    with pytest.raises(Divergence):
+        interp.run("len(Cons(1, bottom))")
+
+
+def test_fuel_exhaustion():
+    interp = LazyInterpreter(parse_fun_program(PROGRAM), fuel=500)
+    with pytest.raises(FuelExhausted):
+        interp.run("len(nats(0))")
+
+
+def test_call_by_need_shares_work():
+    # the same thunk is forced once: quadratic blowup would exhaust fuel
+    src = """
+    double(x) = x + x.
+    tower(0) = 1.
+    tower(n) = double(tower(n - 1)).
+    """
+    interp = LazyInterpreter(parse_fun_program(src), fuel=20_000)
+    assert interp.run("tower(10)") == 1024
+
+
+def test_pattern_match_failure(interp):
+    with pytest.raises(ValueError):
+        interp.run("take(3, 17)")
+
+
+def test_undefined_function(interp):
+    with pytest.raises(KeyError):
+        interp.run("nosuch(1)")
+
+
+def test_comparison_produces_bool():
+    src = "ge(x, y) = if(x >= y, 1, 0).\n"
+    interp = LazyInterpreter(parse_fun_program(src))
+    assert interp.run("ge(3, 2)") == 1
+    assert interp.run("ge(1, 2)") == 0

@@ -1,0 +1,50 @@
+"""Benchmark harness utilities."""
+
+from repro.benchdata import PAPER_TABLE1, prolog_benchmark_source
+from repro.harness import (
+    Row,
+    compile_baseline,
+    depthk_row,
+    ghc_like_compile_baseline,
+    groundness_row,
+    render_table,
+    strictness_row,
+)
+
+QSORT = prolog_benchmark_source("qsort")
+
+
+def test_compile_baseline_positive():
+    assert compile_baseline(QSORT) > 0
+    assert ghc_like_compile_baseline("inc(x) = x + 1.\n") > 0
+
+
+def test_groundness_row_fields():
+    row, result = groundness_row("qsort", QSORT)
+    assert row.name == "qsort"
+    assert row.lines > 10
+    assert row.total == row.preprocess + row.analysis + row.collection
+    assert row.compile_increase_pct and row.compile_increase_pct > 0
+    assert row.table_space > 0
+    assert result[("qsort", 2)].ground_on_success == (True, True)
+
+
+def test_strictness_row_fields():
+    source = "ap(Nil, ys) = ys.\nap(Cons(x, xs), ys) = Cons(x, ap(xs, ys)).\n"
+    row, result = strictness_row("ap", source)
+    assert row.total > 0
+    assert result[("ap", 2)].demand_d == ("d", "n")
+
+
+def test_depthk_row_fields():
+    row, result = depthk_row("qsort", QSORT, depth=2)
+    assert row.total > 0
+    assert result[("qsort", 2)].ground_on_success == (True, True)
+
+
+def test_render_table():
+    rows = [Row("demo", 10, 0.001, 0.002, 0.0005, 50.0, 1234)]
+    text = render_table("Table X", rows, paper={"demo": (10, 0.1, 0.2, 0.3, 0.6, 50, 999)})
+    assert "Table X" in text
+    assert "demo" in text
+    assert "0.60s" in text

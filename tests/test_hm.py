@@ -1,0 +1,118 @@
+"""Hindley-Milner type analysis (section 6.1 extension)."""
+
+import pytest
+
+from repro.core.hm import (
+    TypeInferenceError,
+    infer_program,
+    reconstruct_datatypes,
+)
+from repro.funlang import parse_fun_program
+
+
+def infer(src):
+    return infer_program(parse_fun_program(src))
+
+
+def test_monotypes():
+    types = infer("inc(x) = x + 1.\n")
+    assert types[("inc", 1)] == "fn(int,int)"
+
+
+def test_comparison_gives_bool():
+    types = infer("lt(x, y) = x < y.\n")
+    assert types[("lt", 2)] == "fn(int,int,bool)"
+
+
+def test_if_is_polymorphic():
+    # the len equations pattern-match Nil and Cons together, which is
+    # what groups them into one datatype (reconstruction is syntactic)
+    types = infer(
+        """
+        len(Nil) = 0.
+        len(Cons(x, xs)) = 1 + len(xs).
+        num(c) = if(c, 1, 2).
+        lst(c) = if(c, Nil, Cons(1, Nil)).
+        """
+    )
+    assert types[("if", 3)].startswith("fn(bool,")
+    # used at two different result types
+    assert types[("num", 1)] == "fn(bool,int)"
+    assert "adt$" in types[("lst", 1)]
+
+
+def test_polymorphic_identity():
+    types = infer("id(x) = x.\nuse(y) = id(y) + id(1).\n")
+    # id generalizes: usable at int after being used at a fresh type
+    assert types[("use", 1)] == "fn(int,int)"
+
+
+def test_recursive_list_type():
+    types = infer(
+        "len(Nil) = 0.\nlen(Cons(x, xs)) = 1 + len(xs).\n"
+    )
+    t = types[("len", 1)]
+    assert t.endswith("int)")
+    assert "rec" in t  # the reconstructed list type is recursive
+
+
+def test_type_error_detected():
+    with pytest.raises(TypeInferenceError):
+        infer("bad(x) = x + Nil.\n")
+
+
+def test_constructor_field_clash():
+    with pytest.raises(TypeInferenceError):
+        infer(
+            """
+            f(Cons(x, xs)) = x + 1.
+            g(y) = f(Cons(Nil, Nil)).
+            """
+        )
+
+
+def test_unbound_variable_rejected():
+    with pytest.raises(TypeInferenceError):
+        infer("f(x) = y.\n")
+
+
+def test_datatype_reconstruction_groups():
+    program = parse_fun_program(
+        """
+        len(Nil) = 0.
+        len(Cons(x, xs)) = 1 + len(xs).
+        tree_size(Leaf) = 0.
+        tree_size(Node(l, r)) = tree_size(l) + tree_size(r).
+        """
+    )
+    datatypes = reconstruct_datatypes(program)
+    assert datatypes["Nil"].group == datatypes["Cons"].group
+    assert datatypes["Leaf"].group == datatypes["Node"].group
+    assert datatypes["Nil"].group != datatypes["Leaf"].group
+    assert datatypes["Cons"].constructors == {"Nil": 0, "Cons": 2}
+
+
+def test_mutual_recursion():
+    types = infer(
+        """
+        is_even(n) = if(n == 0, True, is_odd(n - 1)).
+        is_odd(n) = if(n == 0, False, is_even(n - 1)).
+        """
+    )
+    assert types[("is_even", 1)] == "fn(int,bool)"
+    assert types[("is_odd", 1)] == "fn(int,bool)"
+
+
+def test_occur_check_via_terms_layer():
+    """Section 6.1: type equations need unification with occur check.
+
+    The terms layer provides it; self-referential equations have no
+    finite solution.
+    """
+    from repro.terms import EMPTY_SUBST, Struct, fresh_var, unify
+
+    alpha = fresh_var()
+    fn_type = Struct("fn", (alpha, alpha))
+    # alpha = fn(alpha, alpha): the classic self-application equation
+    assert unify(alpha, fn_type, EMPTY_SUBST, occur_check=True) is None
+    assert unify(alpha, fn_type, EMPTY_SUBST, occur_check=False) is not None

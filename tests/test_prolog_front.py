@@ -1,0 +1,179 @@
+"""Lexer, parser, writer and Program container tests."""
+
+import pytest
+
+from repro.prolog import (
+    Clause,
+    PrologSyntaxError,
+    load_program,
+    parse_program,
+    parse_query,
+    parse_term,
+    tokenize,
+    write_clause,
+    write_term,
+)
+from repro.terms import Struct, Var, list_elements, term_to_str
+
+
+# ----------------------------------------------------------------------
+# lexer
+
+
+def test_tokenize_kinds():
+    tokens = tokenize("foo(Bar, 42, 'q a', \"hi\", 0'a). % comment\n")
+    kinds = [t.kind for t in tokens]
+    assert kinds == [
+        "atom", "open_ct", "var", "punct", "int", "punct",
+        "qatom", "punct", "string", "punct", "int", "punct", "end", "eof",
+    ]
+
+
+def test_tokenize_symbolic_and_end():
+    tokens = tokenize("a:-b.")
+    assert [t.value for t in tokens[:4]] == ["a", ":-", "b", "."]
+    # '.' inside a symbol run is not an end
+    tokens = tokenize("X =.. L.")
+    assert tokens[1].value == "=.."
+
+
+def test_tokenize_block_comment_and_escapes():
+    tokens = tokenize("/* multi\nline */ 'a\\nb'")
+    assert tokens[0].kind == "qatom"
+    assert tokens[0].value == "a\nb"
+
+
+def test_tokenize_char_codes():
+    tokens = tokenize("0'a 0'\\n 0x1F")
+    assert [t.value for t in tokens[:3]] == [97, 10, 31]
+
+
+def test_tokenize_errors():
+    with pytest.raises(PrologSyntaxError):
+        tokenize("'unterminated")
+    with pytest.raises(PrologSyntaxError):
+        tokenize("/* unterminated")
+
+
+# ----------------------------------------------------------------------
+# parser
+
+
+def test_operator_precedence():
+    t = parse_term("1 + 2 * 3")
+    assert t == Struct("+", (1, Struct("*", (2, 3))))
+    t = parse_term("1 - 2 - 3")  # left associative
+    assert t == Struct("-", (Struct("-", (1, 2)), 3))
+    t = parse_term("a , b ; c")
+    assert t.functor == ";"
+    t = parse_term("X = Y + 1")
+    assert t.functor == "="
+
+
+def test_prefix_operators():
+    assert parse_term("-5") == -5
+    assert parse_term("- X").functor == "-"
+    assert parse_term("\\+ a") == Struct("\\+", ("a",))
+    # '-' used as an atom argument
+    t = parse_term("f(-, a)")
+    assert t.args[0] == "-"
+
+
+def test_lists_and_strings():
+    t = parse_term("[1, 2 | T]")
+    elements, tail = list_elements(t)
+    assert elements == [1, 2]
+    assert isinstance(tail, Var)
+    t = parse_term('"ab"')
+    elements, _ = list_elements(t)
+    assert elements == [97, 98]
+
+
+def test_curly_and_parens():
+    assert parse_term("{}") == "{}"
+    t = parse_term("{a, b}")
+    assert t.functor == "{}"
+    assert parse_term("(1 + 2) * 3").functor == "*"
+
+
+def test_clause_var_scope():
+    clauses = parse_program("p(X) :- q(X).\nr(X).\n")
+    x1 = clauses[0].varmap["X"]
+    x2 = clauses[1].varmap["X"]
+    assert x1.id != x2.id
+    # underscore is always fresh
+    clauses = parse_program("p(_, _).\n")
+    head = clauses[0].head
+    assert head.args[0] != head.args[1]
+
+
+def test_query_varmap():
+    goal, varmap = parse_query("append(X, Y, [1])")
+    assert set(varmap) == {"X", "Y"}
+    assert goal.indicator == ("append", 3)
+
+
+def test_directives_and_program():
+    program = load_program(
+        """
+        :- table p/2, q/1.
+        :- entry_point(p(g, any)).
+        p(X, Y) :- q(X), q(Y).
+        q(1).
+        """
+    )
+    assert program.is_tabled(("p", 2))
+    assert program.is_tabled(("q", 1))
+    assert not program.is_tabled(("r", 1))
+    assert len(program.directives) == 2
+    assert program.clause_count() == 2
+    assert program.predicates() == [("p", 2), ("q", 1)]
+
+
+def test_parse_errors():
+    with pytest.raises(PrologSyntaxError):
+        parse_program("p(X :- q.")
+    with pytest.raises(PrologSyntaxError):
+        parse_program("p(X)")  # missing end
+    with pytest.raises(PrologSyntaxError):
+        parse_term("f(,)")
+
+
+# ----------------------------------------------------------------------
+# writer round-trips
+
+
+ROUNDTRIP_SAMPLES = [
+    "f(a,b)",
+    "1+2*3",
+    "(1+2)*3",
+    "[1,2|T]",
+    "a:-b,c",
+    "X is Y mod 3",
+    "\\+ foo(X)",
+    "f('quoted atom',[])",
+    "a;b->c;d",
+    "g(-1,- X)",
+    "X=..L",
+]
+
+
+@pytest.mark.parametrize("text", ROUNDTRIP_SAMPLES)
+def test_write_parse_roundtrip(text):
+    t = parse_term(text)
+    written = write_term(t)
+    reparsed = parse_term(written)
+    # compare up to variable identity via canonical printing
+    assert term_to_str(reparsed) == term_to_str(t) or write_term(reparsed) == written
+
+
+def test_write_clause_forms():
+    clause = parse_program("p(X) :- q(X), r(X).")[0]
+    assert write_clause(clause) == "p(X) :- q(X),r(X)."
+    fact = parse_program("p(a).")[0]
+    assert write_clause(fact) == "p(a)."
+
+
+def test_source_lines_metric():
+    program = load_program("% comment only\n\np(a).\nq(b).\n")
+    assert program.source_lines == 2

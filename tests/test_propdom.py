@@ -1,0 +1,119 @@
+"""Prop domain: PropFunction operations and iff encodings."""
+
+from itertools import product
+
+from hypothesis import given, strategies as st
+
+from repro.core.propdom import (
+    PropFunction,
+    iff_facts,
+    iff_facts_compact,
+    iff_recursive,
+    iff_support_clauses,
+    iff_name,
+)
+from repro.engine import TabledEngine
+from repro.prolog.program import Program
+from repro.terms import Struct, fresh_var
+
+
+rows_strategy = st.sets(
+    st.tuples(st.booleans(), st.booleans(), st.booleans()), max_size=8
+)
+
+
+@given(rows_strategy, rows_strategy)
+def test_conj_disj_are_set_ops(rows1, rows2):
+    f1, f2 = PropFunction(3, rows1), PropFunction(3, rows2)
+    assert f1.conj(f2).rows == frozenset(rows1) & frozenset(rows2)
+    assert f1.disj(f2).rows == frozenset(rows1) | frozenset(rows2)
+
+
+@given(rows_strategy)
+def test_exists_is_projection(rows):
+    f = PropFunction(3, rows)
+    projected = f.exists(1)
+    assert projected.arity == 2
+    assert projected.rows == {(r[0], r[2]) for r in rows}
+
+
+@given(rows_strategy)
+def test_definitely_true_sound(rows):
+    f = PropFunction(3, rows)
+    flags = f.definitely_true()
+    for i, flag in enumerate(flags):
+        if flag and rows:
+            assert all(r[i] for r in rows)
+
+
+def test_iff_conj_truth_table():
+    # x0 <-> x1 & x2
+    f = PropFunction.iff_conj(3, 0, (1, 2))
+    expected = {
+        r for r in product((True, False), repeat=3) if r[0] == (r[1] and r[2])
+    }
+    assert f.rows == expected
+
+
+def test_top_bottom():
+    assert PropFunction.top(2).rows == set(product((True, False), repeat=2))
+    assert PropFunction.bottom(2).is_bottom()
+    assert PropFunction.bottom(2).definitely_true() == (True, True)
+
+
+def test_dnf_rendering():
+    assert PropFunction.bottom(1).dnf() == "false"
+    assert PropFunction.top(1).dnf() == "true"
+    f = PropFunction(2, {(True, False)})
+    assert f.dnf(["A", "B"]) == "(A & ~B)"
+
+
+def test_restrict_to():
+    f = PropFunction(3, {(True, False, True), (False, False, True)})
+    g = f.restrict_to((2, 0))
+    assert g.rows == {(True, True), (True, False)}
+
+
+# ----------------------------------------------------------------------
+# iff encodings: all three have the same success set
+
+
+def _success_set(clauses, nvars):
+    program = Program()
+    program.add_clauses(clauses)
+    program.table_all = True
+    engine = TabledEngine(program)
+    goal = Struct(iff_name(nvars), tuple(fresh_var() for _ in range(nvars + 1)))
+    answers = engine.solve(goal)
+    # expand free variables over both truth values
+    from repro.core.groundness import _expand
+
+    rows = set()
+    for answer in answers:
+        rows.update(_expand(answer, nvars + 1))
+    return rows
+
+
+def test_iff_encodings_equivalent():
+    for nvars in range(0, 5):
+        enumerated = _success_set(iff_facts(nvars), nvars)
+        compact = _success_set(iff_facts_compact(nvars), nvars)
+        assert enumerated == compact, nvars
+        expected = {
+            (all(r),) + r for r in product((True, False), repeat=nvars)
+        }
+        assert enumerated == expected
+
+
+def test_iff_recursive_equivalent():
+    for nvars in (1, 3, 5):
+        clauses = iff_recursive(nvars) + iff_support_clauses()
+        recursive = _success_set(clauses, nvars)
+        enumerated = _success_set(iff_facts(nvars), nvars)
+        assert recursive == enumerated
+
+
+def test_fact_counts():
+    assert len(iff_facts(6)) == 64
+    assert len(iff_facts_compact(6)) == 7
+    assert len(iff_recursive(6)) == 1

@@ -1,0 +1,62 @@
+"""The public API surface: imports, __all__ consistency, docstrings."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.terms",
+    "repro.prolog",
+    "repro.engine",
+    "repro.magic",
+    "repro.core",
+    "repro.funlang",
+    "repro.bdd",
+    "repro.baselines",
+    "repro.imperative",
+    "repro.benchdata",
+    "repro.harness",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_package_imports_and_documents(name):
+    module = importlib.import_module(name)
+    assert module.__doc__, f"{name} lacks a docstring"
+
+
+@pytest.mark.parametrize("name", [p for p in PACKAGES if p != "repro"])
+def test_all_exports_resolve(name):
+    module = importlib.import_module(name)
+    for symbol in getattr(module, "__all__", []):
+        attr = getattr(module, symbol)
+        assert attr is not None
+
+
+def test_top_level_convenience():
+    import repro
+
+    # the headline entry points are reachable from the package root
+    from repro.core import analyze_groundness, analyze_strictness
+    from repro.engine import TabledEngine
+    from repro.prolog import load_program
+
+    assert callable(analyze_groundness)
+    assert callable(analyze_strictness)
+    assert TabledEngine is not None
+    assert callable(load_program)
+
+
+def test_public_functions_documented():
+    from repro.core import groundness, strictness, depthk
+
+    for fn in (
+        groundness.analyze_groundness,
+        groundness.abstract_program,
+        strictness.analyze_strictness,
+        strictness.strictness_program,
+        depthk.analyze_depthk,
+        depthk.abstract_unify,
+    ):
+        assert fn.__doc__, fn.__name__

@@ -1,0 +1,99 @@
+"""Property-based round trips: writer -> parser and analysis sanity on
+randomly generated programs."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import analyze_gaia
+from repro.core import analyze_groundness
+from repro.prolog import parse_term, write_term
+from repro.prolog.parser import Clause
+from repro.prolog.program import Program
+from repro.terms import Struct, Var, is_variant, make_list
+
+
+# ----------------------------------------------------------------------
+# writer/parser round trip on generated terms
+
+_NAMED_VARS = [Var(2_000_000 + i, f"V{i}") for i in range(3)]
+
+
+def writable_terms():
+    leaves = st.one_of(
+        st.sampled_from(["a", "bc", "hello world", "[]", "+"]),
+        st.integers(min_value=-99, max_value=99),
+        st.sampled_from(_NAMED_VARS),
+    )
+
+    def extend(children):
+        structs = st.builds(
+            lambda f, args: Struct(f, tuple(args)),
+            st.sampled_from(["f", "g", "-", "+", "is", "mod", ","]),
+            st.lists(children, min_size=1, max_size=2),
+        )
+        lists = st.builds(lambda xs: make_list(xs), st.lists(children, max_size=3))
+        return st.one_of(structs, lists)
+
+    return st.recursive(leaves, extend, max_leaves=8)
+
+
+@given(writable_terms())
+@settings(max_examples=150)
+def test_write_then_parse_is_variant(term):
+    # operators of wrong arity (e.g. is/1) print in canonical form, so
+    # every written term must re-parse to a variant of the original
+    written = write_term(term)
+    reparsed = parse_term(written)
+    assert is_variant(term, reparsed), (term, written, reparsed)
+
+
+# ----------------------------------------------------------------------
+# random datalog-ish programs: declarative == GAIA on all of them
+
+
+def random_programs():
+    """Small random programs over unary/binary predicates and terms."""
+    atoms = st.sampled_from(["a", "b", "c"])
+    variables = st.sampled_from(_NAMED_VARS)
+    args = st.one_of(
+        atoms,
+        variables,
+        st.builds(lambda x: Struct("f", (x,)), st.one_of(atoms, variables)),
+    )
+    head = st.builds(
+        lambda a1, a2: Struct("p", (a1, a2)), args, args
+    )
+    body_literal = st.one_of(
+        st.builds(lambda a1, a2: Struct("p", (a1, a2)), args, args),
+        st.builds(lambda a1, a2: Struct("q", (a1, a2)), args, args),
+        st.just("true"),
+    )
+    base_fact = st.builds(lambda a1, a2: Struct("q", (a1, a2)), atoms, atoms)
+
+    def build(heads_bodies, facts):
+        program = Program()
+        for h, b in heads_bodies:
+            program.add_clause(Clause(h, b))
+        for f in facts:
+            program.add_clause(Clause(f, "true"))
+        if not program.clauses_for(("q", 2)):
+            program.add_clause(Clause(Struct("q", ("a", "b")), "true"))
+        return program
+
+    return st.builds(
+        build,
+        st.lists(st.tuples(head, body_literal), min_size=1, max_size=4),
+        st.lists(base_fact, max_size=3),
+    )
+
+
+@given(random_programs())
+@settings(max_examples=40, deadline=None)
+def test_declarative_equals_gaia_on_random_programs(program):
+    declarative = analyze_groundness(program)
+    gaia = analyze_gaia(program, with_calls=False)
+    for indicator in program.predicates():
+        assert declarative[indicator].success == gaia[indicator].success, (
+            indicator,
+            sorted(declarative[indicator].success.rows),
+            sorted(gaia[indicator].success.rows),
+        )

@@ -1,0 +1,88 @@
+"""Variant checking and canonical forms (the tabling key discipline)."""
+
+from hypothesis import given
+
+from repro.terms import (
+    EMPTY_SUBST,
+    Struct,
+    canonical,
+    fresh_var,
+    is_variant,
+    rename_apart,
+    term_variables,
+    unify,
+    variant_key,
+)
+from tests.test_unify import terms
+
+
+def test_variants_differ_only_in_names():
+    x, y = fresh_var("X"), fresh_var("Y")
+    a, b = fresh_var("A"), fresh_var("B")
+    t1 = Struct("f", (x, Struct("g", (x, y))))
+    t2 = Struct("f", (a, Struct("g", (a, b))))
+    t3 = Struct("f", (a, Struct("g", (b, b))))  # different sharing
+    assert is_variant(t1, t2)
+    assert not is_variant(t1, t3)
+
+
+def test_variant_respects_subst():
+    x, y = fresh_var(), fresh_var()
+    s = unify(x, "a", EMPTY_SUBST)
+    assert variant_key(Struct("f", (x,)), s) == variant_key(Struct("f", ("a",)))
+    assert variant_key(Struct("f", (y,)), s) != variant_key(Struct("f", ("a",)))
+
+
+def test_canonical_produces_fresh_variables():
+    x = fresh_var("X")
+    t = Struct("f", (x, x))
+    c = canonical(t)
+    variables = term_variables(c)
+    assert len(variables) == 1
+    assert variables[0].id != x.id
+    assert is_variant(t, c)
+
+
+def test_rename_apart_shares_structure():
+    x = fresh_var()
+    t = Struct("f", (x, Struct("g", (x,)), "const"))
+    r = rename_apart(t)
+    assert is_variant(t, r)
+    assert term_variables(r)[0].id != x.id
+
+
+@given(terms())
+def test_canonical_is_variant_of_original(t):
+    assert is_variant(t, canonical(t))
+
+
+@given(terms())
+def test_rename_apart_is_variant(t):
+    assert is_variant(t, rename_apart(t))
+
+
+@given(terms(), terms())
+def test_variant_key_separates_non_variants(t1, t2):
+    """Equal keys imply variance (checked via canonical equality)."""
+    if variant_key(t1) == variant_key(t2):
+        # canonicalize both with a deterministic renaming to compare
+        def normal(t):
+            mapping = {}
+
+            def go(x):
+                from repro.terms import Var
+
+                if isinstance(x, Var):
+                    return mapping.setdefault(x.id, f"v{len(mapping)}")
+                if isinstance(x, Struct):
+                    return Struct(x.functor, tuple(go(a) for a in x.args))
+                return x
+
+            return go(t)
+
+        assert normal(t1) == normal(t2)
+
+
+@given(terms())
+def test_variant_key_invariant_under_renaming(t):
+    assert variant_key(t) == variant_key(rename_apart(t))

@@ -1,0 +1,111 @@
+"""Interval analysis with widening (section 6.1)."""
+
+import pytest
+
+from repro.core.widening import (
+    NEG_INF,
+    POS_INF,
+    analyze_intervals,
+    interval,
+    interval_program,
+    iv_add,
+    iv_join,
+    iv_mul,
+    iv_possibly,
+    iv_sub,
+    iv_widen,
+    widening_join,
+)
+from repro.engine.builtins import PrologError
+from repro.prolog import load_program
+
+
+def test_interval_arithmetic():
+    a, b = interval(1, 3), interval(-2, 2)
+    assert iv_add(a, b) == interval(-1, 5)
+    assert iv_sub(a, b) == interval(-1, 5)
+    assert iv_mul(a, b) == interval(-6, 6)
+    assert iv_add(interval(NEG_INF, 0), a) == interval(NEG_INF, 3)
+
+
+def test_join_and_widen():
+    a, b = interval(0, 5), interval(3, 9)
+    assert iv_join(a, b) == interval(0, 9)
+    # widening: the growing upper bound escapes to infinity
+    assert iv_widen(a, iv_join(a, b)) == interval(0, POS_INF)
+    # stable bounds stay
+    assert iv_widen(a, a) == a
+    assert iv_widen(interval(2, 5), interval(0, 5)) == interval(NEG_INF, 5)
+
+
+def test_possibly_comparisons():
+    a, b = interval(0, 5), interval(3, 9)
+    assert iv_possibly("<", a, b)
+    assert iv_possibly(">", b, a)
+    assert not iv_possibly("<", interval(10, 20), interval(0, 5))
+    assert iv_possibly("=:=", a, b)
+    assert not iv_possibly("=:=", interval(0, 1), interval(5, 6))
+
+
+def test_counting_terminates_with_widening():
+    """The paper's motivating case: infinite ascending chains."""
+    program = load_program(
+        """
+        count(0).
+        count(N) :- count(M), N is M + 1.
+        """
+    )
+    result = analyze_intervals(program)
+    assert result.bounds(("count", 1)) == [(0, POS_INF)]
+    # finitely many answers despite the infinite concrete answer set
+    assert result.stats["answers"] < 10
+
+
+def test_bounded_descent():
+    program = load_program(
+        """
+        down(10).
+        down(N) :- down(M), M > 0, N is M - 1.
+        """
+    )
+    result = analyze_intervals(program)
+    lo, hi = result.bounds(("down", 1))[0]
+    assert hi == 10
+    assert lo in (NEG_INF, 0)  # widening may overshoot the lower bound
+
+
+def test_multiple_arguments():
+    program = load_program(
+        """
+        base(1, 2).
+        step(X, Y) :- base(X, Y).
+        step(X, Y) :- step(A, B), X is A + 1, Y is B + 2.
+        """
+    )
+    result = analyze_intervals(program)
+    bounds = result.bounds(("step", 2))
+    assert bounds[0][0] == 1
+    assert bounds[0][1] == POS_INF
+    assert bounds[1][0] == 2
+
+
+def test_widening_join_hook_contract():
+    first = widening_join([], interval(0, 0))
+    assert first is None  # store first answer as-is
+    from repro.terms import Struct
+
+    old = Struct("p", (interval(0, 1),))
+    new = Struct("p", (interval(0, 2),))
+    replacement = widening_join([old], new)
+    assert replacement is not None
+    (widened,) = replacement
+    assert widened.args[0] == interval(0, POS_INF)
+    # no growth -> drop
+    assert widening_join([old], Struct("p", (interval(0, 1),))) == []
+
+
+def test_unsupported_constructs_rejected():
+    with pytest.raises(PrologError):
+        interval_program(load_program("p(X) :- atom_codes(X, _)."))
+    with pytest.raises(PrologError):
+        interval_program(load_program("p(foo)."))
