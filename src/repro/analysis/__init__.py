@@ -1,0 +1,44 @@
+"""Program-graph static analysis: dependency SCCs, lint, stratification.
+
+The subsystem the engines and transformations lean on for *structure*:
+
+* :mod:`repro.analysis.depgraph` — predicate dependency graph, Tarjan
+  SCC condensation (callees-first order), query reachability;
+* :mod:`repro.analysis.diagnostics` — structured :class:`Diagnostic`
+  findings with severities and source locations;
+* :mod:`repro.analysis.safety` — range restriction, builtin modes and
+  the tabled depth-growth heuristic;
+* :mod:`repro.analysis.stratify` — stratification of negation over the
+  condensation;
+* :mod:`repro.analysis.lint` / :mod:`repro.analysis.cli` — the combined
+  lint pass and its ``python -m repro.lint`` front end.
+
+The SCC order drives :class:`repro.engine.bottomup.BottomUpEngine`'s
+stratum-by-stratum evaluation, and query reachability prunes the magic
+transformation's input (:mod:`repro.magic.magic`).
+"""
+
+from repro.analysis.depgraph import (
+    CallSite,
+    DependencyGraph,
+    body_call_sites,
+    build_dependency_graph,
+    prune_unreachable,
+)
+from repro.analysis.diagnostics import Diagnostic, LintReport, Severity
+from repro.analysis.lint import lint_program
+from repro.analysis.stratify import stratum_numbers, unstratified_sites
+
+__all__ = [
+    "CallSite",
+    "DependencyGraph",
+    "body_call_sites",
+    "build_dependency_graph",
+    "prune_unreachable",
+    "Diagnostic",
+    "LintReport",
+    "Severity",
+    "lint_program",
+    "stratum_numbers",
+    "unstratified_sites",
+]

@@ -1,0 +1,97 @@
+"""Command line front end: ``python -m repro.lint file.pl [--query G]``.
+
+Prints one compiler-style line per diagnostic::
+
+    prog.pl:14: error [undefined-call] call to undefined predicate qq/1 (p/2, clause 2)
+
+and exits 1 when any error-severity diagnostic was produced, 2 when a
+file cannot be read or parsed, 0 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.diagnostics import LintReport, Severity
+from repro.analysis.lint import lint_program
+from repro.prolog.lexer import PrologSyntaxError
+from repro.prolog.parser import parse_term
+from repro.prolog.program import load_program
+
+EXIT_OK = 0
+EXIT_ERRORS = 1
+EXIT_USAGE = 2
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Static checks for logic programs: undefined calls, "
+        "safety/range restriction, stratification, cuts under tabling, "
+        "depth-boundedness of tabled recursion.",
+    )
+    parser.add_argument("files", nargs="+", help="Prolog source files")
+    parser.add_argument(
+        "--query",
+        "-q",
+        metavar="GOAL",
+        help="entry goal, e.g. 'main(X)'; enables dead-code detection",
+    )
+    parser.add_argument(
+        "--errors-only",
+        action="store_true",
+        help="suppress warnings and notes",
+    )
+    parser.add_argument(
+        "--summary",
+        action="store_true",
+        help="append a per-file summary line",
+    )
+    return parser
+
+
+def lint_file(path: str, query_text: str | None) -> tuple[LintReport, str | None]:
+    """Lint one file; returns (report, fatal-message-or-None)."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            source = handle.read()
+    except OSError as exc:
+        return LintReport(), f"{path}: cannot read: {exc}"
+    try:
+        program = load_program(source)
+    except PrologSyntaxError as exc:
+        return LintReport(), f"{path}:{exc.line}: syntax error: {exc}"
+    query = None
+    if query_text:
+        try:
+            query = parse_term(query_text)
+        except PrologSyntaxError as exc:
+            return LintReport(), f"--query: cannot parse {query_text!r}: {exc}"
+    return lint_program(program, query=query, filename=path), None
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    args = build_arg_parser().parse_args(argv)
+    exit_code = EXIT_OK
+    for path in args.files:
+        report, fatal = lint_file(path, args.query)
+        if fatal is not None:
+            print(fatal, file=out)
+            return EXIT_USAGE
+        shown = 0
+        for diagnostic in report.sorted():
+            if args.errors_only and diagnostic.severity != Severity.ERROR:
+                continue
+            print(diagnostic.format(), file=out)
+            shown += 1
+        if args.summary:
+            print(
+                f"{path}: {len(report.errors())} error(s), "
+                f"{len(report.warnings())} warning(s)",
+                file=out,
+            )
+        if report.has_errors():
+            exit_code = EXIT_ERRORS
+    return exit_code

@@ -1,0 +1,108 @@
+"""Structured lint diagnostics.
+
+Every finding of the static analysis passes is a :class:`Diagnostic`:
+a stable rule id, a severity, the predicate and clause it concerns and
+— when the front end recorded one — the source line, so tools can print
+``file:line`` locations the way a compiler would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+from repro.prolog.program import Indicator
+
+
+class Severity(IntEnum):
+    """Ordered severities; comparisons follow compiler conventions."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:  # "error", not "Severity.ERROR"
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of a lint rule.
+
+    ``clause_index`` is the 0-based position within the predicate's
+    clause group (``None`` for predicate-level findings); ``line`` is
+    the 1-based source line of the offending clause (0 when the clause
+    carries no position, e.g. generated code).
+    """
+
+    rule: str
+    severity: Severity
+    message: str
+    predicate: Indicator | None = None
+    clause_index: int | None = None
+    line: int = 0
+    file: str | None = None
+
+    def location(self) -> str:
+        """``file:line`` when known, degrading gracefully."""
+        name = self.file if self.file else "<program>"
+        return f"{name}:{self.line}" if self.line else name
+
+    def format(self) -> str:
+        parts = [f"{self.location()}: {self.severity} [{self.rule}] {self.message}"]
+        if self.predicate is not None:
+            suffix = f"{self.predicate[0]}/{self.predicate[1]}"
+            if self.clause_index is not None:
+                suffix += f", clause {self.clause_index + 1}"
+            parts.append(f"({suffix})")
+        return " ".join(parts)
+
+    def with_file(self, file: str | None) -> "Diagnostic":
+        if file is None or self.file is not None:
+            return self
+        return Diagnostic(
+            self.rule,
+            self.severity,
+            self.message,
+            self.predicate,
+            self.clause_index,
+            self.line,
+            file,
+        )
+
+
+def sort_key(diagnostic: Diagnostic):
+    """Stable report order: by line, then severity (worst first), rule."""
+    return (diagnostic.line, -int(diagnostic.severity), diagnostic.rule,
+            diagnostic.message)
+
+
+@dataclass
+class LintReport:
+    """All diagnostics of one lint run, with aggregate queries."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def extend(self, items) -> None:
+        self.diagnostics.extend(items)
+
+    def sorted(self) -> list[Diagnostic]:
+        return sorted(self.diagnostics, key=sort_key)
+
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == Severity.ERROR]
+
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == Severity.WARNING]
+
+    def by_rule(self, rule: str) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.rule == rule]
+
+    def has_errors(self) -> bool:
+        return any(d.severity == Severity.ERROR for d in self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self):
+        return iter(self.diagnostics)

@@ -1,0 +1,220 @@
+"""The lint driver: run every static check over a program.
+
+:func:`lint_program` builds the dependency graph once and feeds it to
+the individual rules; the result is a :class:`~repro.analysis.diagnostics.LintReport`.
+
+Rules and their severities:
+
+==========================  ========  ==================================
+rule id                     severity  finding
+==========================  ========  ==================================
+``undefined-call``          error     call to a predicate with no
+                                      clauses, not a builtin, and not
+                                      declared ``dynamic``
+``unbound-builtin-arg``     error     builtin read position no
+                                      occurrence can bind
+``unstratified-negation``   error     negation inside a recursive
+                                      component
+``cut-in-tabled``           error     ``!`` in a clause of a tabled
+                                      predicate (what the engine's
+                                      ``cut="error"`` mode rejects
+                                      dynamically)
+``unsafe-head-var``         warning   rule head variable never bound by
+                                      the body (non-ground answers)
+``negation-unbound-var``    warning   variable occurring only under
+                                      ``\\+``
+``tabled-depth-growth``     warning   tabled recursion that grows term
+                                      depth (non-termination risk)
+``dead-code``               warning   predicate unreachable from the
+                                      query (only with a query)
+``dynamic-goal``            info      call through an unbound variable
+                                      (unanalyzable)
+==========================  ========  ==================================
+"""
+
+from __future__ import annotations
+
+from repro.analysis.depgraph import DependencyGraph, body_call_sites
+from repro.analysis.diagnostics import Diagnostic, LintReport, Severity
+from repro.analysis.safety import check_clause_safety, check_depth_growth
+from repro.analysis.stratify import unstratified_sites
+from repro.engine.builtins import is_builtin
+from repro.prolog.program import Indicator, Program
+from repro.terms.term import Struct, Term
+
+
+def lint_program(
+    program: Program,
+    query: Term | None = None,
+    filename: str | None = None,
+) -> LintReport:
+    """Run all lint rules; diagnostics carry ``filename`` when given."""
+    graph = DependencyGraph(program)
+    report = LintReport()
+    report.extend(_undefined_calls(program, graph))
+    report.extend(unstratified_sites(graph))
+    report.extend(_clause_checks(program, graph))
+    if query is not None:
+        report.extend(_dead_code(program, graph, query))
+    if filename:
+        report.diagnostics = [d.with_file(filename) for d in report.diagnostics]
+    return report
+
+
+# ----------------------------------------------------------------------
+# Rule implementations
+
+
+def _dynamic_declarations(program: Program) -> set[Indicator]:
+    """Predicates declared ``:- dynamic p/n`` (possibly a comma list)."""
+    out: set[Indicator] = set()
+    for directive in program.directives:
+        if isinstance(directive, Struct) and directive.indicator == ("dynamic", 1):
+            for spec in _comma_list(directive.args[0]):
+                if (
+                    isinstance(spec, Struct)
+                    and spec.indicator == ("/", 2)
+                    and isinstance(spec.args[0], str)
+                    and isinstance(spec.args[1], int)
+                ):
+                    out.add((spec.args[0], spec.args[1]))
+    return out
+
+
+def _comma_list(term: Term) -> list[Term]:
+    items = []
+    while isinstance(term, Struct) and term.indicator == (",", 2):
+        items.append(term.args[0])
+        term = term.args[1]
+    items.append(term)
+    return items
+
+
+def _undefined_calls(program: Program, graph: DependencyGraph) -> list[Diagnostic]:
+    dynamic = _dynamic_declarations(program)
+    out: list[Diagnostic] = []
+    seen: set = set()
+    for site in graph.call_sites:
+        if site.callee is None:
+            out.append(
+                Diagnostic(
+                    "dynamic-goal",
+                    Severity.INFO,
+                    "goal is a variable at analysis time; calls through it "
+                    "cannot be checked",
+                    site.caller,
+                    site.clause_index,
+                    site.line,
+                )
+            )
+            continue
+        if (
+            is_builtin(site.callee)
+            or program.clauses_for(site.callee)
+            or site.callee in dynamic
+        ):
+            continue
+        key = (site.caller, site.callee, site.line)
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(
+            Diagnostic(
+                "undefined-call",
+                Severity.ERROR,
+                f"call to undefined predicate "
+                f"{site.callee[0]}/{site.callee[1]}",
+                site.caller,
+                site.clause_index,
+                site.line,
+            )
+        )
+    return out
+
+
+def _clause_checks(program: Program, graph: DependencyGraph) -> list[Diagnostic]:
+    """Per-clause rules: safety, cut-in-tabled, depth growth."""
+    out: list[Diagnostic] = []
+    index = graph.scc_index()
+    for indicator in program.predicates():
+        tabled = program.is_tabled(indicator)
+        recursive = False
+        if tabled:
+            position = index.get(indicator)
+            if position is not None:
+                component = graph.sccs()[position]
+                recursive = graph.is_recursive(component)
+        for clause_index, clause in enumerate(program.clauses_for(indicator)):
+            literals = [
+                (site.goal, site.negative)
+                for site in body_call_sites(
+                    clause.body, indicator, clause_index, clause.line
+                )
+                if site.goal is not None
+            ]
+            out.extend(
+                check_clause_safety(indicator, clause, clause_index, literals)
+            )
+            if tabled and _body_has_cut(clause.body):
+                out.append(
+                    Diagnostic(
+                        "cut-in-tabled",
+                        Severity.ERROR,
+                        "cut in a clause of a tabled predicate; tabling "
+                        'cannot honour it (the engine\'s cut="error" mode '
+                        "rejects this program)",
+                        indicator,
+                        clause_index,
+                        clause.line,
+                    )
+                )
+            if tabled and recursive:
+                out.extend(
+                    check_depth_growth(indicator, clause, clause_index, literals)
+                )
+    return out
+
+
+def _body_has_cut(body: Term) -> bool:
+    stack = [body]
+    while stack:
+        term = stack.pop()
+        if term == "!":
+            return True
+        if isinstance(term, Struct) and term.indicator in (
+            (",", 2),
+            (";", 2),
+            ("->", 2),
+        ):
+            stack.extend(term.args)
+    return False
+
+
+def _dead_code(
+    program: Program, graph: DependencyGraph, query: Term
+) -> list[Diagnostic]:
+    if isinstance(query, Struct):
+        root: Indicator = query.indicator
+    elif isinstance(query, str):
+        root = (query, 0)
+    else:
+        return []
+    live = graph.reachable([root])
+    out: list[Diagnostic] = []
+    for indicator in program.predicates():
+        if indicator in live:
+            continue
+        clauses = program.clauses_for(indicator)
+        line = clauses[0].line if clauses else 0
+        out.append(
+            Diagnostic(
+                "dead-code",
+                Severity.WARNING,
+                f"predicate {indicator[0]}/{indicator[1]} is unreachable "
+                f"from the query {root[0]}/{root[1]}",
+                indicator,
+                None,
+                line,
+            )
+        )
+    return out

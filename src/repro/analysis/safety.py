@@ -1,0 +1,290 @@
+"""Clause-level safety checks: range restriction and builtin modes.
+
+Two families of per-clause findings:
+
+* **binding safety** — a variable sits in a builtin position that the
+  builtin *reads* (the right side of ``is/2``, both sides of an
+  arithmetic comparison) but has no occurrence anywhere that could bind
+  it: not in the head (a caller could bind those), not in a user-call,
+  not in a builtin position that *writes*.  Such a clause raises an
+  instantiation :class:`~repro.engine.builtins.PrologError` whenever it
+  runs — a static error.
+* **range restriction** — a rule's head variable with no binding body
+  occurrence produces non-ground answers.  The engines here support
+  non-ground facts, so this is a warning, not an error (facts are
+  exempt: open facts like ``base(X, X)`` are an idiom of the abstract
+  programs).
+
+The depth-growth heuristic for tabled predicates also lives here: a
+directly recursive clause whose recursive call carries a strictly
+deeper term in some argument — while no argument gets strictly
+shallower — can generate unboundedly growing tabled calls, the
+non-termination mode ``call_abstraction`` exists to break.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.engine.builtins import DET_BUILTINS, NONDET_BUILTINS
+from repro.prolog.parser import Clause
+from repro.prolog.program import Indicator
+from repro.terms.term import Struct, Term, Var
+
+#: builtin indicator -> (positions read before binding, positions written).
+#: Positions absent from both sets are mode-neutral.  The table is
+#: deliberately lenient: a position is "read" only when every use of the
+#: builtin needs it instantiated, so a miss here can only silence a
+#: finding, never fabricate one.
+BUILTIN_MODES: dict[Indicator, tuple[tuple[int, ...], tuple[int, ...]]] = {
+    ("is", 2): ((1,), (0,)),
+    ("<", 2): ((0, 1), ()),
+    (">", 2): ((0, 1), ()),
+    ("=<", 2): ((0, 1), ()),
+    (">=", 2): ((0, 1), ()),
+    ("=:=", 2): ((0, 1), ()),
+    ("=\\=", 2): ((0, 1), ()),
+    ("=", 2): ((), (0, 1)),
+    ("functor", 3): ((), (0, 1, 2)),
+    ("arg", 3): ((0, 1), (2,)),
+    ("=..", 2): ((), (0, 1)),
+    ("copy_term", 2): ((), (1,)),
+    ("length", 2): ((), (0, 1)),
+    ("atom_codes", 2): ((), (0, 1)),
+    ("name", 2): ((), (0, 1)),
+    ("number_codes", 2): ((), (0, 1)),
+    ("between", 3): ((0, 1), (2,)),
+    ("member", 2): ((), (0, 1)),
+}
+
+
+def _is_builtin(indicator: Indicator) -> bool:
+    return indicator in DET_BUILTINS or indicator in NONDET_BUILTINS
+
+
+def _named(var: Var) -> bool:
+    """Variables the user wrote and did not mark as don't-care."""
+    name = getattr(var, "name", None)
+    return bool(name) and not name.startswith("_")
+
+
+def _var_depths(term: Term, depth: int = 0, out: dict | None = None) -> dict:
+    """Variable id -> (min, max) occurrence depth within ``term``."""
+    if out is None:
+        out = {}
+    if isinstance(term, Var):
+        low, high = out.get(term.id, (depth, depth))
+        out[term.id] = (min(low, depth), max(high, depth))
+    elif isinstance(term, Struct):
+        for arg in term.args:
+            _var_depths(arg, depth + 1, out)
+    return out
+
+
+def _term_vars(term: Term, out: list | None = None) -> list[Var]:
+    if out is None:
+        out = []
+    if isinstance(term, Var):
+        out.append(term)
+    elif isinstance(term, Struct):
+        for arg in term.args:
+            _term_vars(arg, out)
+    return out
+
+
+class _ClauseOccurrences:
+    """Classified variable occurrences of one clause."""
+
+    def __init__(self, clause: Clause, literals: list):
+        head_occurrences = _term_vars(clause.head)
+        self.head_vars = {v.id: v for v in head_occurrences}
+        self.binding: set[int] = set()  # ids with a body occurrence that can bind
+        self.reads: list[tuple[Var, Term]] = []  # (var, builtin literal)
+        self.negated: dict[int, tuple[Var, Term]] = {}
+        self.occurrences: dict[int, int] = {}  # id -> total occurrence count
+        for var in head_occurrences:
+            self.occurrences[var.id] = self.occurrences.get(var.id, 0) + 1
+        for literal, negative in literals:
+            for var in _term_vars(literal):
+                self.occurrences[var.id] = self.occurrences.get(var.id, 0) + 1
+            self._classify(literal, negative)
+
+    def _classify(self, literal: Term, negative: bool) -> None:
+        indicator = _literal_indicator(literal)
+        if indicator is None:
+            for var in _term_vars(literal):
+                if negative:
+                    self.negated.setdefault(var.id, (var, literal))
+            return
+        if _is_builtin(indicator):
+            reads, writes = BUILTIN_MODES.get(indicator, ((), ()))
+            args = literal.args if isinstance(literal, Struct) else ()
+            for position, arg in enumerate(args):
+                arg_vars = _term_vars(arg)
+                if position in writes and not negative:
+                    self.binding.update(v.id for v in arg_vars)
+                if position in reads:
+                    self.reads.extend((v, literal) for v in arg_vars)
+            return
+        for var in _term_vars(literal):
+            if negative:
+                self.negated.setdefault(var.id, (var, literal))
+            else:
+                self.binding.add(var.id)
+
+
+def _literal_indicator(literal: Term) -> Indicator | None:
+    if isinstance(literal, Struct):
+        return literal.indicator
+    if isinstance(literal, str):
+        return (literal, 0)
+    return None
+
+
+def check_clause_safety(
+    indicator: Indicator,
+    clause: Clause,
+    clause_index: int,
+    literals: list,
+) -> list[Diagnostic]:
+    """Safety diagnostics for one clause.
+
+    ``literals`` is the flattened body as ``(literal, negative)`` pairs
+    (the lint driver reuses the dependency-graph traversal so control
+    constructs are interpreted once).
+    """
+    out: list[Diagnostic] = []
+    occurrences = _ClauseOccurrences(clause, literals)
+    reported: set[int] = set()
+
+    # Binding safety: read positions with no possible binder anywhere.
+    for var, literal in occurrences.reads:
+        if var.id in occurrences.head_vars or var.id in occurrences.binding:
+            continue
+        if var.id in reported:
+            continue
+        reported.add(var.id)
+        out.append(
+            Diagnostic(
+                "unbound-builtin-arg",
+                Severity.ERROR,
+                f"variable {_var_name(var)} is read by builtin "
+                f"{_literal_name(literal)} but nothing can bind it",
+                indicator,
+                clause_index,
+                clause.line,
+            )
+        )
+
+    # Range restriction, singleton form: a rule head variable that occurs
+    # nowhere else in the clause can never be bound by the body, and — as
+    # a singleton — cannot be an input the caller threads through either.
+    if not clause.is_fact():
+        for var_id, var in occurrences.head_vars.items():
+            if (
+                occurrences.occurrences.get(var_id, 0) > 1
+                or var_id in occurrences.binding
+                or not _named(var)
+                or var_id in reported
+            ):
+                continue
+            reported.add(var_id)
+            out.append(
+                Diagnostic(
+                    "unsafe-head-var",
+                    Severity.WARNING,
+                    f"singleton head variable {_var_name(var)}: no occurrence "
+                    "can bind it, answers will not be ground",
+                    indicator,
+                    clause_index,
+                    clause.line,
+                )
+            )
+
+    # Negation safety: a variable whose only occurrences are under \+.
+    for var_id, (var, literal) in occurrences.negated.items():
+        if (
+            var_id in occurrences.binding
+            or var_id in occurrences.head_vars
+            or var_id in reported
+            or not _named(var)
+        ):
+            continue
+        reported.add(var_id)
+        out.append(
+            Diagnostic(
+                "negation-unbound-var",
+                Severity.WARNING,
+                f"variable {_var_name(var)} occurs only under negation "
+                f"({_literal_name(literal)}); negation-as-failure cannot bind it",
+                indicator,
+                clause_index,
+                clause.line,
+            )
+        )
+    return out
+
+
+def check_depth_growth(
+    indicator: Indicator,
+    clause: Clause,
+    clause_index: int,
+    literals: list,
+) -> list[Diagnostic]:
+    """Depth-boundedness heuristic for a clause of a tabled predicate.
+
+    Flags directly recursive calls where some argument position grows
+    strictly deeper (a head variable re-occurs wrapped in more
+    structure) while no position gets strictly shallower — the pattern
+    that makes the set of tabled calls infinite, e.g.
+    ``p(X) :- p(f(X)).``
+    """
+    head = clause.head
+    if not isinstance(head, Struct):
+        return []
+    out: list[Diagnostic] = []
+    head_depths = [_var_depths(arg) for arg in head.args]
+    for literal, negative in literals:
+        if negative or _literal_indicator(literal) != indicator:
+            continue
+        if not isinstance(literal, Struct):
+            continue
+        grows, shrinks = False, False
+        for position, arg in enumerate(literal.args):
+            if position >= len(head_depths):
+                break
+            head_info = head_depths[position]
+            for var_id, (_low, high) in _var_depths(arg).items():
+                if var_id not in head_info:
+                    continue
+                head_low, _head_high = head_info[var_id]
+                if high > head_low:
+                    grows = True
+                elif high < head_low:
+                    shrinks = True
+        if grows and not shrinks:
+            out.append(
+                Diagnostic(
+                    "tabled-depth-growth",
+                    Severity.WARNING,
+                    f"recursive call {_literal_name(literal)} grows term depth; "
+                    "tabled evaluation may not terminate without "
+                    "call_abstraction",
+                    indicator,
+                    clause_index,
+                    clause.line,
+                )
+            )
+            break
+    return out
+
+
+def _var_name(var: Var) -> str:
+    name = getattr(var, "name", None)
+    return name if name else f"_G{var.id}"
+
+
+def _literal_name(literal: Term) -> str:
+    indicator = _literal_indicator(literal)
+    if indicator is None:
+        return repr(literal)
+    return f"{indicator[0]}/{indicator[1]}"

@@ -1,0 +1,74 @@
+"""Stratification of negation over the dependency condensation.
+
+A program is stratified when no predicate depends on its own negation:
+every negative edge of the dependency graph must cross from one
+strongly connected component into a strictly lower one.  Negation
+inside an SCC means the engine's negation-as-failure
+(:meth:`repro.engine.tabling.TabledEngine._nested_holds`) can evaluate
+a subgoal whose table is still growing — unsound.  The lint pass turns
+each such call site into an error diagnostic; for stratified programs
+this module also assigns the stratum numbers a stratified evaluator
+would schedule by.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.depgraph import DependencyGraph
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.prolog.program import Indicator
+
+
+def unstratified_sites(graph: DependencyGraph) -> list[Diagnostic]:
+    """Error diagnostics for negative call sites inside an SCC."""
+    index = graph.scc_index()
+    out: list[Diagnostic] = []
+    for site in graph.call_sites:
+        if not site.negative or site.callee is None:
+            continue
+        if site.callee not in index or site.caller not in index:
+            continue
+        if index[site.caller] == index[site.callee]:
+            out.append(
+                Diagnostic(
+                    "unstratified-negation",
+                    Severity.ERROR,
+                    f"{site.caller[0]}/{site.caller[1]} negates "
+                    f"{site.callee[0]}/{site.callee[1]} inside the same "
+                    "recursive component; the program is not stratified",
+                    site.caller,
+                    site.clause_index,
+                    site.line,
+                )
+            )
+    return out
+
+
+def stratum_numbers(graph: DependencyGraph) -> dict[Indicator, int] | None:
+    """Predicate -> stratum, or ``None`` if the program is unstratified.
+
+    Stratum of a component is the maximum over its dependencies of
+    their stratum, bumped by one across negative edges.  Components
+    arrive callees-first from :meth:`DependencyGraph.sccs`, so a single
+    pass suffices.
+    """
+    index = graph.scc_index()
+    components = graph.sccs()
+    neg_pairs = {
+        (site.caller, site.callee)
+        for site in graph.call_sites
+        if site.negative and site.callee is not None
+    }
+    if any(index.get(a) == index.get(b) for a, b in neg_pairs):
+        return None
+    stratum: list[int] = [0] * len(components)
+    for position, component in enumerate(components):
+        level = 0
+        for node in component:
+            for target in graph.successors(node):
+                target_position = index[target]
+                if target_position == position:
+                    continue
+                bump = 1 if (node, target) in neg_pairs else 0
+                level = max(level, stratum[target_position] + bump)
+        stratum[position] = level
+    return {node: stratum[index[node]] for node in graph.nodes}

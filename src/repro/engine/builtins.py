@@ -19,7 +19,18 @@ from repro.terms.variant import rename_apart
 
 
 class PrologError(Exception):
-    """Runtime error in evaluation (instantiation, type, undefined...)."""
+    """Runtime error in evaluation (instantiation, type, undefined...).
+
+    ``line`` carries the source line of the clause being executed when
+    the engine knows it, so messages can cite ``file:line`` the same
+    way the static lint diagnostics do.
+    """
+
+    def __init__(self, message: str, line: int | None = None):
+        if line:
+            message = f"{message} (line {line})"
+        super().__init__(message)
+        self.line = line
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,13 @@
+"""Runnable lint entry point: ``python -m repro.lint file.pl [--query G]``.
+
+Thin wrapper over :mod:`repro.analysis.cli` so the checker is reachable
+as a module the way the paper's XSB front end exposed its compile-time
+checks.
+"""
+
+from repro.analysis.cli import main
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

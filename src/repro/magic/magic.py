@@ -16,6 +16,7 @@ each prefix join is computed once.
 
 from __future__ import annotations
 
+from repro.analysis.depgraph import prune_unreachable
 from repro.magic.adorn import AdornedProgram, adorn_program, adorned_name
 from repro.prolog.parser import Clause
 from repro.prolog.program import Program
@@ -50,7 +51,13 @@ def _is_adorned(literal: Term) -> bool:
 
 
 def magic_transform(program: Program, query: Term) -> tuple[Program, Term]:
-    """Adorn + magic rewrite; returns (magic program, adorned query)."""
+    """Adorn + magic rewrite; returns (magic program, adorned query).
+
+    Predicates the query's call graph cannot reach are pruned before
+    adornment (:func:`repro.analysis.depgraph.prune_unreachable`), so
+    the rewrite's output is proportional to the query-relevant slice.
+    """
+    program = prune_unreachable(program, query)
     adorned = adorn_program(program, query)
     out = Program()
     for indicator in adorned.program.predicates():
@@ -63,6 +70,7 @@ def magic_transform(program: Program, query: Term) -> tuple[Program, Term]:
 
 def supplementary_transform(program: Program, query: Term) -> tuple[Program, Term]:
     """Supplementary magic: shared prefix joins become sup predicates."""
+    program = prune_unreachable(program, query)
     adorned = adorn_program(program, query)
     out = Program()
     counter = [0]

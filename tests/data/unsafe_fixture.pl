@@ -1,0 +1,16 @@
+% Deliberately broken program exercising the lint CLI.
+% Line numbers below are asserted by tests/test_lint_cli.py.
+
+:- table path/2.
+
+edge(a, b).
+edge(b, c).
+
+path(X, Y) :- edge(X, Y), !.
+path(X, Y) :- edge(X, Z), path(Z, Y).
+
+area(X) :- X is W * H.
+
+main(X) :- path(a, X), missing(X).
+
+orphan(first).

@@ -1,0 +1,121 @@
+"""Dependency graph: call sites, SCC condensation, reachability, pruning."""
+
+from repro.analysis.depgraph import (
+    DependencyGraph,
+    body_call_sites,
+    build_dependency_graph,
+    prune_unreachable,
+)
+from repro.prolog import load_program, parse_term
+
+LAYERED = """
+base(1). base(2).
+mid(X) :- base(X).
+top(X) :- mid(X), base(X).
+loop_a(X) :- loop_b(X).
+loop_b(X) :- loop_a(X), base(X).
+island(9).
+"""
+
+
+def test_edges_follow_body_calls():
+    graph = build_dependency_graph(load_program(LAYERED))
+    assert graph.successors(("mid", 1)) == {("base", 1)}
+    assert graph.successors(("top", 1)) == {("mid", 1), ("base", 1)}
+    assert graph.successors(("island", 1)) == set()
+
+
+def test_sccs_callees_first():
+    graph = build_dependency_graph(load_program(LAYERED))
+    components = graph.sccs()
+    index = graph.scc_index()
+    # every dependency lives in an earlier (or the same) component
+    for node in graph.nodes:
+        for target in graph.successors(node):
+            assert index[target] <= index[node], (node, target)
+    # the mutual-recursion pair is one component
+    assert index[("loop_a", 1)] == index[("loop_b", 1)]
+    loop = components[index[("loop_a", 1)]]
+    assert sorted(loop) == [("loop_a", 1), ("loop_b", 1)]
+
+
+def test_recursion_detection():
+    graph = build_dependency_graph(load_program(LAYERED))
+    components = graph.sccs()
+    by_first = {component[0]: component for component in components}
+    assert not graph.is_recursive(by_first[("base", 1)])
+    assert graph.is_recursive(next(c for c in components if len(c) == 2))
+    self_loop = build_dependency_graph(load_program("p(X) :- p(X)."))
+    assert self_loop.is_recursive(self_loop.sccs()[0])
+
+
+def test_condensation_edges_are_acyclic():
+    graph = build_dependency_graph(load_program(LAYERED))
+    edges = graph.condensation_edges()
+    # caller components point at strictly earlier (callee) components
+    for source, targets in edges.items():
+        for target in targets:
+            assert target < source
+
+
+def test_reachability_and_pruning():
+    program = load_program(LAYERED)
+    graph = build_dependency_graph(program)
+    live = graph.reachable([("top", 1)])
+    assert ("island", 1) not in live
+    assert ("loop_a", 1) not in live
+    assert {("top", 1), ("mid", 1), ("base", 1)} <= live
+
+    pruned = prune_unreachable(program, parse_term("top(X)"))
+    assert set(pruned.predicates()) == {("top", 1), ("mid", 1), ("base", 1)}
+    # full reachability: nothing to prune, same object comes back
+    assert prune_unreachable(program, parse_term("top(X)")) is not program
+
+
+def test_prune_keeps_program_when_everything_reachable():
+    program = load_program("p(X) :- q(X). q(1).")
+    assert prune_unreachable(program, parse_term("p(X)")) is program
+
+
+def test_negative_edges_recorded():
+    src = """
+    ok(X) :- thing(X), \\+ broken(X).
+    thing(1). broken(2).
+    """
+    graph = build_dependency_graph(load_program(src))
+    assert graph.neg_succ[("ok", 1)] == {("broken", 1)}
+    negatives = [s for s in graph.call_sites if s.negative]
+    assert len(negatives) == 1
+    assert negatives[0].callee == ("broken", 1)
+
+
+def test_call_sites_through_control_constructs():
+    src = "p(X) :- (a(X) ; b(X)), (c(X) -> d(X) ; true), call(e, X), findall(Y, f(Y), _)."
+    program = load_program(src)
+    clause = program.clauses_for(("p", 1))[0]
+    sites = body_call_sites(clause.body, ("p", 1), 0, clause.line)
+    callees = {site.callee for site in sites}
+    assert {("a", 1), ("b", 1), ("c", 1), ("d", 1), ("e", 1), ("f", 1)} <= callees
+
+
+def test_dynamic_goal_site():
+    src = "p(G) :- call(G)."
+    program = load_program(src)
+    clause = program.clauses_for(("p", 1))[0]
+    sites = body_call_sites(clause.body, ("p", 1), 0, clause.line)
+    assert [site.callee for site in sites] == [None]
+
+
+def test_call_sites_carry_lines():
+    src = "a(1).\nb(X) :-\n    a(X),\n    missing(X).\n"
+    graph = build_dependency_graph(load_program(src))
+    lines = {site.callee: site.line for site in graph.call_sites}
+    # sites carry the clause's line (clause starts on line 2)
+    assert lines[("missing", 1)] == 2
+
+
+def test_tarjan_on_dense_cycle():
+    src = "\n".join(f"p{i}(X) :- p{(i + 1) % 6}(X)." for i in range(6))
+    graph = build_dependency_graph(load_program(src))
+    assert len(graph.sccs()) == 1
+    assert len(graph.sccs()[0]) == 6

@@ -1,0 +1,210 @@
+"""Lint rules, stratification, and diagnostic formatting."""
+
+from repro.analysis.diagnostics import Diagnostic, LintReport, Severity, sort_key
+from repro.analysis.depgraph import build_dependency_graph
+from repro.analysis.lint import lint_program
+from repro.analysis.stratify import stratum_numbers
+from repro.prolog import load_program, parse_term
+
+
+def lint(src, query=None, filename=None):
+    goal = parse_term(query) if query else None
+    return lint_program(load_program(src), query=goal, filename=filename)
+
+
+# ----------------------------------------------------------------------
+# Individual rules
+
+
+def test_undefined_call_is_error():
+    report = lint("p(X) :- q(X).")
+    (diag,) = report.by_rule("undefined-call")
+    assert diag.severity == Severity.ERROR
+    assert diag.predicate == ("p", 1)
+    assert "q/1" in diag.message
+    assert report.has_errors()
+
+
+def test_builtins_and_dynamic_are_defined():
+    src = """
+    :- dynamic counter/1, mark/2.
+    p(X, Y) :- Y is X + 1, counter(X), mark(X, Y).
+    """
+    report = lint(src)
+    assert not report.by_rule("undefined-call")
+
+
+def test_dynamic_goal_is_info():
+    report = lint("apply_goal(G) :- call(G).")
+    (diag,) = report.by_rule("dynamic-goal")
+    assert diag.severity == Severity.INFO
+    assert not report.has_errors()
+
+
+def test_unbound_builtin_arg_is_error():
+    report = lint("area(X) :- X is W * H.")
+    (diags) = report.by_rule("unbound-builtin-arg")
+    assert len(diags) == 2  # W and H
+    assert all(d.severity == Severity.ERROR for d in diags)
+
+
+def test_bound_builtin_arg_is_clean():
+    report = lint("double(X, Y) :- Y is X + X.")
+    assert not report.by_rule("unbound-builtin-arg")
+
+
+def test_singleton_head_var_is_warning():
+    report = lint("pair(X, Y) :- item(X).\nitem(1).")
+    (diag,) = report.by_rule("unsafe-head-var")
+    assert diag.severity == Severity.WARNING
+    assert "Y" in diag.message
+
+
+def test_shared_head_vars_are_safe():
+    # X appears twice in the head: the caller threads it, not a singleton
+    report = lint("app([], Ys, Ys).\napp([X|Xs], Ys, [X|Zs]) :- app(Xs, Ys, Zs).")
+    assert not report.by_rule("unsafe-head-var")
+
+
+def test_open_facts_are_exempt():
+    report = lint("base(X, X).\ntop(_, _).")
+    assert not report.by_rule("unsafe-head-var")
+
+
+def test_negation_unbound_var():
+    src = "odd(X) :- item(X), \\+ paired(X, Y).\nitem(1).\npaired(1, 2)."
+    report = lint(src)
+    (diag,) = report.by_rule("negation-unbound-var")
+    assert diag.severity == Severity.WARNING
+    assert "Y" in diag.message
+
+
+def test_unstratified_negation_is_error():
+    src = """
+    shaves(barber, X) :- person(X), \\+ shaves(X, X).
+    person(barber).
+    """
+    report = lint(src)
+    (diag,) = report.by_rule("unstratified-negation")
+    assert diag.severity == Severity.ERROR
+    assert diag.predicate == ("shaves", 2)
+
+
+def test_stratified_negation_is_clean():
+    src = """
+    reach(X) :- edge(a, X).
+    reach(X) :- reach(Y), edge(Y, X).
+    unreached(X) :- node(X), \\+ reach(X).
+    edge(a, b). node(a). node(b). node(c).
+    """
+    report = lint(src)
+    assert not report.by_rule("unstratified-negation")
+    strata = stratum_numbers(build_dependency_graph(load_program(src)))
+    assert strata is not None
+    assert strata[("unreached", 1)] > strata[("reach", 1)]
+    assert strata[("edge", 2)] == 0
+
+
+def test_stratum_numbers_none_when_unstratified():
+    src = "p(X) :- q(X), \\+ p(X).\nq(1)."
+    strata = stratum_numbers(build_dependency_graph(load_program(src)))
+    assert strata is None
+
+
+def test_cut_in_tabled_is_error():
+    src = ":- table p/1.\np(X) :- q(X), !.\nq(1). q(2)."
+    report = lint(src)
+    (diag,) = report.by_rule("cut-in-tabled")
+    assert diag.severity == Severity.ERROR
+    assert diag.predicate == ("p", 1)
+
+
+def test_cut_outside_tabling_is_allowed():
+    report = lint("p(X) :- q(X), !.\nq(1).")
+    assert not report.by_rule("cut-in-tabled")
+
+
+def test_tabled_depth_growth_flagged():
+    src = ":- table count/1.\ncount(X) :- count(s(X))."
+    report = lint(src)
+    (diag,) = report.by_rule("tabled-depth-growth")
+    assert diag.severity == Severity.WARNING
+
+
+def test_structural_recursion_not_flagged():
+    # argument shrinks: classic structural recursion terminates under tabling
+    src = ":- table len/2.\nlen([], 0).\nlen([_|T], N) :- len(T, M), N is M + 1."
+    report = lint(src)
+    assert not report.by_rule("tabled-depth-growth")
+
+
+def test_dead_code_requires_query():
+    src = "main(X) :- used(X).\nused(1).\nunused(2)."
+    assert not lint(src).by_rule("dead-code")
+    report = lint(src, query="main(X)")
+    (diag,) = report.by_rule("dead-code")
+    assert diag.predicate == ("unused", 1)
+    assert diag.severity == Severity.WARNING
+
+
+# ----------------------------------------------------------------------
+# Diagnostics plumbing
+
+
+def test_diagnostic_format_and_location():
+    diag = Diagnostic(
+        "undefined-call",
+        Severity.ERROR,
+        "call to undefined predicate q/1",
+        ("p", 1),
+        2,
+        14,
+        "prog.pl",
+    )
+    assert diag.location() == "prog.pl:14"
+    assert diag.format() == (
+        "prog.pl:14: error [undefined-call] call to undefined predicate q/1 "
+        "(p/1, clause 3)"
+    )
+
+
+def test_diagnostic_location_degrades():
+    assert Diagnostic("r", Severity.INFO, "m").location() == "<program>"
+    assert Diagnostic("r", Severity.INFO, "m", line=3).location() == "<program>:3"
+
+
+def test_with_file_threads_through_lint():
+    report = lint("p(X) :- q(X).", filename="demo.pl")
+    assert all(d.file == "demo.pl" for d in report)
+
+
+def test_report_sorted_by_line_then_severity():
+    report = LintReport(
+        [
+            Diagnostic("b", Severity.WARNING, "w", line=5),
+            Diagnostic("a", Severity.ERROR, "e", line=5),
+            Diagnostic("c", Severity.ERROR, "e", line=2),
+        ]
+    )
+    ordered = report.sorted()
+    assert [d.line for d in ordered] == [2, 5, 5]
+    assert ordered[1].severity == Severity.ERROR  # errors before warnings
+
+
+def test_report_aggregates():
+    report = lint(":- table p/1.\np(X) :- q(X), !.")
+    assert len(report.errors()) >= 2  # cut-in-tabled + undefined-call
+    assert report.has_errors()
+    assert len(report) == len(list(report))
+
+
+def test_severity_str():
+    assert str(Severity.ERROR) == "error"
+    assert Severity.ERROR > Severity.WARNING > Severity.INFO
+
+
+def test_diagnostics_carry_lines():
+    src = "a(1).\n\np(X) :-\n    missing(X).\n"
+    report = lint(src)
+    (diag,) = report.by_rule("undefined-call")
+    assert diag.line == 3

@@ -1,0 +1,55 @@
+"""Lint sweep over every shipped benchmark: no crashes, no false errors.
+
+The benchdata programs are the paper's working suite — they load and
+run, so any error-severity diagnostic over them would be a lint false
+positive.  The sweep covers the concrete Prolog sources, the Prop-domain
+groundness abstractions derived from them, and the strictness programs
+derived from the functional suite.
+"""
+
+import pytest
+
+from repro.analysis.lint import lint_program
+from repro.benchdata.loader import (
+    funlang_benchmark_names,
+    load_funlang_benchmark,
+    load_prolog_benchmark,
+    prolog_benchmark_names,
+)
+from repro.core.groundness import abstract_program
+from repro.core.strictness import strictness_program
+
+
+@pytest.mark.parametrize("name", prolog_benchmark_names())
+def test_prolog_benchmarks_have_no_lint_errors(name):
+    report = lint_program(load_prolog_benchmark(name))
+    assert report.errors() == [], [d.format() for d in report.errors()]
+
+
+@pytest.mark.parametrize("name", prolog_benchmark_names())
+def test_abstract_programs_have_no_lint_errors(name):
+    abstract, _info = abstract_program(load_prolog_benchmark(name))
+    report = lint_program(abstract)
+    assert report.errors() == [], [d.format() for d in report.errors()]
+
+
+@pytest.mark.parametrize("name", funlang_benchmark_names())
+def test_strictness_programs_have_no_lint_errors(name):
+    program, _functions = strictness_program(load_funlang_benchmark(name))
+    report = lint_program(program)
+    assert report.errors() == [], [d.format() for d in report.errors()]
+
+
+@pytest.mark.parametrize("name", prolog_benchmark_names())
+def test_abstract_entry_points_reach_most_of_the_program(name):
+    """Dead-code w.r.t. the abstraction's own entry points stays sane."""
+    abstract, info = abstract_program(load_prolog_benchmark(name))
+    from repro.analysis.depgraph import build_dependency_graph
+
+    graph = build_dependency_graph(abstract)
+    roots = {goal.indicator for goal in info.entry_points}
+    live = graph.reachable(sorted(roots))
+    defined = {i for i in abstract.predicates() if abstract.clauses_for(i)}
+    # entry points must at least reach themselves
+    assert roots <= live
+    assert live & defined

@@ -1,0 +1,102 @@
+"""The ``python -m repro.lint`` front end: output format and exit codes."""
+
+import io
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import EXIT_ERRORS, EXIT_OK, EXIT_USAGE, main
+
+FIXTURE = str(Path(__file__).parent / "data" / "unsafe_fixture.pl")
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def test_fixture_diagnostics_with_locations():
+    code, output = run_cli(FIXTURE)
+    assert code == EXIT_ERRORS
+    lines = output.splitlines()
+    # cut under tabling, at the clause that contains the cut
+    assert any(
+        f"{FIXTURE}:9: error [cut-in-tabled]" in line and "path/2" in line
+        for line in lines
+    )
+    # builtin reads W and H, nothing binds them
+    assert any(
+        f"{FIXTURE}:12: error [unbound-builtin-arg]" in line and "area/1" in line
+        for line in lines
+    )
+    # missing/1 has no clauses
+    assert any(
+        f"{FIXTURE}:14: error [undefined-call]" in line and "missing/1" in line
+        for line in lines
+    )
+
+
+def test_query_enables_dead_code():
+    code, output = run_cli(FIXTURE, "--query", "main(X)")
+    assert code == EXIT_ERRORS
+    assert "[dead-code]" in output
+    assert "orphan/1" in output
+    # without a query the rule stays silent
+    _, quiet = run_cli(FIXTURE)
+    assert "[dead-code]" not in quiet
+
+
+def test_errors_only_suppresses_warnings():
+    _, output = run_cli(FIXTURE, "--query", "main(X)", "--errors-only")
+    assert "error" in output
+    assert "warning" not in output
+
+
+def test_summary_line():
+    _, output = run_cli(FIXTURE, "--summary")
+    assert any(
+        line.startswith(FIXTURE) and "error(s)" in line
+        for line in output.splitlines()
+    )
+
+
+def test_clean_program_exits_zero(tmp_path):
+    clean = tmp_path / "clean.pl"
+    clean.write_text("p(1).\np(2).\nq(X) :- p(X).\n")
+    code, output = run_cli(str(clean))
+    assert code == EXIT_OK
+    assert output == ""
+
+
+def test_missing_file_is_usage_error():
+    code, output = run_cli("no/such/file.pl")
+    assert code == EXIT_USAGE
+    assert "cannot read" in output
+
+
+def test_syntax_error_is_usage_error(tmp_path):
+    bad = tmp_path / "bad.pl"
+    bad.write_text("p(1\n")
+    code, output = run_cli(str(bad))
+    assert code == EXIT_USAGE
+    assert "syntax error" in output
+
+
+def test_bad_query_is_usage_error():
+    code, output = run_cli(FIXTURE, "--query", "main(")
+    assert code == EXIT_USAGE
+    assert "--query" in output
+
+
+def test_module_entry_point():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.lint", FIXTURE],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(Path(__file__).parent.parent / "src"), "PATH": ""},
+    )
+    assert proc.returncode == EXIT_ERRORS
+    assert "[cut-in-tabled]" in proc.stdout

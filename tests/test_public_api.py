@@ -10,6 +10,7 @@ PACKAGES = [
     "repro.prolog",
     "repro.engine",
     "repro.magic",
+    "repro.analysis",
     "repro.core",
     "repro.funlang",
     "repro.bdd",
@@ -58,5 +59,19 @@ def test_public_functions_documented():
         strictness.strictness_program,
         depthk.analyze_depthk,
         depthk.abstract_unify,
+    ):
+        assert fn.__doc__, fn.__name__
+
+
+def test_analysis_functions_documented():
+    from repro.analysis import depgraph, lint, stratify
+
+    for fn in (
+        depgraph.build_dependency_graph,
+        depgraph.prune_unreachable,
+        depgraph.body_call_sites,
+        lint.lint_program,
+        stratify.stratum_numbers,
+        stratify.unstratified_sites,
     ):
         assert fn.__doc__, fn.__name__

@@ -1,0 +1,86 @@
+"""Engine error paths paired with the lint rules that predict them.
+
+Each test triggers a dynamic :class:`PrologError` in the tabled engine
+and then asserts the lint pass flags the same defect statically — the
+point of the analysis subsystem: what the engine rejects at run time,
+the lint catches before running.
+"""
+
+import pytest
+
+from repro.analysis.diagnostics import Severity
+from repro.analysis.lint import lint_program
+from repro.engine import TabledEngine
+from repro.engine.builtins import PrologError
+from repro.prolog import load_program, parse_query
+
+
+def solve(src, query, **kw):
+    program = load_program(src)
+    goal, _ = parse_query(query)
+    return list(TabledEngine(program, **kw).solve(goal))
+
+
+CUT_UNDER_TABLING = ':- table p/1.\np(X) :- q(X), !.\nq(1). q(2).'
+
+
+def test_cut_error_mode_raises_and_lint_flags_it():
+    with pytest.raises(PrologError, match="cut"):
+        solve(CUT_UNDER_TABLING, "p(X)", cut="error")
+    report = lint_program(load_program(CUT_UNDER_TABLING))
+    (diag,) = report.by_rule("cut-in-tabled")
+    assert diag.severity == Severity.ERROR
+    assert diag.predicate == ("p", 1)
+    assert diag.line == 2
+
+
+def test_cut_ignore_mode_runs_but_lint_still_warns():
+    # default mode evaluates (ignoring the prune) — lint flags it anyway
+    answers = solve(CUT_UNDER_TABLING, "p(X)")
+    assert len(answers) == 2
+    assert lint_program(load_program(CUT_UNDER_TABLING)).has_errors()
+
+
+UNDEFINED_CALL = ":- table p/1.\np(X) :- q(X), missing(X).\nq(1)."
+
+
+def test_undefined_predicate_raises_and_lint_flags_it():
+    with pytest.raises(PrologError, match="undefined predicate missing/1"):
+        solve(UNDEFINED_CALL, "p(X)")
+    report = lint_program(load_program(UNDEFINED_CALL))
+    (diag,) = report.by_rule("undefined-call")
+    assert diag.severity == Severity.ERROR
+    assert "missing/1" in diag.message
+    assert diag.line == 2
+
+
+UNBOUND_ARITH = ":- table p/1.\np(Y) :- Y is X + 1."
+
+
+def test_unbound_arithmetic_raises_and_lint_flags_it():
+    with pytest.raises(PrologError, match="arithmetic"):
+        solve(UNBOUND_ARITH, "p(Y)")
+    report = lint_program(load_program(UNBOUND_ARITH))
+    (diag,) = report.by_rule("unbound-builtin-arg")
+    assert diag.severity == Severity.ERROR
+    assert diag.line == 2
+
+
+def test_dynamic_declaration_suppresses_undefined_but_engine_still_raises():
+    src = ":- dynamic missing/1.\np(X) :- missing(X)."
+    report = lint_program(load_program(src))
+    assert not report.by_rule("undefined-call")
+    # the engine has no dynamic store: declared-but-absent still raises
+    with pytest.raises(PrologError, match="undefined predicate"):
+        solve(src, "p(X)")
+
+
+def test_clean_program_has_no_errors_and_runs():
+    src = """
+    :- table path/2.
+    edge(a, b). edge(b, c).
+    path(X, Y) :- edge(X, Y).
+    path(X, Y) :- path(X, Z), edge(Z, Y).
+    """
+    assert len(solve(src, "path(a, W)")) == 2
+    assert not lint_program(load_program(src)).has_errors()
