@@ -25,7 +25,7 @@ finite depth-k domain guarantees termination.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field as dataclasses_field
 
 from repro.engine.builtins import DET_BUILTINS, is_builtin
 from repro.engine.clausedb import ClauseDB
@@ -326,6 +326,11 @@ class PredicateShapes:
 
 @dataclass
 class DepthKResult:
+    """``depth`` is the requested bound, ``effective_depth`` the bound
+    of the run that produced the result (smaller after a ``reduced-k``
+    degradation); ``completeness`` names the ladder stage (``"exact"``,
+    ``"widened"``, ``"reduced-k(j)"`` or ``"top"``)."""
+
     predicates: dict[Indicator, PredicateShapes]
     depth: int
     times: dict[str, float]
@@ -333,6 +338,14 @@ class DepthKResult:
     stats: dict
     warnings: list[str]
     abstract: Program | None = None
+    completeness: str = "exact"
+    effective_depth: int | None = None
+    events: list = dataclasses_field(default_factory=list)
+    table_completeness: dict = dataclasses_field(default_factory=dict)
+
+    @property
+    def degraded(self) -> bool:
+        return self.completeness != "exact"
 
     @property
     def total_time(self) -> float:
@@ -350,49 +363,119 @@ def analyze_depthk(
     scheduling: str = "lifo",
     keep_abstract: bool = False,
     abstract_integers: bool = True,
+    budget=None,
+    governor=None,
+    fault=None,
+    degrade: bool = True,
+    widen_threshold: int = 8,
 ) -> DepthKResult:
     """Depth-k groundness/shape analysis via the tabled engine.
 
     Entry goals use the source predicate names (``gpk$`` is added); the
     ``:- entry_point(p(g, any))`` directives of the source program are
     honoured with ``g`` mapping to ``gamma``.
+
+    Anytime mode: under a ``budget``/``governor``, a budget trip with
+    ``degrade=True`` walks the ladder — (1) retry with in-table
+    widening to ⊤, (2) retry with reduced depth bounds ``depth-1 .. 0``
+    (each a coarser, cheaper abstract domain), (3) bail to the all-top
+    result.  Every stage restarts the budget; the injected ``fault``
+    (if any) keeps its global fire count across stages.
     """
+    from repro.runtime.budget import ResourceExhausted, governor_for
+    from repro.runtime.degrade import (
+        DegradationEvent,
+        notify_degradation,
+        top_widening_join,
+    )
+
     t0 = time.perf_counter()
     abstract, warnings = depthk_program(program)
     db = ClauseDB(abstract, compiled=compiled)
     t1 = time.perf_counter()
 
-    engine = TabledEngine(
-        db,
-        scheduling=scheduling,
-        call_abstraction=lambda goal: truncate_goal(goal, depth, abstract_integers),
-        answer_abstraction=lambda answer: truncate_goal(
-            answer, depth, abstract_integers
-        ),
-        feed_unify=abstract_unify,
-        # subsumed answers denote no extra instances: merging is sound
-        answer_subsumption=True,
-    )
     goals = entries if entries is not None else _entry_points(program)
     if not goals:
         goals = [_open_goal(ind) for ind in program.predicates()]
-    for goal in goals:
-        engine.solve(goal)
-    for indicator in program.predicates():
-        name, arity = indicator
-        if not engine.tables_by_pred.get((gpk_name(name), arity)):
-            engine.solve(_open_goal(indicator))
+
+    gov = governor_for(budget, governor, fault)
+    completeness = "exact"
+    effective_depth = depth
+    events: list = []
+
+    def attempt(stage_gov, k, answer_join=None):
+        engine = TabledEngine(
+            db,
+            scheduling=scheduling,
+            governor=stage_gov,
+            call_abstraction=lambda goal: truncate_goal(goal, k, abstract_integers),
+            answer_abstraction=lambda answer: truncate_goal(
+                answer, k, abstract_integers
+            ),
+            feed_unify=abstract_unify,
+            answer_join=answer_join,
+            # subsumed answers denote no extra instances: merging is sound
+            answer_subsumption=True,
+        )
+        for goal in goals:
+            engine.solve(goal)
+        for indicator in program.predicates():
+            name, arity = indicator
+            if not engine.tables_by_pred.get((gpk_name(name), arity)):
+                engine.solve(_open_goal(indicator))
+        return engine
+
+    def record(stage, exc):
+        event = DegradationEvent.from_error("depthk", stage, exc)
+        events.append(event)
+        notify_degradation(event)
+
+    engine = None
+    try:
+        engine = attempt(gov, depth)
+    except ResourceExhausted as exc:
+        if not degrade:
+            raise
+        record("exact", exc)
+        try:
+            engine = attempt(gov.restarted(), depth, top_widening_join(widen_threshold))
+            completeness = "widened"
+        except ResourceExhausted as exc2:
+            record("widened", exc2)
+            for reduced in range(depth - 1, -1, -1):
+                try:
+                    engine = attempt(gov.restarted(), reduced)
+                    completeness = f"reduced-k({reduced})"
+                    effective_depth = reduced
+                    break
+                except ResourceExhausted as exc3:
+                    record(f"reduced-k({reduced})", exc3)
+            else:
+                completeness = "top"
     t2 = time.perf_counter()
 
     predicates = {}
+    table_completeness = {}
     for indicator in program.predicates():
         name, arity = indicator
+        if engine is None:
+            top = (
+                Struct(gpk_name(name), tuple(fresh_var() for _ in range(arity)))
+                if arity
+                else gpk_name(name)
+            )
+            predicates[indicator] = PredicateShapes(name, arity, [top], [])
+            table_completeness[indicator] = False
+            continue
         answers: list[Term] = []
         calls: list[Term] = []
+        complete = True
         for table in engine.tables_by_pred.get((gpk_name(name), arity), []):
             calls.append(table.call)
             answers.extend(table.answers)
+            complete = complete and table.complete
         predicates[indicator] = PredicateShapes(name, arity, answers, calls)
+        table_completeness[indicator] = complete
     t3 = time.perf_counter()
 
     return DepthKResult(
@@ -403,10 +486,14 @@ def analyze_depthk(
             "analysis": t2 - t1,
             "collection": t3 - t2,
         },
-        table_space=engine.table_space_bytes(),
-        stats=engine.stats.as_dict(),
+        table_space=0 if engine is None else engine.table_space_bytes(),
+        stats={} if engine is None else engine.stats.as_dict(),
         warnings=warnings,
         abstract=abstract if keep_abstract else None,
+        completeness=completeness,
+        effective_depth=None if engine is None else effective_depth,
+        events=events,
+        table_completeness=table_completeness,
     )
 
 

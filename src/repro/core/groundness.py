@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 from itertools import product
 
 from repro.engine.builtins import is_builtin
-from repro.engine.tabling import TabledEngine
+from repro.engine.tabling import TabledEngine, TableStats
 from repro.prolog.parser import Clause
 from repro.prolog.program import Indicator, Program
 from repro.terms.term import Struct, Term, Var, fresh_var, term_variables
@@ -385,7 +385,15 @@ class PredicateGroundness:
 
 @dataclass
 class GroundnessResult:
-    """Full analysis output: per-predicate results plus phase metrics."""
+    """Full analysis output: per-predicate results plus phase metrics.
+
+    ``completeness`` names the degradation-ladder stage that produced
+    the result (``"exact"``, ``"widened"`` or ``"top"``); ``events``
+    records each budget trip on the way down, and
+    ``table_completeness`` flags, per predicate, whether its tables
+    ran to completion — partial (degraded) results are still sound
+    over-approximations, just less precise.
+    """
 
     predicates: dict[Indicator, PredicateGroundness]
     times: dict[str, float]
@@ -393,6 +401,13 @@ class GroundnessResult:
     stats: dict
     warnings: list[str]
     abstract: Program | None = None
+    completeness: str = "exact"
+    events: list = field(default_factory=list)
+    table_completeness: dict = field(default_factory=dict)
+
+    @property
+    def degraded(self) -> bool:
+        return self.completeness != "exact"
 
     @property
     def total_time(self) -> float:
@@ -411,6 +426,11 @@ def analyze_groundness(
     encoding: str = "compact",
     scheduling: str = "lifo",
     keep_abstract: bool = False,
+    budget=None,
+    governor=None,
+    fault=None,
+    degrade: bool = True,
+    widen_threshold: int = 8,
 ) -> GroundnessResult:
     """Run the full groundness analysis pipeline on ``program``.
 
@@ -422,7 +442,21 @@ def analyze_groundness(
     ``entries`` are abstract entry goals (``gp$``-named); when omitted,
     ``:- entry_point(...)`` directives are used, and failing those every
     predicate is analysed with an open call.
+
+    Anytime mode: a ``budget`` (or prebuilt ``governor``) limits the
+    evaluation; on a budget trip with ``degrade=True`` the driver walks
+    the degradation ladder — retry with in-table widening to ⊤
+    (``answer_join``, paper section 6.1), then bail to the sound
+    all-top result — instead of raising.  ``fault`` is a
+    :class:`~repro.runtime.faultinject.FaultInjector` for tests.
     """
+    from repro.runtime.budget import ResourceExhausted, governor_for
+    from repro.runtime.degrade import (
+        DegradationEvent,
+        notify_degradation,
+        top_widening_join,
+    )
+
     t0 = time.perf_counter()
     abstract, info = abstract_program(program, optimize, max_enum_arity, encoding)
     from repro.engine.clausedb import ClauseDB
@@ -430,21 +464,53 @@ def analyze_groundness(
     db = ClauseDB(abstract, compiled=compiled)
     t1 = time.perf_counter()
 
-    engine = TabledEngine(db, scheduling=scheduling)
     goals = entries if entries is not None else info.entry_points
     if not goals:
         goals = [_open_goal(ind) for ind in info.predicates]
-    for goal in goals:
-        engine.solve(goal)
-    # ensure every predicate has at least an output-groundness table
-    for indicator in info.predicates:
-        if not _tables_for(engine, indicator):
-            engine.solve(_open_goal(indicator))
+
+    gov = governor_for(budget, governor, fault)
+    completeness = "exact"
+    events: list = []
+    try:
+        engine = _evaluate(db, info, goals, scheduling, gov)
+    except ResourceExhausted as exc:
+        if not degrade:
+            raise
+        event = DegradationEvent.from_error("groundness", "exact", exc)
+        events.append(event)
+        notify_degradation(event)
+        try:
+            engine = _evaluate(
+                db,
+                info,
+                goals,
+                scheduling,
+                gov.restarted(),
+                answer_join=top_widening_join(widen_threshold),
+            )
+            completeness = "widened"
+        except ResourceExhausted as exc2:
+            event = DegradationEvent.from_error("groundness", "widened", exc2)
+            events.append(event)
+            notify_degradation(event)
+            engine = None
+            completeness = "top"
     t2 = time.perf_counter()
 
     predicates = {}
+    table_completeness = {}
     for indicator in info.predicates:
-        predicates[indicator] = _collect(engine, indicator)
+        if engine is None:
+            name, arity = indicator
+            predicates[indicator] = PredicateGroundness(
+                name, arity, PropFunction.top(arity), [], 0
+            )
+            table_completeness[indicator] = False
+        else:
+            predicates[indicator] = _collect(engine, indicator)
+            table_completeness[indicator] = all(
+                t.complete for t in _tables_for(engine, indicator)
+            )
     t3 = time.perf_counter()
 
     return GroundnessResult(
@@ -454,11 +520,33 @@ def analyze_groundness(
             "analysis": t2 - t1,
             "collection": t3 - t2,
         },
-        table_space=engine.table_space_bytes(),
-        stats=engine.stats.as_dict(),
+        table_space=0 if engine is None else engine.table_space_bytes(),
+        stats=TableStats().as_dict() if engine is None else engine.stats.as_dict(),
         warnings=info.warnings,
         abstract=abstract if keep_abstract else None,
+        completeness=completeness,
+        events=events,
+        table_completeness=table_completeness,
     )
+
+
+def _evaluate(db, info, goals, scheduling, governor, answer_join=None):
+    """One evaluation attempt (one ladder stage) over a fresh engine."""
+    engine = TabledEngine(
+        db,
+        scheduling=scheduling,
+        governor=governor,
+        answer_join=answer_join,
+        # with widening active, subsumed answers carry no extra rows
+        answer_subsumption=answer_join is not None,
+    )
+    for goal in goals:
+        engine.solve(goal)
+    # ensure every predicate has at least an output-groundness table
+    for indicator in info.predicates:
+        if not _tables_for(engine, indicator):
+            engine.solve(_open_goal(indicator))
+    return engine
 
 
 def _open_goal(indicator: Indicator) -> Term:

@@ -30,7 +30,7 @@ answers of ``sp$f(delta, ...)`` (an unbound answer variable reads as
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field as dataclasses_field
 from itertools import product
 
 from repro.core.propdom import DEFAULT_MAX_ENUM_ARITY  # reuse the same knob
@@ -356,11 +356,22 @@ class FunctionStrictness:
 
 @dataclass
 class StrictnessResult:
+    """``completeness`` names the degradation stage that produced the
+    result (``"exact"``, ``"widened"`` or ``"top"``); degraded results
+    only *weaken* demands (toward ``n``), so they stay sound."""
+
     functions: dict[tuple[str, int], FunctionStrictness]
     times: dict[str, float]
     table_space: int
     stats: dict
     abstract: Program | None = None
+    completeness: str = "exact"
+    events: list = dataclasses_field(default_factory=list)
+    table_completeness: dict = dataclasses_field(default_factory=dict)
+
+    @property
+    def degraded(self) -> bool:
+        return self.completeness != "exact"
 
     @property
     def total_time(self) -> float:
@@ -378,6 +389,11 @@ def analyze_strictness(
     max_enum: int = 6,
     encoding: str = "compact",
     supplementary: bool = True,
+    budget=None,
+    governor=None,
+    fault=None,
+    degrade: bool = True,
+    widen_threshold: int = 8,
 ) -> StrictnessResult:
     """Full strictness pipeline: compile, evaluate tabled, collect.
 
@@ -385,7 +401,18 @@ def analyze_strictness(
     to the generated clauses — tabling intermediate joins to eliminate
     the existentially quantified demand variables; without it, deeply
     nested equations (pcprove!) backtrack multiplicatively.
+
+    Anytime mode: under a ``budget``/``governor``, a budget trip with
+    ``degrade=True`` retries with in-table widening to ⊤ and finally
+    bails to the all-``n`` (no claim) result, which is trivially sound.
     """
+    from repro.runtime.budget import ResourceExhausted, governor_for
+    from repro.runtime.degrade import (
+        DegradationEvent,
+        notify_degradation,
+        top_widening_join,
+    )
+
     t0 = time.perf_counter()
     abstract, functions = strictness_program(program, max_enum, encoding)
     if supplementary:
@@ -397,36 +424,74 @@ def analyze_strictness(
     db = ClauseDB(abstract, compiled=compiled)
     t1 = time.perf_counter()
 
-    # Answer subsumption collapses the overlapping most-general answers
-    # of the compact encoding (an XSB-style engine option; section 6.2).
-    # Early completion is sound here because only *answer* tables are
-    # read out — call-pattern side effects are not part of the result.
-    engine = TabledEngine(
-        db,
-        scheduling=scheduling,
-        answer_subsumption=True,
-        early_completion=True,
-    )
-    queries: dict[tuple[str, int, str], Term] = {}
-    for fname, arity in functions:
-        for demand in ("e", "d"):
-            goal = Struct(
-                sp_name(fname), (demand, *(fresh_var() for _ in range(arity)))
-            )
-            queries[(fname, arity, demand)] = goal
-            engine.solve(goal)
+    def attempt(stage_gov, answer_join=None):
+        # Answer subsumption collapses the overlapping most-general
+        # answers of the compact encoding (an XSB-style engine option;
+        # section 6.2).  Early completion is sound here because only
+        # *answer* tables are read out — call-pattern side effects are
+        # not part of the result.
+        engine = TabledEngine(
+            db,
+            scheduling=scheduling,
+            answer_subsumption=True,
+            early_completion=True,
+            governor=stage_gov,
+            answer_join=answer_join,
+        )
+        queries: dict[tuple[str, int, str], Term] = {}
+        for fname, arity in functions:
+            for demand in ("e", "d"):
+                goal = Struct(
+                    sp_name(fname), (demand, *(fresh_var() for _ in range(arity)))
+                )
+                queries[(fname, arity, demand)] = goal
+                engine.solve(goal)
+        return engine, queries
+
+    gov = governor_for(budget, governor, fault)
+    completeness = "exact"
+    events: list = []
+    engine = queries = None
+    try:
+        engine, queries = attempt(gov)
+    except ResourceExhausted as exc:
+        if not degrade:
+            raise
+        event = DegradationEvent.from_error("strictness", "exact", exc)
+        events.append(event)
+        notify_degradation(event)
+        try:
+            engine, queries = attempt(gov.restarted(), top_widening_join(widen_threshold))
+            completeness = "widened"
+        except ResourceExhausted as exc2:
+            event = DegradationEvent.from_error("strictness", "widened", exc2)
+            events.append(event)
+            notify_degradation(event)
+            engine = queries = None
+            completeness = "top"
     t2 = time.perf_counter()
 
     results: dict[tuple[str, int], FunctionStrictness] = {}
+    table_completeness: dict = {}
     for fname, arity in functions:
+        if engine is None:
+            # all-top: no demand claims at all (``n`` everywhere)
+            results[(fname, arity)] = FunctionStrictness(
+                fname, arity, ("n",) * arity, ("n",) * arity
+            )
+            table_completeness[(fname, arity)] = False
+            continue
         per_demand = {}
+        complete = True
         for demand in ("e", "d"):
             table = engine.table_for(queries[(fname, arity, demand)])
             answers = table.answers if table is not None else []
+            complete = complete and table is not None and table.complete
             per_demand[demand] = _meet_answers(answers, arity)
         results[(fname, arity)] = FunctionStrictness(
             fname, arity, per_demand["e"], per_demand["d"]
         )
+        table_completeness[(fname, arity)] = complete
     t3 = time.perf_counter()
 
     return StrictnessResult(
@@ -436,9 +501,12 @@ def analyze_strictness(
             "analysis": t2 - t1,
             "collection": t3 - t2,
         },
-        table_space=engine.table_space_bytes(),
-        stats=engine.stats.as_dict(),
+        table_space=0 if engine is None else engine.table_space_bytes(),
+        stats={} if engine is None else engine.stats.as_dict(),
         abstract=abstract if keep_abstract else None,
+        completeness=completeness,
+        events=events,
+        table_completeness=table_completeness,
     )
 
 

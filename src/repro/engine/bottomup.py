@@ -82,10 +82,16 @@ class BottomUpEngine:
         program: Program,
         max_rounds: int | None = None,
         scc: bool = True,
+        governor=None,
     ):
         self.program = program
         self.max_rounds = max_rounds
         self.scc = scc
+        if governor is None and max_rounds is not None:
+            from repro.runtime.budget import Budget, ResourceGovernor
+
+            governor = ResourceGovernor(Budget(rounds=max_rounds))
+        self.governor = governor
         self.relations: dict[Indicator, _Relation] = {}
         self.rounds = 0
         self.derivations = 0
@@ -175,8 +181,8 @@ class BottomUpEngine:
                 by_pred.setdefault(_indicator(rule.body[i]), []).append(entry)
         while delta:
             self.rounds += 1
-            if self.max_rounds is not None and self.rounds > self.max_rounds:
-                raise PrologError(f"exceeded round budget {self.max_rounds}")
+            if self.governor is not None:
+                self.governor.charge("rounds", delta[0])
             delta_keys = {variant_key(f) for f in delta}
             delta_by_pred: dict[Indicator, list[Term]] = {}
             for fact in delta:
@@ -207,8 +213,8 @@ class BottomUpEngine:
                 by_pred.setdefault(_indicator(rule.body[i]), []).append(rule)
         while delta:
             self.rounds += 1
-            if self.max_rounds is not None and self.rounds > self.max_rounds:
-                raise PrologError(f"exceeded round budget {self.max_rounds}")
+            if self.governor is not None:
+                self.governor.charge("rounds", delta[0])
             delta_keys = {variant_key(f) for f in delta}
             delta_by_pred: dict[Indicator, list[Term]] = {}
             for fact in delta:
@@ -236,6 +242,8 @@ class BottomUpEngine:
     def _fire_full(self, rule: _Rule, next_delta: list[Term]) -> None:
         """Apply a rule once, joining every position against the store."""
         self.rule_firings += 1
+        if self.governor is not None:
+            self.governor.poll(rule.head)
         renamed = rename_apart(Struct("$rule", (rule.head, *rule.body)))
         head, body = renamed.args[0], list(renamed.args[1:])
         self._join(rule, head, body, 0, EMPTY_SUBST, None, None, next_delta)
@@ -251,6 +259,8 @@ class BottomUpEngine:
             if _indicator(rule.body[delta_position]) not in delta_by_pred:
                 continue
             self.rule_firings += 1
+            if self.governor is not None:
+                self.governor.poll(rule.head)
             renamed = rename_apart(Struct("$rule", (rule.head, *rule.body)))
             head, body = renamed.args[0], list(renamed.args[1:])
             self._join(

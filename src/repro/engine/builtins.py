@@ -12,25 +12,13 @@ handled inside the engines, not here.
 
 from __future__ import annotations
 
+from repro.errors import PrologError
 from repro.terms.subst import Subst
 from repro.terms.term import Struct, Term, Var, fresh_var, make_list, list_elements
 from repro.terms.unify import unify
 from repro.terms.variant import rename_apart
 
-
-class PrologError(Exception):
-    """Runtime error in evaluation (instantiation, type, undefined...).
-
-    ``line`` carries the source line of the clause being executed when
-    the engine knows it, so messages can cite ``file:line`` the same
-    way the static lint diagnostics do.
-    """
-
-    def __init__(self, message: str, line: int | None = None):
-        if line:
-            message = f"{message} (line {line})"
-        super().__init__(message)
-        self.line = line
+__all__ = ["PrologError", "DET_BUILTINS", "NONDET_BUILTINS", "is_builtin", "eval_arith"]
 
 
 # ----------------------------------------------------------------------

@@ -21,12 +21,9 @@ from repro.engine.builtins import (
 )
 from repro.engine.clausedb import ClauseDB
 from repro.prolog.program import Program
+from repro.runtime.budget import StepLimitExceeded
 from repro.terms.subst import EMPTY_SUBST, Subst
 from repro.terms.term import Struct, Term, Var
-
-
-class StepLimitExceeded(PrologError):
-    """Raised when a query exceeds the configured resolution-step budget."""
 
 
 class _Cut(Exception):
@@ -47,11 +44,18 @@ class SLDEngine:
         Build the clause database in compiled (indexed, templated) mode.
     max_steps:
         Optional resolution-step budget; exceeding it raises
-        :class:`StepLimitExceeded`.  Used to demonstrate/contain
-        nontermination of SLD on left recursion.
+        :class:`repro.runtime.budget.StepLimitExceeded`.  Used to
+        demonstrate/contain nontermination of SLD on left recursion.
+        Shorthand for a :class:`~repro.runtime.budget.Budget` with only
+        ``steps`` set.
     unknown:
         ``"error"`` (default) raises on calls to undefined predicates,
         ``"fail"`` makes them fail silently.
+    governor:
+        A :class:`~repro.runtime.budget.ResourceGovernor` enforcing
+        step/deadline budgets and cancellation.  Sub-engines spawned
+        for ``\\+`` goals share it, so nested work draws down the same
+        budget.
     """
 
     def __init__(
@@ -60,6 +64,7 @@ class SLDEngine:
         compiled: bool = False,
         max_steps: int | None = None,
         unknown: str = "error",
+        governor=None,
     ):
         if isinstance(program, ClauseDB):
             self.db = program
@@ -68,6 +73,11 @@ class SLDEngine:
             self.db = prepared if prepared is not None else ClauseDB(program, compiled)
         self.max_steps = max_steps
         self.unknown = unknown
+        if governor is None and max_steps is not None:
+            from repro.runtime.budget import Budget, ResourceGovernor
+
+            governor = ResourceGovernor(Budget(steps=max_steps))
+        self.governor = governor
         self.steps = 0
 
     # ------------------------------------------------------------------
@@ -97,8 +107,8 @@ class SLDEngine:
         (goal, barrier), rest = goals
         goal = subst.walk(goal)
         self.steps += 1
-        if self.max_steps is not None and self.steps > self.max_steps:
-            raise StepLimitExceeded(f"exceeded {self.max_steps} resolution steps")
+        if self.governor is not None:
+            self.governor.charge("steps", goal)
 
         if isinstance(goal, Var):
             raise PrologError("call: unbound goal")
@@ -148,7 +158,10 @@ class SLDEngine:
             del cps[goal.args[0] :]
             return (rest, subst)
         if (name == "\\+" or name == "not") and arity == 1:
-            sub = SLDEngine(self.db, max_steps=self._remaining(), unknown=self.unknown)
+            # the sub-engine shares this engine's governor, so nested
+            # resolution charges the same step budget as it happens —
+            # an exhausted parent cannot be overrun via nested goals
+            sub = SLDEngine(self.db, unknown=self.unknown, governor=self.governor)
             for _ in sub.solve(goal.args[0], subst):
                 self.steps += sub.steps
                 return None
@@ -205,11 +218,6 @@ class SLDEngine:
             extended = unify(goal, head, subst)
             if extended is not None:
                 yield (((body, height), rest), extended)
-
-    def _remaining(self):
-        if self.max_steps is None:
-            return None
-        return max(1, self.max_steps - self.steps)
 
 
 def _add_args(target: Term, extra: tuple) -> Term:

@@ -140,6 +140,7 @@ class TabledEngine:
         feed_unify=None,
         answer_subsumption: bool = False,
         early_completion: bool = False,
+        governor=None,
     ):
         if isinstance(program, ClauseDB):
             self.db = program
@@ -160,9 +161,15 @@ class TabledEngine:
         self.feed_unify = feed_unify if feed_unify is not None else unify
         self.answer_subsumption = answer_subsumption
         self.early_completion = early_completion
+        if governor is None and max_tasks is not None:
+            from repro.runtime.budget import Budget, ResourceGovernor
+
+            governor = ResourceGovernor(Budget(tasks=max_tasks))
+        self.governor = governor
         self.tables: dict = {}
         self.tables_by_pred: dict = {}
         self.stats = TableStats()
+        self._table_bytes = 0
         self._worklist: deque = deque()
 
     # ------------------------------------------------------------------
@@ -197,11 +204,18 @@ class TabledEngine:
         return list(self.tables.values())
 
     def table_space_bytes(self) -> int:
-        """Printed-size proxy for XSB's table space metric.
+        """Printed-size proxy for XSB's table space metric, in O(1).
 
         Bytes of the canonically printed calls and answers across all
         tables (documented substitute for XSB's internal byte counts).
+        The counter is maintained incrementally as tables and answers
+        are created; :meth:`recompute_table_space_bytes` re-derives it
+        from the tables for verification.
         """
+        return self._table_bytes
+
+    def recompute_table_space_bytes(self) -> int:
+        """Re-derive the table-space counter by full traversal (O(n))."""
         total = 0
         for table in self.tables.values():
             total += len(term_to_str(table.call)) + 16
@@ -220,6 +234,7 @@ class TabledEngine:
 
     def _run(self):
         pop = self._worklist.pop if self.scheduling == "lifo" else self._worklist.popleft
+        governor = self.governor
         while self._worklist:
             item = pop()
             if item[0] == "task":
@@ -230,11 +245,15 @@ class TabledEngine:
                 ):
                     continue  # early completion: ground call already answered
                 self.stats.tasks += 1
-                if self.max_tasks is not None and self.stats.tasks > self.max_tasks:
-                    raise PrologError(f"exceeded task budget {self.max_tasks}")
+                if governor is not None:
+                    governor.charge(
+                        "tasks", goals[0] if goals is not None else context.template
+                    )
                 self._step(goals, subst, context)
             else:
                 _, consumer, table = item
+                if governor is not None:
+                    governor.poll(table.call)
                 self._feed_consumer(consumer, table)
         for table in self.tables.values():
             table.complete = True
@@ -364,6 +383,10 @@ class TabledEngine:
         self.tables[key] = table
         self.tables_by_pred.setdefault(table.indicator(), []).append(table)
         self.stats.calls += 1
+        delta = len(term_to_str(call)) + 16
+        self._table_bytes += delta
+        if self.governor is not None:
+            self.governor.tick_table_bytes(delta, call)
         # schedule generators: clause resolution for the tabled call
         context = _Context(table, call)
         indicator = table.indicator()
@@ -417,6 +440,11 @@ class TabledEngine:
         table.answer_keys.add(key)
         table.answers.append(answer)
         self.stats.answers += 1
+        delta = len(term_to_str(answer)) + 8
+        self._table_bytes += delta
+        if self.governor is not None:
+            self.governor.charge("answers", answer)
+            self.governor.tick_table_bytes(delta, answer)
         if self.early_completion and table.ground_call:
             table.satisfied = True
         for consumer in table.consumers:
@@ -471,8 +499,10 @@ class TabledEngine:
             self.db,
             scheduling=self.scheduling,
             cut=self.cut,
-            max_tasks=self.max_tasks,
             table_all=self.table_all,
+            # share the governor: nested work charges the parent budget
+            # directly instead of being re-granted a fresh allowance
+            governor=self.governor,
         )
         return bool(nested.solve(subst.resolve(goal)))
 

@@ -1,0 +1,24 @@
+"""Base error types shared across engines and the runtime governor.
+
+Lives outside :mod:`repro.engine` so that :mod:`repro.runtime` (whose
+error taxonomy subclasses :class:`PrologError`) can be imported without
+triggering the engine package — the engines themselves import the
+runtime for budget enforcement.
+"""
+
+from __future__ import annotations
+
+
+class PrologError(Exception):
+    """Runtime error in evaluation (instantiation, type, undefined...).
+
+    ``line`` carries the source line of the clause being executed when
+    the engine knows it, so messages can cite ``file:line`` the same
+    way the static lint diagnostics do.
+    """
+
+    def __init__(self, message: str, line: int | None = None):
+        if line:
+            message = f"{message} (line {line})"
+        super().__init__(message)
+        self.line = line

@@ -26,12 +26,11 @@ from repro.funlang.ast import (
 )
 
 
+from repro.runtime.budget import FuelExhausted  # noqa: F401  (re-export)
+
+
 class Divergence(Exception):
     """Raised when evaluation forces an explicit ``bottom``."""
-
-
-class FuelExhausted(Exception):
-    """Raised when the evaluation step budget runs out."""
 
 
 class VCons:
@@ -79,9 +78,10 @@ _FALSE = VCons("False", ())
 class LazyInterpreter:
     """Evaluates expressions of a :class:`FunProgram` lazily."""
 
-    def __init__(self, program: FunProgram, fuel: int = 1_000_000):
+    def __init__(self, program: FunProgram, fuel: int = 1_000_000, governor=None):
         self.program = program
         self.fuel = fuel
+        self.governor = governor
         self.steps = 0
 
     # ------------------------------------------------------------------
@@ -97,8 +97,10 @@ class LazyInterpreter:
 
     def eval_whnf(self, expr, env: dict):
         self.steps += 1
-        if self.steps > self.fuel:
-            raise FuelExhausted(f"exceeded {self.fuel} evaluation steps")
+        if self.governor is not None:
+            self.governor.charge("fuel", expr)
+        elif self.steps > self.fuel:
+            raise FuelExhausted("fuel", self.steps, self.fuel)
         if isinstance(expr, ELit):
             return expr.value
         if isinstance(expr, EVar):

@@ -23,6 +23,22 @@ from repro.core.groundness import GroundnessResult, analyze_groundness
 from repro.core.strictness import StrictnessResult, analyze_strictness
 from repro.engine.clausedb import ClauseDB
 from repro.prolog.program import load_program
+from repro.runtime.degrade import DegradationEvent, add_degradation_listener
+
+#: every DegradationEvent observed since import / the last clear — the
+#: harness-level record of budget trips across a benchmark run
+DEGRADATION_EVENTS: list[DegradationEvent] = []
+
+
+def _record_degradation(event: DegradationEvent) -> None:
+    DEGRADATION_EVENTS.append(event)
+
+
+def clear_degradation_events() -> None:
+    del DEGRADATION_EVENTS[:]
+
+
+add_degradation_listener(_record_degradation)
 
 
 def compile_baseline(source: str, repeat: int = 3) -> float:
@@ -82,7 +98,7 @@ def groundness_row(name: str, source: str, **kw) -> tuple[Row, GroundnessResult]
         collection=result.times["collection"],
         compile_increase_pct=100.0 * result.total_time / baseline if baseline else None,
         table_space=result.table_space,
-        extra={"compile_baseline": baseline},
+        extra={"compile_baseline": baseline, "completeness": result.completeness},
     )
     return row, result
 
@@ -101,7 +117,7 @@ def strictness_row(name: str, source: str, **kw) -> tuple[Row, StrictnessResult]
         collection=result.times["collection"],
         compile_increase_pct=100.0 * result.total_time / baseline if baseline else None,
         table_space=result.table_space,
-        extra={"compile_baseline": baseline},
+        extra={"compile_baseline": baseline, "completeness": result.completeness},
     )
     return row, result
 
@@ -118,7 +134,7 @@ def depthk_row(name: str, source: str, **kw) -> tuple[Row, DepthKResult]:
         collection=result.times["collection"],
         compile_increase_pct=100.0 * result.total_time / baseline if baseline else None,
         table_space=result.table_space,
-        extra={"compile_baseline": baseline},
+        extra={"compile_baseline": baseline, "completeness": result.completeness},
     )
     return row, result
 
@@ -149,5 +165,8 @@ def render_table(title: str, rows: list[Row], paper: dict | None = None) -> str:
             reference = paper[row.name]
             total = reference[4] if len(reference) >= 5 else reference[-1]
             line += f" {total:9.2f}s"
+        completeness = row.extra.get("completeness", "exact")
+        if completeness != "exact":
+            line += f"  [degraded: {completeness}]"
         out.append(line)
     return "\n".join(out)

@@ -1,0 +1,8 @@
+"""Entry point: ``python -m repro.runtime file.pl --deadline 2``."""
+
+import sys
+
+from repro.runtime.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,114 @@
+"""The staged degradation ladder shared by the analysis drivers.
+
+When a governed analysis trips its budget, the drivers retry down a
+ladder of progressively cheaper, progressively less precise — but
+always *sound* — configurations (paper section 6.1 provides the key
+mechanism, in-table widening via the ``answer_join`` hook):
+
+1. **widen** — rerun with :func:`top_widening_join`: once a table has
+   accumulated ``threshold`` answers, the join replaces further growth
+   with the single most-general answer (the domain's ⊤ for that call),
+   bounding every table while over-approximating its answer set;
+2. **reduce-k** — depth-k analysis only: retry with a smaller depth
+   bound (coarser abstract domain, geometrically cheaper);
+3. **top** — give up on evaluation and return the all-⊤ result, which
+   is trivially sound for the over-approximating analyses here.
+
+Each failed stage is recorded as a :class:`DegradationEvent`; the
+events ride on the result object and are broadcast to registered
+listeners (:mod:`repro.harness.metrics` installs one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.budget import ResourceExhausted, _describe
+from repro.terms.term import Struct, Term, fresh_var
+from repro.terms.variant import variant_key
+
+#: ladder stage names, most precise first
+STAGES = ("exact", "widened", "reduced-k", "top")
+
+
+@dataclass
+class DegradationEvent:
+    """One budget trip during a staged analysis run."""
+
+    analysis: str  # "groundness" | "depthk" | "strictness"
+    stage: str  # the stage that tripped ("exact", "widened", "reduced-k(1)"...)
+    kind: str  # budget kind that tripped
+    spent: object
+    limit: object
+    context: str | None
+    injected: bool = False
+
+    @classmethod
+    def from_error(cls, analysis: str, stage: str, error: ResourceExhausted):
+        return cls(
+            analysis=analysis,
+            stage=stage,
+            kind=error.kind,
+            spent=error.spent,
+            limit=error.limit,
+            context=None if error.context is None else _describe(error.context),
+            injected=error.injected,
+        )
+
+
+#: callables invoked with each DegradationEvent as it happens
+_LISTENERS: list = []
+
+
+def add_degradation_listener(listener) -> None:
+    if listener not in _LISTENERS:
+        _LISTENERS.append(listener)
+
+
+def remove_degradation_listener(listener) -> None:
+    if listener in _LISTENERS:
+        _LISTENERS.remove(listener)
+
+
+def notify_degradation(event: DegradationEvent) -> None:
+    for listener in list(_LISTENERS):
+        listener(event)
+
+
+# ----------------------------------------------------------------------
+# Stage 1: in-table widening to the most general answer
+
+
+def most_general_answer(answer: Term) -> Term:
+    """The ⊤ answer for a table: same functor, all-fresh arguments.
+
+    For Prop groundness this denotes the full truth table; for demand
+    propagation every argument reads back as ``n`` (no claim); for
+    depth-k it is the unconstrained shape.  In each case a superset of
+    any concrete answer set — sound for the over-approximating
+    analyses.
+    """
+    if isinstance(answer, Struct):
+        return Struct(answer.functor, tuple(fresh_var() for _ in answer.args))
+    return answer
+
+
+def top_widening_join(threshold: int = 8):
+    """An ``answer_join`` hook widening any table past ``threshold``.
+
+    While a table holds fewer than ``threshold`` answers, answers are
+    recorded normally (``None`` = default insert).  At the threshold
+    the join records the single most-general answer instead, and drops
+    every subsequent answer (the ⊤ answer subsumes them), so no table
+    — and no consumer fan-out — grows without bound.
+    """
+
+    def join(existing: list, new: Term):
+        if len(existing) < threshold:
+            return None
+        top = most_general_answer(new)
+        if existing and variant_key(existing[-1]) == variant_key(top):
+            return []  # already widened: drop the new answer
+        return [top]
+
+    return join

@@ -1,0 +1,70 @@
+"""Deterministic fault injection for the resource governor.
+
+A :class:`FaultInjector` is attached to a
+:class:`~repro.runtime.budget.ResourceGovernor` and trips a chosen
+budget at exactly the N-th event of a chosen kind — the N-th task, the
+N-th recorded answer, the N-th semi-naive round, and so on.  Because
+the trigger is an event *count* (not wall time), tests of the recovery
+ladder are fully reproducible.
+
+``times`` bounds how many runs the injector fires in: governors
+restarted between degradation stages share the injector object, so
+``times=1`` trips only the first (exact) stage and lets the first
+retry succeed, ``times=2`` also trips the first retry, etc.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.budget import ERROR_FOR_KIND, EVENT_KINDS
+
+
+class FaultInjector:
+    """Trip budget ``kind`` at the ``at``-th event of kind ``event``.
+
+    Parameters
+    ----------
+    event:
+        Counted event kind: one of ``tasks``, ``steps``, ``rounds``,
+        ``fuel``, ``answers``.
+    at:
+        Fire when the governed run's counter for ``event`` reaches this
+        value (1-based).
+    kind:
+        Which :class:`ResourceExhausted` subclass to raise, by budget
+        kind (default ``"deadline"``; ``"cancelled"`` simulates an
+        interrupt).
+    times:
+        Maximum number of firings across all runs sharing this
+        injector; ``None`` fires every time the trigger is reached.
+    """
+
+    def __init__(self, event: str, at: int, kind: str = "deadline",
+                 times: int | None = None):
+        if event not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind {event!r}")
+        if kind not in ERROR_FOR_KIND:
+            raise ValueError(f"unknown budget kind {kind!r}")
+        if at < 1:
+            raise ValueError("fault trigger is 1-based")
+        self.event = event
+        self.at = at
+        self.kind = kind
+        self.times = times
+        self.fired = 0
+
+    def observe(self, kind: str, count: int, context=None) -> None:
+        """Governor callback: raise the injected fault at the trigger."""
+        if kind != self.event or count != self.at:
+            return
+        if self.times is not None and self.fired >= self.times:
+            return
+        self.fired += 1
+        raise ERROR_FOR_KIND[self.kind](
+            self.kind, spent=count, limit=count, context=context, injected=True
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultInjector(event={self.event!r}, at={self.at}, "
+            f"kind={self.kind!r}, fired={self.fired})"
+        )

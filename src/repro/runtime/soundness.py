@@ -1,0 +1,92 @@
+"""Automated over-approximation checks between analysis results.
+
+A degraded (budget-limited) run is *sound* iff it claims no more than
+the unrestricted run: larger success sets, weaker groundness claims,
+weaker demands.  These comparators make that checkable by a test
+instead of by eye; they are the acceptance gate for the anytime mode.
+"""
+
+from __future__ import annotations
+
+from repro.terms.term import Struct, Var
+
+
+def groundness_over_approximates(degraded, exact) -> bool:
+    """Prop groundness: every exact success row appears in the degraded
+    function, hence every definite-groundness claim of the degraded
+    result is also made by the exact one."""
+    for indicator, precise in exact.predicates.items():
+        loose = degraded.predicates.get(indicator)
+        if loose is None:
+            return False
+        if not precise.success.rows <= loose.success.rows:
+            return False
+        for claim, truth in zip(loose.ground_at_call, precise.ground_at_call):
+            if claim and not truth:
+                return False
+    return True
+
+
+def depthk_over_approximates(degraded, exact) -> bool:
+    """Depth-k: degraded groundness claims are weaker, and every exact
+    answer shape is covered by some degraded shape."""
+    for indicator, precise in exact.predicates.items():
+        loose = degraded.predicates.get(indicator)
+        if loose is None:
+            return False
+        for claim, truth in zip(loose.ground_on_success, precise.ground_on_success):
+            if claim and not truth:
+                return False
+        for answer in precise.answers:
+            if not any(shape_covers(general, answer) for general in loose.answers):
+                return False
+    return True
+
+
+def strictness_over_approximates(degraded, exact) -> bool:
+    """Strictness: per-argument guaranteed demands only weaken."""
+    from repro.core.strictness import _RANK
+
+    for key, precise in exact.functions.items():
+        loose = degraded.functions.get(key)
+        if loose is None:
+            return False
+        for claim, truth in zip(loose.demand_e, precise.demand_e):
+            if _RANK[claim] > _RANK[truth]:
+                return False
+        for claim, truth in zip(loose.demand_d, precise.demand_d):
+            if _RANK[claim] > _RANK[truth]:
+                return False
+    return True
+
+
+def shape_covers(general, specific) -> bool:
+    """Does abstract term ``general`` cover ``specific``?
+
+    Variables are wildcards (sharing is ignored — permissive, so this
+    is a necessary-condition check), ``$gamma`` covers any abstractly
+    ground term, structures must match positionally.
+    """
+    from repro.core.depthk import GAMMA, is_abstractly_ground
+
+    stack = [(general, specific)]
+    while stack:
+        g, s = stack.pop()
+        if isinstance(g, Var):
+            continue
+        if g == GAMMA:
+            if not is_abstractly_ground(s):
+                return False
+            continue
+        if isinstance(g, Struct):
+            if (
+                not isinstance(s, Struct)
+                or g.functor != s.functor
+                or len(g.args) != len(s.args)
+            ):
+                return False
+            stack.extend(zip(g.args, s.args))
+            continue
+        if g != s:
+            return False
+    return True

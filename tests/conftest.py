@@ -1,0 +1,43 @@
+"""Suite-wide safety net: a per-test wall-clock deadline.
+
+The anytime-analysis work is about never hanging; the test suite
+enforces the same discipline on itself.  Each test gets
+``REPRO_TEST_DEADLINE`` seconds (default 120) of wall-clock time via
+SIGALRM; a test that overruns fails with a clear message instead of
+wedging CI.  Platforms without SIGALRM (Windows) and worker threads
+skip the guard.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+
+import pytest
+
+_DEADLINE = float(os.environ.get("REPRO_TEST_DEADLINE", "120"))
+
+_HAVE_SIGALRM = hasattr(signal, "SIGALRM")
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    if not _HAVE_SIGALRM or _DEADLINE <= 0 or threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _on_timeout(signum, frame):
+        pytest.fail(
+            f"test exceeded the {_DEADLINE:g}s wall-clock deadline "
+            f"(REPRO_TEST_DEADLINE); anytime analyses must not hang",
+            pytrace=False,
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_timeout)
+    signal.setitimer(signal.ITIMER_REAL, _DEADLINE)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)

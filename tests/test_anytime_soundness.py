@@ -1,0 +1,96 @@
+"""Degraded analyses must over-approximate the unrestricted run.
+
+For one benchdata program per analysis, every budget-tripped result at
+every ladder stage is compared against the unrestricted ("exact") run
+with the automated soundness comparators — a degraded result may lose
+precision, never correctness.
+"""
+
+import pytest
+
+from repro.benchdata.loader import funlang_benchmark_source, prolog_benchmark_source
+from repro.core.depthk import analyze_depthk
+from repro.core.groundness import analyze_groundness
+from repro.core.strictness import analyze_strictness
+from repro.funlang.parser import parse_fun_program
+from repro.prolog import load_program
+from repro.runtime import (
+    FaultInjector,
+    depthk_over_approximates,
+    groundness_over_approximates,
+    strictness_over_approximates,
+)
+
+STAGES = [1, 2, None]  # injector firings: widen stage, top stage, keep firing
+
+
+@pytest.fixture(scope="module")
+def qsort_program():
+    return load_program(prolog_benchmark_source("qsort"))
+
+
+@pytest.fixture(scope="module")
+def quicksort_fun():
+    return parse_fun_program(funlang_benchmark_source("quicksort"))
+
+
+def test_groundness_degraded_over_approximates(qsort_program):
+    exact = analyze_groundness(qsort_program)
+    reached = set()
+    for times in STAGES:
+        degraded = analyze_groundness(
+            qsort_program, fault=FaultInjector("tasks", 5, times=times)
+        )
+        assert degraded.degraded
+        reached.add(degraded.completeness)
+        assert groundness_over_approximates(degraded, exact)
+    assert {"widened", "top"} <= reached
+
+
+def test_depthk_degraded_over_approximates(qsort_program):
+    exact = analyze_depthk(qsort_program, depth=2)
+    reached = set()
+    for times in STAGES:
+        degraded = analyze_depthk(
+            qsort_program, depth=2, fault=FaultInjector("tasks", 5, times=times)
+        )
+        assert degraded.degraded
+        reached.add(degraded.completeness)
+        assert depthk_over_approximates(degraded, exact)
+    assert "widened" in reached and "top" in reached
+    assert any(s.startswith("reduced-k") for s in reached)
+
+
+def test_strictness_degraded_over_approximates(quicksort_fun):
+    exact = analyze_strictness(quicksort_fun)
+    reached = set()
+    for times in STAGES:
+        degraded = analyze_strictness(
+            quicksort_fun, fault=FaultInjector("tasks", 3, times=times)
+        )
+        assert degraded.degraded
+        reached.add(degraded.completeness)
+        assert strictness_over_approximates(degraded, exact)
+    assert {"widened", "top"} <= reached
+
+
+def test_answer_fault_also_degrades_soundly(qsort_program):
+    """The ladder holds for answer-count trips too, not just task trips."""
+    exact = analyze_groundness(qsort_program)
+    degraded = analyze_groundness(
+        qsort_program, fault=FaultInjector("answers", 3, kind="table_bytes", times=1)
+    )
+    assert degraded.completeness == "widened"
+    assert degraded.events[0].kind == "table_bytes"
+    assert groundness_over_approximates(degraded, exact)
+
+
+def test_comparators_reject_unsound_results(qsort_program):
+    """The soundness check is a real check: a *less* general result fails."""
+    exact = analyze_groundness(qsort_program)
+    degraded = analyze_groundness(
+        qsort_program, fault=FaultInjector("tasks", 5, times=2)
+    )
+    # exact over degraded is the wrong direction: top claims strictly
+    # fewer rows than the exact Prop functions
+    assert not groundness_over_approximates(exact, degraded)
