@@ -1,0 +1,33 @@
+% Mode-checking demo: a program the groundness-flow lint proves clean.
+%
+%   $ PYTHONPATH=src python -m repro.lint examples/modes_demo.pl --strict
+%
+% The entry_point directive declares the intended call pattern (g =
+% ground argument); the checker propagates bindings left-to-right
+% through every reachable clause, asks the tabled Prop groundness
+% analysis which outputs are provably ground, and checks each builtin
+% call site against its declared input modes.
+
+:- entry_point(main(g, any)).
+
+main(List, Sorted) :-
+    qsort(List, Sorted).
+
+qsort([], []).
+qsort([Pivot|Rest], Sorted) :-
+    partition(Rest, Pivot, Small, Large),
+    qsort(Small, SortedSmall),
+    qsort(Large, SortedLarge),
+    append(SortedSmall, [Pivot|SortedLarge], Sorted).
+
+partition([], _, [], []).
+partition([X|Xs], Pivot, [X|Small], Large) :-
+    X =< Pivot,
+    partition(Xs, Pivot, Small, Large).
+partition([X|Xs], Pivot, Small, [X|Large]) :-
+    X > Pivot,
+    partition(Xs, Pivot, Small, Large).
+
+append([], Ys, Ys).
+append([X|Xs], Ys, [X|Zs]) :-
+    append(Xs, Ys, Zs).

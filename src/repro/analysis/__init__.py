@@ -8,6 +8,10 @@ The subsystem the engines and transformations lean on for *structure*:
   findings with severities and source locations;
 * :mod:`repro.analysis.safety` — range restriction, builtin modes and
   the tabled depth-growth heuristic;
+* :mod:`repro.analysis.modes` — the builtin mode declarations and the
+  determinism lattice;
+* :mod:`repro.analysis.modecheck` — the self-applied groundness-flow
+  mode checker (adornment SIPS + the tabled Prop analysis as backend);
 * :mod:`repro.analysis.stratify` — stratification of negation over the
   condensation;
 * :mod:`repro.analysis.lint` / :mod:`repro.analysis.cli` — the combined
@@ -27,9 +31,25 @@ from repro.analysis.depgraph import (
 )
 from repro.analysis.diagnostics import Diagnostic, LintReport, Severity
 from repro.analysis.lint import lint_program
+from repro.analysis.modecheck import ModeReport, check_modes, entry_patterns
+from repro.analysis.modes import (
+    BUILTIN_MODE_TABLE,
+    BuiltinModes,
+    Determinism,
+    missing_builtin_modes,
+    modes_for,
+)
 from repro.analysis.stratify import stratum_numbers, unstratified_sites
 
 __all__ = [
+    "BUILTIN_MODE_TABLE",
+    "BuiltinModes",
+    "Determinism",
+    "ModeReport",
+    "check_modes",
+    "entry_patterns",
+    "missing_builtin_modes",
+    "modes_for",
     "CallSite",
     "DependencyGraph",
     "body_call_sites",

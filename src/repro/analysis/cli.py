@@ -4,13 +4,17 @@ Prints one compiler-style line per diagnostic::
 
     prog.pl:14: error [undefined-call] call to undefined predicate qq/1 (p/2, clause 2)
 
-and exits 1 when any error-severity diagnostic was produced, 2 when a
-file cannot be read or parsed, 0 otherwise.
+or, with ``--format json``, one JSON object per line (the stable
+:meth:`~repro.analysis.diagnostics.Diagnostic.to_dict` rows).  Exits 1
+when any error-severity diagnostic was produced (or, under
+``--strict``, any warning), 2 when a file cannot be read or parsed,
+0 otherwise.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.analysis.diagnostics import LintReport, Severity
@@ -18,6 +22,7 @@ from repro.analysis.lint import lint_program
 from repro.prolog.lexer import PrologSyntaxError
 from repro.prolog.parser import parse_term
 from repro.prolog.program import load_program
+from repro.runtime.budget import Budget
 
 EXIT_OK = 0
 EXIT_ERRORS = 1
@@ -29,7 +34,8 @@ def build_arg_parser() -> argparse.ArgumentParser:
         prog="python -m repro.lint",
         description="Static checks for logic programs: undefined calls, "
         "safety/range restriction, stratification, cuts under tabling, "
-        "depth-boundedness of tabled recursion.",
+        "depth-boundedness of tabled recursion, and groundness-flow "
+        "mode checking.",
     )
     parser.add_argument("files", nargs="+", help="Prolog source files")
     parser.add_argument(
@@ -48,10 +54,38 @@ def build_arg_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="append a per-file summary line",
     )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="diagnostic output format (default: text)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 on warnings too, not only errors",
+    )
+    parser.add_argument(
+        "--no-modecheck",
+        action="store_true",
+        help="skip the groundness-flow mode checker",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        metavar="SECONDS",
+        help="wall-clock budget for the mode checker (it degrades "
+        "gracefully instead of failing when exceeded)",
+    )
     return parser
 
 
-def lint_file(path: str, query_text: str | None) -> tuple[LintReport, str | None]:
+def lint_file(
+    path: str,
+    query_text: str | None,
+    modes: bool = True,
+    deadline: float | None = None,
+) -> tuple[LintReport, str | None]:
     """Lint one file; returns (report, fatal-message-or-None)."""
     try:
         with open(path, encoding="utf-8") as handle:
@@ -68,7 +102,11 @@ def lint_file(path: str, query_text: str | None) -> tuple[LintReport, str | None
             query = parse_term(query_text)
         except PrologSyntaxError as exc:
             return LintReport(), f"--query: cannot parse {query_text!r}: {exc}"
-    return lint_program(program, query=query, filename=path), None
+    budget = Budget(deadline=deadline) if deadline is not None else None
+    report = lint_program(
+        program, query=query, filename=path, modes=modes, budget=budget
+    )
+    return report, None
 
 
 def main(argv: list[str] | None = None, out=None) -> int:
@@ -76,16 +114,22 @@ def main(argv: list[str] | None = None, out=None) -> int:
     args = build_arg_parser().parse_args(argv)
     exit_code = EXIT_OK
     for path in args.files:
-        report, fatal = lint_file(path, args.query)
+        report, fatal = lint_file(
+            path,
+            args.query,
+            modes=not args.no_modecheck,
+            deadline=args.deadline,
+        )
         if fatal is not None:
             print(fatal, file=out)
             return EXIT_USAGE
-        shown = 0
         for diagnostic in report.sorted():
             if args.errors_only and diagnostic.severity != Severity.ERROR:
                 continue
-            print(diagnostic.format(), file=out)
-            shown += 1
+            if args.format == "json":
+                print(json.dumps(diagnostic.to_dict(), sort_keys=True), file=out)
+            else:
+                print(diagnostic.format(), file=out)
         if args.summary:
             print(
                 f"{path}: {len(report.errors())} error(s), "
@@ -93,5 +137,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
                 file=out,
             )
         if report.has_errors():
+            exit_code = EXIT_ERRORS
+        elif args.strict and report.warnings():
             exit_code = EXIT_ERRORS
     return exit_code

@@ -42,6 +42,9 @@ class Diagnostic:
     clause_index: int | None = None
     line: int = 0
     file: str | None = None
+    #: call-pattern witness for flow-sensitive findings: the adorned
+    #: goal (e.g. ``"qsort(b,f)"``) under which the defect manifests.
+    witness: str | None = None
 
     def location(self) -> str:
         """``file:line`` when known, degrading gracefully."""
@@ -50,6 +53,8 @@ class Diagnostic:
 
     def format(self) -> str:
         parts = [f"{self.location()}: {self.severity} [{self.rule}] {self.message}"]
+        if self.witness is not None:
+            parts.append(f"[pattern {self.witness}]")
         if self.predicate is not None:
             suffix = f"{self.predicate[0]}/{self.predicate[1]}"
             if self.clause_index is not None:
@@ -68,7 +73,25 @@ class Diagnostic:
             self.clause_index,
             self.line,
             file,
+            self.witness,
         )
+
+    def to_dict(self) -> dict:
+        """Stable machine-readable form (the ``--format json`` rows)."""
+        return {
+            "file": self.file,
+            "line": self.line,
+            "rule": self.rule,
+            "severity": str(self.severity),
+            "message": self.message,
+            "predicate": (
+                None
+                if self.predicate is None
+                else f"{self.predicate[0]}/{self.predicate[1]}"
+            ),
+            "clause": self.clause_index,
+            "witness": self.witness,
+        }
 
 
 def sort_key(diagnostic: Diagnostic):

@@ -19,10 +19,21 @@ rule id                     severity  finding
                                       predicate (what the engine's
                                       ``cut="error"`` mode rejects
                                       dynamically)
+``instantiation-error``     error     builtin input certainly unbound
+                                      under a reaching call pattern
+``mode-conflict``           error     clause that satisfies no inferred
+                                      call pattern at all
 ``unsafe-head-var``         warning   rule head variable never bound by
                                       the body (non-ground answers)
 ``negation-unbound-var``    warning   variable occurring only under
                                       ``\\+``
+``instantiation-error``     warning   builtin input the groundness
+                                      analysis cannot prove ground
+``unsafe-negation``         warning   negated goal with a (possibly)
+                                      unbound named variable
+``redundant-clause``        warning   clause subsumed by an earlier one
+``unknown-builtin``         warning   engine builtin with no mode
+                                      declaration
 ``tabled-depth-growth``     warning   tabled recursion that grows term
                                       depth (non-termination risk)
 ``dead-code``               warning   predicate unreachable from the
@@ -30,12 +41,19 @@ rule id                     severity  finding
 ``dynamic-goal``            info      call through an unbound variable
                                       (unanalyzable)
 ==========================  ========  ==================================
+
+The flow-sensitive rules come from :mod:`repro.analysis.modecheck`
+(``modes=False`` disables the pass); its per-clause entry-binding facts
+also feed back into the clause checks, so a head variable every
+reaching call pattern binds is recognised as a caller input rather
+than flagged ``unsafe-head-var``.
 """
 
 from __future__ import annotations
 
 from repro.analysis.depgraph import DependencyGraph, body_call_sites
 from repro.analysis.diagnostics import Diagnostic, LintReport, Severity
+from repro.analysis.modecheck import ModeReport, check_modes
 from repro.analysis.safety import check_clause_safety, check_depth_growth
 from repro.analysis.stratify import unstratified_sites
 from repro.engine.builtins import is_builtin
@@ -47,13 +65,24 @@ def lint_program(
     program: Program,
     query: Term | None = None,
     filename: str | None = None,
+    modes: bool = True,
+    budget=None,
 ) -> LintReport:
-    """Run all lint rules; diagnostics carry ``filename`` when given."""
+    """Run all lint rules; diagnostics carry ``filename`` when given.
+
+    ``modes`` runs the groundness-flow mode checker; ``budget`` (a
+    :class:`~repro.runtime.budget.Budget`) bounds that pass — on
+    exhaustion it degrades per its ladder instead of failing the lint.
+    """
     graph = DependencyGraph(program)
     report = LintReport()
+    mode_report: ModeReport | None = None
+    if modes:
+        mode_report = check_modes(program, query=query, budget=budget)
+        report.extend(mode_report.diagnostics)
     report.extend(_undefined_calls(program, graph))
     report.extend(unstratified_sites(graph))
-    report.extend(_clause_checks(program, graph))
+    report.extend(_clause_checks(program, graph, mode_report))
     if query is not None:
         report.extend(_dead_code(program, graph, query))
     if filename:
@@ -132,7 +161,11 @@ def _undefined_calls(program: Program, graph: DependencyGraph) -> list[Diagnosti
     return out
 
 
-def _clause_checks(program: Program, graph: DependencyGraph) -> list[Diagnostic]:
+def _clause_checks(
+    program: Program,
+    graph: DependencyGraph,
+    mode_report: ModeReport | None = None,
+) -> list[Diagnostic]:
     """Per-clause rules: safety, cut-in-tabled, depth growth."""
     out: list[Diagnostic] = []
     index = graph.scc_index()
@@ -152,8 +185,16 @@ def _clause_checks(program: Program, graph: DependencyGraph) -> list[Diagnostic]
                 )
                 if site.goal is not None
             ]
+            caller_bound = None
+            if mode_report is not None:
+                caller_bound = mode_report.entry_bound.get(
+                    (indicator, clause_index)
+                )
             out.extend(
-                check_clause_safety(indicator, clause, clause_index, literals)
+                check_clause_safety(
+                    indicator, clause, clause_index, literals,
+                    caller_bound=caller_bound,
+                )
             )
             if tabled and _body_has_cut(clause.body):
                 out.append(

@@ -1,0 +1,223 @@
+"""Builtin mode declarations and the determinism lattice.
+
+The single authority on *how builtins consume and produce groundness*,
+shared by the whole-clause safety check (:mod:`repro.analysis.safety`)
+and the flow-sensitive mode checker (:mod:`repro.analysis.modecheck`).
+
+A :class:`BuiltinModes` declaration gives, per builtin:
+
+* ``alternatives`` — the acceptable call modes, each a pair
+  ``(requires, binds)`` of argument positions: the call is
+  mode-correct when *some* alternative's ``requires`` positions are all
+  ground, and on success the ``binds`` positions of every satisfied
+  alternative are ground (``functor(T, F, A)`` grounds ``F``/``A``
+  when ``T`` is ground, and nothing extra when called in construction
+  mode with only ``F``/``A`` ground).
+* ``propagates`` — position pairs ``(src, dst)``: when every variable
+  of the ``src`` argument is ground the ``dst`` argument is ground on
+  success (the ``=``/``copy_term``/``member`` family, whose groundness
+  is conditional rather than unconditional).
+* ``detism`` — the builtin's :class:`Determinism`.
+
+Every indicator in :data:`repro.engine.builtins.DET_BUILTINS` and
+:data:`~repro.engine.builtins.NONDET_BUILTINS` must appear here;
+:func:`missing_builtin_modes` is the coverage check the tests pin.  A
+builtin the engine knows but this table does not is reported by the
+lint as ``unknown-builtin`` instead of being silently treated as
+mode-neutral (the old lenient fallback).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.engine.builtins import DET_BUILTINS, NONDET_BUILTINS
+from repro.prolog.program import Indicator
+
+
+class Determinism(Enum):
+    """Mercury-style multiplicity estimate: (can fail?, >1 solution?).
+
+    The lattice is the product of the two booleans ordered by
+    "knows less": ``det`` (exactly one solution) below ``semidet``
+    and ``multi``, with ``nondet`` on top.
+    """
+
+    DET = (False, False)  # exactly one solution
+    SEMIDET = (True, False)  # zero or one
+    MULTI = (False, True)  # one or more
+    NONDET = (True, True)  # any number
+
+    @property
+    def can_fail(self) -> bool:
+        return self.value[0]
+
+    @property
+    def can_multi(self) -> bool:
+        return self.value[1]
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+def _detism(can_fail: bool, can_multi: bool) -> Determinism:
+    return Determinism((can_fail, can_multi))
+
+
+def seq(a: Determinism, b: Determinism) -> Determinism:
+    """Determinism of running ``a`` then ``b`` (conjunction)."""
+    return _detism(a.can_fail or b.can_fail, a.can_multi or b.can_multi)
+
+
+def join(a: Determinism, b: Determinism) -> Determinism:
+    """Least upper bound (used across mutually exclusive branches)."""
+    return _detism(a.can_fail or b.can_fail, a.can_multi or b.can_multi)
+
+
+def alternation(a: Determinism, b: Determinism) -> Determinism:
+    """Determinism of two *overlapping* alternatives (both may succeed).
+
+    Failure needs both to fail; with no exclusion proof both may
+    succeed, so more than one solution must be assumed.
+    """
+    return _detism(a.can_fail and b.can_fail, True)
+
+
+@dataclass(frozen=True)
+class BuiltinModes:
+    """Mode declaration of one builtin (see module docstring).
+
+    ``binds`` positions are *ground* on success; ``may_bind`` positions
+    can be *instantiated* (possibly to a non-ground term, the
+    ``functor(T, f, 2)`` construction case) — the distinction between
+    the flow checker's groundness lattice and the whole-clause safety
+    check's binding-occurrence classification.  ``may_bind`` defaults to
+    the derived ground positions when the two coincide.
+    """
+
+    alternatives: tuple[tuple[tuple[int, ...], tuple[int, ...]], ...]
+    propagates: tuple[tuple[int, int], ...] = ()
+    detism: Determinism = Determinism.SEMIDET
+    may_bind: tuple[int, ...] | None = None
+
+    def all_binds(self) -> tuple[int, ...]:
+        """Union of the binds of every alternative (recovery binding)."""
+        out: set[int] = set()
+        for _requires, binds in self.alternatives:
+            out.update(binds)
+        return tuple(sorted(out))
+
+
+def _m(*alternatives, propagates=(), detism=Determinism.SEMIDET, may_bind=None) -> BuiltinModes:
+    return BuiltinModes(tuple(alternatives), tuple(propagates), detism, may_bind)
+
+
+_DET = Determinism.DET
+_SEMIDET = Determinism.SEMIDET
+_NONDET = Determinism.NONDET
+
+#: arithmetic comparison: both sides must be evaluable, ground afterwards
+_CMP = _m(((0, 1), (0, 1)))
+#: standard-order comparison: works on any terms, binds nothing
+_ORDER = _m(((), ()))
+#: type test: no instantiation requirement; success implies the argument
+#: is an atom/number, hence ground
+_TYPE_GROUND = _m(((), (0,)))
+#: type test whose success says nothing about groundness (compound etc.)
+_TYPE_ANY = _m(((), ()))
+
+#: builtin indicator -> mode declaration.  Must cover every engine builtin.
+BUILTIN_MODE_TABLE: dict[Indicator, BuiltinModes] = {
+    # unification family: no requirement; groundness flows across
+    ("=", 2): _m(((), ()), propagates=((0, 1), (1, 0))),
+    # abstract-domain builtins, registered on import by repro.core.depthk
+    # (abstract unification) and repro.core.widening (interval eval/test,
+    # which map unconstrained variables to top instead of erroring)
+    ("$aunify", 2): _m(((), ()), propagates=((0, 1), (1, 0))),
+    ("$ieval", 2): _m(((), (0,))),
+    ("$itest", 3): _m(((), ())),
+    ("\\=", 2): _m(((), ())),
+    ("==", 2): _m(((), ()), propagates=((0, 1), (1, 0))),
+    ("\\==", 2): _m(((), ())),
+    # arithmetic: right side (or both) must be evaluable
+    ("is", 2): _m(((1,), (0, 1))),
+    ("<", 2): _CMP,
+    (">", 2): _CMP,
+    ("=<", 2): _CMP,
+    (">=", 2): _CMP,
+    ("=:=", 2): _CMP,
+    ("=\\=", 2): _CMP,
+    # standard order of terms: any instantiation
+    ("@<", 2): _ORDER,
+    ("@>", 2): _ORDER,
+    ("@=<", 2): _ORDER,
+    ("@>=", 2): _ORDER,
+    # type tests
+    ("var", 1): _TYPE_ANY,
+    ("nonvar", 1): _TYPE_ANY,
+    ("atom", 1): _TYPE_GROUND,
+    ("number", 1): _TYPE_GROUND,
+    ("integer", 1): _TYPE_GROUND,
+    ("atomic", 1): _TYPE_GROUND,
+    ("compound", 1): _TYPE_ANY,
+    ("callable", 1): _TYPE_ANY,
+    # term construction / inspection: construction modes instantiate
+    # their output without grounding it (may_bind wider than binds)
+    ("functor", 3): _m(((0,), (1, 2)), ((1, 2), ()), may_bind=(0, 1, 2)),
+    ("arg", 3): _m(((0, 1), (0,)), may_bind=(2,)),
+    ("=..", 2): _m(((0,), (1,)), ((1,), (0,))),
+    ("copy_term", 2): _m(((), ()), propagates=((0, 1),), detism=_DET),
+    ("length", 2): _m(((0,), (1,)), ((1,), (1,)), may_bind=(0, 1)),
+    # atom <-> code-list conversions: either side drives the other
+    ("atom_codes", 2): _m(((0,), (0, 1)), ((1,), (0, 1))),
+    ("name", 2): _m(((0,), (0, 1)), ((1,), (0, 1))),
+    ("number_codes", 2): _m(((0,), (0, 1)), ((1,), (0, 1))),
+    # output builtins: the engine treats them as no-ops, but a real
+    # system reads the argument — require it written-out ground
+    ("write", 1): _m(((), ()), detism=_DET),
+    ("print", 1): _m(((), ()), detism=_DET),
+    ("writeln", 1): _m(((), ()), detism=_DET),
+    ("nl", 0): _m(((), ()), detism=_DET),
+    ("tab", 1): _m(((0,), (0,)), detism=_DET),
+    ("put", 1): _m(((0,), (0,)), detism=_DET),
+    # nondeterministic builtins
+    ("between", 3): _m(((0, 1), (0, 1, 2)), detism=_NONDET),
+    ("member", 2): _m(((), ()), propagates=((1, 0),), detism=_NONDET,
+                      may_bind=(0, 1)),
+}
+
+
+def modes_for(indicator: Indicator) -> BuiltinModes | None:
+    """Mode declaration for a builtin, or None when undeclared."""
+    return BUILTIN_MODE_TABLE.get(indicator)
+
+
+def missing_builtin_modes() -> list[Indicator]:
+    """Engine builtins with no mode declaration (should be empty)."""
+    known = set(BUILTIN_MODE_TABLE)
+    engine = set(DET_BUILTINS) | set(NONDET_BUILTINS)
+    return sorted(engine - known)
+
+
+def lenient_reads_writes(indicator: Indicator) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """The whole-clause safety view of a declaration: (reads, writes).
+
+    *reads* are positions required ground under **every** alternative
+    (a miss can only silence a finding, never fabricate one — the
+    contract of the old ``BUILTIN_MODES`` table); *writes* are
+    positions some mode or propagation can instantiate, minus the
+    reads (a position every mode must find ground cannot be a binding
+    occurrence).
+    """
+    decl = BUILTIN_MODE_TABLE[indicator]
+    reads: set[int] | None = None
+    for requires, _binds in decl.alternatives:
+        reads = set(requires) if reads is None else reads & set(requires)
+    if decl.may_bind is not None:
+        writes = set(decl.may_bind)
+    else:
+        writes = set(decl.all_binds())
+        writes.update(dst for _src, dst in decl.propagates)
+    writes -= reads or set()
+    return (tuple(sorted(reads or ())), tuple(sorted(writes)))

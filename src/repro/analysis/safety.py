@@ -25,35 +25,22 @@ non-termination mode ``call_abstraction`` exists to break.
 from __future__ import annotations
 
 from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.modes import BUILTIN_MODE_TABLE, lenient_reads_writes
 from repro.engine.builtins import DET_BUILTINS, NONDET_BUILTINS
 from repro.prolog.parser import Clause
 from repro.prolog.program import Indicator
 from repro.terms.term import Struct, Term, Var
 
-#: builtin indicator -> (positions read before binding, positions written).
-#: Positions absent from both sets are mode-neutral.  The table is
-#: deliberately lenient: a position is "read" only when every use of the
-#: builtin needs it instantiated, so a miss here can only silence a
-#: finding, never fabricate one.
+#: builtin indicator -> (positions read before binding, positions written),
+#: derived from the declarations in :mod:`repro.analysis.modes` (the one
+#: authority on builtin modes).  Positions absent from both sets are
+#: mode-neutral.  The view is deliberately lenient: a position is "read"
+#: only when every mode of the builtin needs it instantiated, so a miss
+#: can only silence a finding, never fabricate one.  A builtin the
+#: engine executes but the table does not declare is an
+#: ``unknown-builtin`` diagnostic — not a silent mode-neutral guess.
 BUILTIN_MODES: dict[Indicator, tuple[tuple[int, ...], tuple[int, ...]]] = {
-    ("is", 2): ((1,), (0,)),
-    ("<", 2): ((0, 1), ()),
-    (">", 2): ((0, 1), ()),
-    ("=<", 2): ((0, 1), ()),
-    (">=", 2): ((0, 1), ()),
-    ("=:=", 2): ((0, 1), ()),
-    ("=\\=", 2): ((0, 1), ()),
-    ("=", 2): ((), (0, 1)),
-    ("functor", 3): ((), (0, 1, 2)),
-    ("arg", 3): ((0, 1), (2,)),
-    ("=..", 2): ((), (0, 1)),
-    ("copy_term", 2): ((), (1,)),
-    ("length", 2): ((), (0, 1)),
-    ("atom_codes", 2): ((), (0, 1)),
-    ("name", 2): ((), (0, 1)),
-    ("number_codes", 2): ((), (0, 1)),
-    ("between", 3): ((0, 1), (2,)),
-    ("member", 2): ((), (0, 1)),
+    indicator: lenient_reads_writes(indicator) for indicator in BUILTIN_MODE_TABLE
 }
 
 
@@ -101,6 +88,7 @@ class _ClauseOccurrences:
         self.reads: list[tuple[Var, Term]] = []  # (var, builtin literal)
         self.negated: dict[int, tuple[Var, Term]] = {}
         self.occurrences: dict[int, int] = {}  # id -> total occurrence count
+        self.unknown_builtins: list[Term] = []  # undeclared-builtin literals
         for var in head_occurrences:
             self.occurrences[var.id] = self.occurrences.get(var.id, 0) + 1
         for literal, negative in literals:
@@ -116,7 +104,13 @@ class _ClauseOccurrences:
                     self.negated.setdefault(var.id, (var, literal))
             return
         if _is_builtin(indicator):
-            reads, writes = BUILTIN_MODES.get(indicator, ((), ()))
+            modes = BUILTIN_MODES.get(indicator)
+            if modes is None:
+                # engine executes it but no mode is declared: report it
+                # rather than silently treating it as mode-neutral
+                self.unknown_builtins.append(literal)
+                return
+            reads, writes = modes
             args = literal.args if isinstance(literal, Struct) else ()
             for position, arg in enumerate(args):
                 arg_vars = _term_vars(arg)
@@ -145,16 +139,39 @@ def check_clause_safety(
     clause: Clause,
     clause_index: int,
     literals: list,
+    caller_bound: set[int] | None = None,
 ) -> list[Diagnostic]:
     """Safety diagnostics for one clause.
 
     ``literals`` is the flattened body as ``(literal, negative)`` pairs
     (the lint driver reuses the dependency-graph traversal so control
-    constructs are interpreted once).
+    constructs are interpreted once).  ``caller_bound`` — head variable
+    ids the mode checker proved bound under *every* call pattern that
+    reaches this clause — suppresses range-restriction findings for
+    variables that are really caller inputs.
     """
     out: list[Diagnostic] = []
     occurrences = _ClauseOccurrences(clause, literals)
     reported: set[int] = set()
+
+    # Builtins the engine executes but the mode table does not declare.
+    seen_unknown: set[Indicator] = set()
+    for literal in occurrences.unknown_builtins:
+        unknown = _literal_indicator(literal)
+        if unknown is None or unknown in seen_unknown:
+            continue
+        seen_unknown.add(unknown)
+        out.append(
+            Diagnostic(
+                "unknown-builtin",
+                Severity.WARNING,
+                f"builtin {_literal_name(literal)} has no mode declaration; "
+                "its groundness behaviour is unknown to the checker",
+                indicator,
+                clause_index,
+                clause.line,
+            )
+        )
 
     # Binding safety: read positions with no possible binder anywhere.
     for var, literal in occurrences.reads:
@@ -185,6 +202,7 @@ def check_clause_safety(
                 or var_id in occurrences.binding
                 or not _named(var)
                 or var_id in reported
+                or (caller_bound is not None and var_id in caller_bound)
             ):
                 continue
             reported.add(var_id)

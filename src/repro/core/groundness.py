@@ -363,11 +363,42 @@ class PredicateGroundness:
     success: PropFunction
     call_patterns: list[tuple]
     answer_count: int
+    #: per-call-pattern view: one ``(pattern, success)`` pair per table,
+    #: the pattern as in :attr:`call_patterns` and the success function
+    #: restricted to that call's answers
+    tables: list[tuple[tuple, PropFunction]] = field(default_factory=list)
 
     @property
     def ground_on_success(self) -> tuple:
         """Arguments definitely ground in every answer (output modes)."""
         return self.success.definitely_true()
+
+    def ground_on_success_for(self, pattern: tuple) -> tuple:
+        """Output groundness specialised to one call pattern.
+
+        ``pattern`` is argument-wise ``True`` (known ground at call) or
+        anything else (unknown).  A recorded table is *applicable* when
+        its call is no more bound than ``pattern`` — its success set
+        then over-approximates the concrete success set of any call
+        matching ``pattern``, so its definite conclusions are sound.
+        The result combines every applicable table (an argument is
+        reported ground when some applicable table proves it); with no
+        applicable table nothing is claimed.
+        """
+        if not self.tables:
+            return tuple(False for _ in range(self.arity))
+        ground = [False] * self.arity
+        query = tuple(value is True for value in pattern)
+        for table_pattern, success in self.tables:
+            boundness = tuple(value is True for value in table_pattern)
+            if len(boundness) != len(query):
+                continue
+            if any(t and not q for t, q in zip(boundness, query)):
+                continue  # table call more bound than the query: skip
+            for index, definite in enumerate(success.definitely_true()):
+                if definite:
+                    ground[index] = True
+        return tuple(ground)
 
     @property
     def ground_at_call(self) -> tuple:
@@ -408,6 +439,19 @@ class GroundnessResult:
     @property
     def degraded(self) -> bool:
         return self.completeness != "exact"
+
+    def ground_on_success_for(self, indicator: Indicator, pattern: tuple) -> tuple:
+        """Per-call-pattern output groundness (the mode-checker query).
+
+        Sound only when the predicate's tables ran to completion; a
+        degraded (partial) table set claims nothing.
+        """
+        info = self.predicates.get(indicator)
+        if info is None:
+            return ()
+        if not self.table_completeness.get(indicator, True):
+            return tuple(False for _ in range(info.arity))
+        return info.ground_on_success_for(pattern)
 
     @property
     def total_time(self) -> float:
@@ -565,18 +609,24 @@ def _collect(engine: TabledEngine, indicator: Indicator) -> PredicateGroundness:
     name, arity = indicator
     rows: set[tuple] = set()
     calls: list[tuple] = []
+    tables: list[tuple[tuple, PropFunction]] = []
     answer_count = 0
     for table in _tables_for(engine, indicator):
-        calls.append(_pattern(table.call, arity))
+        pattern = _pattern(table.call, arity)
+        calls.append(pattern)
+        table_rows: set[tuple] = set()
         for answer in table.answers:
             answer_count += 1
-            rows.update(_expand(answer, arity))
+            table_rows.update(_expand(answer, arity))
+        tables.append((pattern, PropFunction(arity, table_rows)))
+        rows.update(table_rows)
     return PredicateGroundness(
         name=name,
         arity=arity,
         success=PropFunction(arity, rows),
         call_patterns=calls,
         answer_count=answer_count,
+        tables=tables,
     )
 
 

@@ -5,6 +5,14 @@ argument.  Starting from the query's adornment, rules are specialised
 left-to-right (the standard sideways-information-passing strategy): an
 argument is bound if all its variables are bound by the head's bound
 arguments or by earlier body literals.
+
+The lattice primitives of that strategy — which head variables an
+adornment binds (:func:`head_bound_vars`), the adornment a literal gets
+under a binding set (:func:`literal_adornment`), the binding a literal
+contributes (:func:`bind_literal`) and the flattened conjunction walk
+(:func:`flatten_conjunction`) — are exposed for reuse: the mode checker
+(:mod:`repro.analysis.modecheck`) drives the same left-to-right flow
+with a *checking* interpretation of the per-literal binding sets.
 """
 
 from __future__ import annotations
@@ -71,21 +79,18 @@ def _adorn_clause(clause: Clause, adornment: str, worklist: deque) -> Clause:
     head = clause.head
     if not isinstance(head, Struct):
         raise ValueError(f"cannot adorn 0-ary head {head!r}")
-    bound: set[int] = set()
-    for arg, kind in zip(head.args, adornment):
-        if kind == "b":
-            bound.update(v.id for v in term_variables(arg))
+    bound = head_bound_vars(head, adornment)
     new_body: list[Term] = []
-    for literal in _flatten(clause.body):
+    for literal in flatten_conjunction(clause.body):
         indicator = _literal_indicator(literal)
         if indicator is None or is_builtin(indicator):
             new_body.append(literal)
-            _bind_all(literal, bound)
+            bind_literal(literal, bound)
             continue
-        lit_adornment = _literal_adornment(literal, bound)
+        lit_adornment = literal_adornment(literal, bound)
         worklist.append((indicator, lit_adornment))
         new_body.append(_rename_literal(literal, lit_adornment))
-        _bind_all(literal, bound)
+        bind_literal(literal, bound)
     new_head = Struct(adorned_name(head.functor, adornment), head.args)
     return Clause(new_head, _rebuild_body(new_body), clause.varmap, clause.line)
 
@@ -98,7 +103,18 @@ def _literal_indicator(literal: Term) -> Indicator | None:
     return None
 
 
-def _literal_adornment(literal: Term, bound: set[int]) -> str:
+def head_bound_vars(head: Term, adornment: str) -> set[int]:
+    """Variable ids bound at clause entry under a head adornment."""
+    bound: set[int] = set()
+    if isinstance(head, Struct):
+        for arg, kind in zip(head.args, adornment):
+            if kind == "b":
+                bound.update(v.id for v in term_variables(arg))
+    return bound
+
+
+def literal_adornment(literal: Term, bound: set[int]) -> str:
+    """Adornment of a body literal given the current binding set."""
     if not isinstance(literal, Struct):
         return ""
     return "".join(
@@ -107,17 +123,24 @@ def _literal_adornment(literal: Term, bound: set[int]) -> str:
     )
 
 
+def argument_bound(arg: Term, bound: set[int]) -> bool:
+    """True when every variable of ``arg`` is in the binding set."""
+    return all(v.id in bound for v in term_variables(arg))
+
+
 def _rename_literal(literal: Term, adornment: str) -> Term:
     if isinstance(literal, Struct):
         return Struct(adorned_name(literal.functor, adornment), literal.args)
     return adorned_name(literal, adornment)
 
 
-def _bind_all(literal: Term, bound: set[int]) -> None:
+def bind_literal(literal: Term, bound: set[int]) -> None:
+    """Bind every variable of ``literal`` (the optimistic SIPS step)."""
     bound.update(v.id for v in term_variables(literal))
 
 
-def _flatten(body: Term) -> list[Term]:
+def flatten_conjunction(body: Term) -> list[Term]:
+    """Top-level conjuncts of a body, ``true`` removed."""
     if body == "true":
         return []
     items: list[Term] = []
@@ -132,6 +155,12 @@ def _flatten(body: Term) -> list[Term]:
         else:
             items.append(term)
     return items
+
+
+# backwards-compatible aliases (pre-exposure private names)
+_literal_adornment = literal_adornment
+_bind_all = bind_literal
+_flatten = flatten_conjunction
 
 
 def _rebuild_body(literals: list[Term]) -> Term:

@@ -1,0 +1,37 @@
+% Deliberately seeded mode bugs exercising the groundness-flow checker.
+% Line numbers below are pinned by tests/test_modecheck.py.
+
+:- entry_point(area(any)).
+:- entry_point(use(any)).
+:- entry_point(check(g)).
+:- entry_point(dup(any)).
+
+% line 10: certain instantiation error — nothing anywhere binds W or H
+area(X) :-
+    X is W * H.
+
+% open fact: pick/1 can succeed with a non-ground answer
+pick(a).
+pick(_).
+
+% line 19: "possibly unbound" — classic SIPS binds X, but the Prop
+% analysis cannot prove pick/1 grounds its argument
+use(Y) :-
+    pick(X),
+    Y is X + 1.
+
+% line 24: unsafe negation — Y is unbound where \+ runs
+check(X) :-
+    \+ seen(X, Y),
+    helper(Y).
+
+seen(a, b).
+helper(_).
+
+% line 33: exact duplicate of the clause before it
+dup(X) :- pick(X).
+dup(X) :- pick(X).
+
+% line 37: subsumed by the open fact above it
+covered(_, _).
+covered(a, B) :- pick(B).

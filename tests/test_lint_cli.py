@@ -1,6 +1,7 @@
 """The ``python -m repro.lint`` front end: output format and exit codes."""
 
 import io
+import json
 import subprocess
 import sys
 from pathlib import Path
@@ -10,6 +11,7 @@ import pytest
 from repro.analysis.cli import EXIT_ERRORS, EXIT_OK, EXIT_USAGE, main
 
 FIXTURE = str(Path(__file__).parent / "data" / "unsafe_fixture.pl")
+BUGS = str(Path(__file__).parent / "data" / "modecheck_bugs.pl")
 
 
 def run_cli(*argv):
@@ -69,6 +71,61 @@ def test_clean_program_exits_zero(tmp_path):
     code, output = run_cli(str(clean))
     assert code == EXIT_OK
     assert output == ""
+
+
+def test_json_format_emits_one_object_per_line():
+    code, output = run_cli(BUGS, "--format", "json")
+    assert code == EXIT_ERRORS
+    rows = [json.loads(line) for line in output.splitlines()]
+    assert rows, "expected diagnostics"
+    assert all(
+        set(row) == {
+            "file", "line", "rule", "severity", "message",
+            "predicate", "clause", "witness",
+        }
+        for row in rows
+    )
+    certain = [
+        row for row in rows
+        if row["rule"] == "instantiation-error" and row["severity"] == "error"
+    ]
+    assert certain and certain[0]["line"] == 10
+    assert certain[0]["file"] == BUGS
+    assert certain[0]["witness"] == "area(f)"
+    assert certain[0]["predicate"] == "area/1"
+
+
+def test_strict_fails_on_warnings(tmp_path):
+    warn_only = tmp_path / "warn.pl"
+    warn_only.write_text("p(X) :- q(X).\np(X) :- q(X).\nq(a).\n")
+    code, output = run_cli(str(warn_only))
+    assert code == EXIT_OK
+    assert "[redundant-clause]" in output
+    code, _ = run_cli(str(warn_only), "--strict")
+    assert code == EXIT_ERRORS
+
+
+def test_strict_clean_file_still_exits_zero(tmp_path):
+    clean = tmp_path / "clean.pl"
+    clean.write_text("p(1).\np(2).\nq(X) :- p(X).\n")
+    code, output = run_cli(str(clean), "--strict", "--format", "json")
+    assert code == EXIT_OK
+    assert output == ""
+
+
+def test_no_modecheck_suppresses_flow_rules():
+    code, output = run_cli(BUGS, "--no-modecheck")
+    assert code == EXIT_ERRORS  # unbound-builtin-arg remains an error
+    assert "[mode-conflict]" not in output
+    assert "[redundant-clause]" not in output
+    code, output = run_cli(BUGS)
+    assert "[mode-conflict]" in output
+
+
+def test_deadline_flag_accepts_seconds():
+    code, output = run_cli(BUGS, "--deadline", "30")
+    assert code == EXIT_ERRORS
+    assert "[instantiation-error]" in output
 
 
 def test_missing_file_is_usage_error():
