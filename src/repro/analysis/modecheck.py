@@ -46,6 +46,7 @@ from repro.analysis.modes import (
     Determinism,
     alternation,
     join,
+    list_skeleton,
     modes_for,
     seq,
 )
@@ -238,7 +239,8 @@ class _FlowChecker:
         self.report = report
         self.worklist: deque[tuple[Indicator, str]] = deque()
         self.seen: set[tuple[Indicator, str]] = set()
-        #: diagnostics deduplicated across call patterns (first witness wins)
+        #: diagnostics deduplicated across call patterns (the worst
+        #: severity wins; first witness at that severity)
         self.found: dict[tuple, Diagnostic] = {}
         #: clause key -> reaching patterns / patterns with a certain error
         self.clause_patterns: dict[tuple[Indicator, int], set[str]] = {}
@@ -309,7 +311,9 @@ class _FlowChecker:
 
     # -- diagnostics ---------------------------------------------------
     def record(self, dedup_key: tuple, diagnostic: Diagnostic) -> None:
-        self.found.setdefault(dedup_key, diagnostic)
+        existing = self.found.get(dedup_key)
+        if existing is None or diagnostic.severity > existing.severity:
+            self.found[dedup_key] = diagnostic
 
 
 class _Context:
@@ -434,15 +438,15 @@ class _Context:
             self.certain_error = True
         if self.checker.groundness is not None and not certain:
             self._check_tier(goal, indicator, decl, args, state.prop, False)
-        self._apply_builtin(decl, args, state.opt)
-        self._apply_builtin(decl, args, state.prop)
+        self._apply_builtin(decl, args, state.opt, grounds=False)
+        self._apply_builtin(decl, args, state.prop, grounds=True)
 
     def _check_tier(self, goal, indicator, decl, args, bound, certain: bool) -> bool:
         """Mode-check one tier; returns True when a violation fired."""
         satisfied = [
             alternative
             for alternative in decl.alternatives
-            if all(argument_bound(args[p], bound) for p in alternative[0])
+            if self._requires_met(decl, args, alternative[0], bound)
         ]
         if satisfied:
             return False
@@ -485,14 +489,36 @@ class _Context:
         return out
 
     @staticmethod
-    def _apply_builtin(decl, args, bound: set[int]) -> None:
-        """Post-state of one tier: bindings of the satisfied modes."""
+    def _requires_met(decl, args, positions, bound) -> bool:
+        """One alternative's inputs are satisfied in the given tier."""
+        return all(
+            argument_bound(args[p], bound)
+            or (p in decl.skeleton and list_skeleton(args[p], bound))
+            for p in positions
+        )
+
+    @staticmethod
+    def _apply_builtin(decl, args, bound: set[int], grounds: bool) -> None:
+        """Post-state of one tier: bindings of the satisfied modes.
+
+        ``grounds`` marks the groundness tier: a mode satisfied only
+        through a list skeleton instantiates its output without
+        grounding it, so its binds apply to the optimistic tier alone
+        (``propagates`` still grounds the output once the whole
+        skeleton is ground).
+        """
         satisfied = False
         for requires, binds in decl.alternatives:
-            if all(argument_bound(args[p], bound) for p in requires):
-                satisfied = True
-                for position in binds:
-                    bind_literal(args[position], bound)
+            fully_ground = all(argument_bound(args[p], bound) for p in requires)
+            if not fully_ground and not _Context._requires_met(
+                decl, args, requires, bound
+            ):
+                continue
+            satisfied = True
+            if not fully_ground and grounds:
+                continue
+            for position in binds:
+                bind_literal(args[position], bound)
         if not satisfied:
             # after reporting, assume the intended mode to avoid cascades
             for position in decl.all_binds():

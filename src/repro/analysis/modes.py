@@ -34,6 +34,7 @@ from enum import Enum
 
 from repro.engine.builtins import DET_BUILTINS, NONDET_BUILTINS
 from repro.prolog.program import Indicator
+from repro.terms.term import CONS, NIL, Struct, Term, term_variables
 
 
 class Determinism(Enum):
@@ -94,12 +95,21 @@ class BuiltinModes:
     the flow checker's groundness lattice and the whole-clause safety
     check's binding-occurrence classification.  ``may_bind`` defaults to
     the derived ground positions when the two coincide.
+
+    ``skeleton`` positions accept a *syntactic list skeleton* (see
+    :func:`list_skeleton`) in place of a ground argument: the ``=..``
+    construction mode only needs a proper list with a bound head —
+    element variables may stay unbound.  The groundness lattice cannot
+    express that shape, so it is checked at the call site; a mode
+    satisfied only through a skeleton instantiates its ``binds``
+    without grounding them.
     """
 
     alternatives: tuple[tuple[tuple[int, ...], tuple[int, ...]], ...]
     propagates: tuple[tuple[int, int], ...] = ()
     detism: Determinism = Determinism.SEMIDET
     may_bind: tuple[int, ...] | None = None
+    skeleton: tuple[int, ...] = ()
 
     def all_binds(self) -> tuple[int, ...]:
         """Union of the binds of every alternative (recovery binding)."""
@@ -109,8 +119,30 @@ class BuiltinModes:
         return tuple(sorted(out))
 
 
-def _m(*alternatives, propagates=(), detism=Determinism.SEMIDET, may_bind=None) -> BuiltinModes:
-    return BuiltinModes(tuple(alternatives), tuple(propagates), detism, may_bind)
+def _m(*alternatives, propagates=(), detism=Determinism.SEMIDET, may_bind=None,
+       skeleton=()) -> BuiltinModes:
+    return BuiltinModes(
+        tuple(alternatives), tuple(propagates), detism, may_bind, tuple(skeleton)
+    )
+
+
+def list_skeleton(term: Term, bound: set[int]) -> bool:
+    """Proper list whose first element is bound: the ``=..`` shape.
+
+    ``T =.. [f, X, Y]`` succeeds with ``X``/``Y`` unbound — only the
+    list spine and its head element must be instantiated.  The check is
+    syntactic (a ``'.'``-spine ending in ``[]`` at the call site); a
+    spine hidden behind a variable falls back to the ground-argument
+    requirement.
+    """
+    if not (isinstance(term, Struct) and term.functor == CONS and term.arity == 2):
+        return False
+    if any(v.id not in bound for v in term_variables(term.args[0])):
+        return False
+    tail = term.args[1]
+    while isinstance(tail, Struct) and tail.functor == CONS and tail.arity == 2:
+        tail = tail.args[1]
+    return tail == NIL
 
 
 _DET = Determinism.DET
@@ -165,8 +197,13 @@ BUILTIN_MODE_TABLE: dict[Indicator, BuiltinModes] = {
     # term construction / inspection: construction modes instantiate
     # their output without grounding it (may_bind wider than binds)
     ("functor", 3): _m(((0,), (1, 2)), ((1, 2), ()), may_bind=(0, 1, 2)),
-    ("arg", 3): _m(((0, 1), (0,)), may_bind=(2,)),
-    ("=..", 2): _m(((0,), (1,)), ((1,), (0,))),
+    # arg(N, T, A): with T ground every subterm is ground, so the
+    # extracted argument is ground on success
+    ("arg", 3): _m(((0, 1), (2,))),
+    # =..: decomposition grounds the list; construction from a ground
+    # list grounds the term, and a mere list *skeleton* (bound head,
+    # possibly unbound elements) is enough to instantiate it
+    ("=..", 2): _m(((0,), (1,)), ((1,), (0,)), skeleton=(1,)),
     ("copy_term", 2): _m(((), ()), propagates=((0, 1),), detism=_DET),
     ("length", 2): _m(((0,), (1,)), ((1,), (1,)), may_bind=(0, 1)),
     # atom <-> code-list conversions: either side drives the other

@@ -35,3 +35,17 @@ dup(X) :- pick(X).
 % line 37: subsumed by the open fact above it
 covered(_, _).
 covered(a, B) :- pick(B).
+
+% clean: arg/3 grounds its extracted argument (position 2) when the
+% indexed term is ground, so the arithmetic below raises nothing —
+% neither a certain error nor a groundness-tier warning
+:- entry_point(nth_feature(g, g, any)).
+nth_feature(N, T, R) :-
+    arg(N, T, A),
+    R is A + 1.
+
+% clean: =.. construction only needs the list skeleton and its head;
+% the element variables X and Y may stay unbound
+:- entry_point(wrap(any, any, any)).
+wrap(X, Y, T) :-
+    T =.. [f, X, Y].

@@ -170,6 +170,95 @@ def test_adorn_only_mode_keeps_certain_errors_drops_proofs():
 
 
 # ----------------------------------------------------------------------
+# Builtin modes at call sites (review regressions)
+
+
+def test_arg_output_is_ground_and_usable_downstream():
+    # arg/3 binds its *extracted* argument (position 2), not position 0:
+    # with N and T ground the subterm A is ground on success
+    source = """
+    p(N, T, X) :- arg(N, T, A), X is A + 1.
+    :- entry_point(p(g, g, any)).
+    """
+    report = check_modes(load_program(source))
+    assert report.diagnostics == [], [d.format() for d in report.diagnostics]
+
+
+def test_univ_construction_accepts_unbound_element_variables():
+    # T =.. [f, X, Y] succeeds with X and Y fresh: only the list
+    # skeleton and its head must be instantiated
+    source = """
+    mk(X, Y, T) :- T =.. [f, X, Y].
+    :- entry_point(mk(any, any, any)).
+    """
+    report = check_modes(load_program(source))
+    assert report.diagnostics == [], [d.format() for d in report.diagnostics]
+
+
+def test_univ_skeleton_instantiates_without_grounding():
+    # the constructed term is instantiated (optimistic tier) but shares
+    # the unbound element variable, so the groundness tier must not
+    # claim it ground — the negation over it stays flagged
+    source = """
+    mk(Out) :- T =.. [f, X], \\+ good(T), Out = T.
+    good(f(a)).
+    :- entry_point(mk(any)).
+    """
+    report = check_modes(load_program(source))
+    rules = {(d.rule, d.severity) for d in report.diagnostics}
+    assert ("unsafe-negation", Severity.WARNING) in rules
+    assert ("instantiation-error", Severity.ERROR) not in rules
+
+
+def test_univ_with_neither_side_instantiated_is_still_an_error():
+    source = """
+    broken(T) :- T =.. L, helper(L).
+    helper(_).
+    :- entry_point(broken(any)).
+    """
+    report = check_modes(load_program(source))
+    certain = [
+        d for d in report.diagnostics
+        if d.rule == "instantiation-error" and d.severity == Severity.ERROR
+    ]
+    assert len(certain) == 1
+
+
+def test_univ_skeleton_with_unbound_head_is_still_an_error():
+    # [F, x] with F fresh is not a usable skeleton: the functor itself
+    # is missing, a certain runtime instantiation error
+    source = """
+    broken(T) :- T =.. [F, x], helper(F).
+    helper(_).
+    :- entry_point(broken(any)).
+    """
+    report = check_modes(load_program(source))
+    assert any(
+        d.rule == "instantiation-error" and d.severity == Severity.ERROR
+        for d in report.diagnostics
+    )
+
+
+def test_certain_error_not_masked_by_earlier_warning_pattern():
+    # the bf pattern (processed first) yields only a groundness-tier
+    # warning for is/2; the ff pattern then proves a certain error for
+    # the same goal — dedup must keep the worse verdict
+    source = """
+    p(X, Y) :- open(Y), Z is X + Y, helper(Z).
+    open(a).
+    open(_).
+    helper(_).
+    :- entry_point(p(g, any)).
+    :- entry_point(p(any, any)).
+    """
+    report = check_modes(load_program(source))
+    inst = [d for d in report.diagnostics if d.rule == "instantiation-error"]
+    assert len(inst) == 1
+    assert inst[0].severity == Severity.ERROR
+    assert "nothing on any path" in inst[0].message
+
+
+# ----------------------------------------------------------------------
 # Degradation ladder under a Budget
 
 
