@@ -1,4 +1,16 @@
-"""Shared fixtures for the table-reproduction benchmarks."""
+"""Shared fixtures for the table-reproduction benchmarks.
+
+Besides the benchmark-name fixtures, this conftest is the perf
+trajectory emitter: a session-wide :class:`repro.obs.Observer` is
+installed around every benchmark, each table test records its rows via
+the ``bench_record`` fixture, and at session end one
+``BENCH_table{N}.json`` file per paper table is written (to the current
+directory, or ``$REPRO_BENCH_DIR`` when set).  ``python -m repro.obs
+report OLD.json NEW.json`` diffs two such files.
+"""
+
+import os
+from pathlib import Path
 
 import pytest
 
@@ -6,6 +18,13 @@ from repro.benchdata import (
     funlang_benchmark_names,
     prolog_benchmark_names,
 )
+from repro.obs import Observer, use_observer
+from repro.obs.bench import bench_payload, row_record, write_bench_file
+
+#: per-run collector: table -> {row name -> record}; keyed by name so
+#: repeated pedantic rounds overwrite rather than duplicate
+_BENCH_ROWS: dict = {}
+_SESSION_OBSERVER = Observer()
 
 
 def pytest_configure(config):
@@ -22,3 +41,50 @@ def prolog_names():
 @pytest.fixture(scope="session")
 def funlang_names():
     return funlang_benchmark_names()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def bench_observer():
+    """One observer for the whole benchmark session.
+
+    Engines and analyses fold their counters/timers into its registry,
+    and the registry snapshot lands in every emitted BENCH file.
+    """
+    with use_observer(_SESSION_OBSERVER):
+        yield _SESSION_OBSERVER
+
+
+@pytest.fixture
+def bench_record():
+    """Record one benchmark row for the session's BENCH emitter.
+
+    Accepts either a :class:`repro.harness.metrics.Row` (plus the
+    analysis result for completeness/stats) or an already-assembled
+    record dict carrying at least the ``ROW_FIELDS``.
+    """
+
+    def record(table, row, result=None):
+        rec = dict(row) if isinstance(row, dict) else row_record(row, result)
+        _BENCH_ROWS.setdefault(str(table), {})[rec["name"]] = rec
+        return rec
+
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _BENCH_ROWS:
+        return
+    out_dir = Path(os.environ.get("REPRO_BENCH_DIR", "."))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    events = [
+        dict(e) for e in _SESSION_OBSERVER.registry.events_of("degradation")
+    ]
+    for table, rows in sorted(_BENCH_ROWS.items()):
+        payload = bench_payload(
+            table,
+            [rows[name] for name in sorted(rows)],
+            registry=_SESSION_OBSERVER.registry,
+            degradation_events=events,
+            meta={"pytest_exitstatus": int(exitstatus)},
+        )
+        write_bench_file(out_dir / f"BENCH_table{table}.json", payload)

@@ -1,0 +1,103 @@
+"""E11 — observability-overhead ablation.
+
+The unified observability layer promises that *disabled* observation
+costs one attribute check on the hot paths, and that the full stack
+(metrics + tracing + provenance) stays a small constant factor.  Both
+are measured here on the groundness analysis of real benchmark
+programs; the enabled/disabled ratio lands in ``extra_info`` so the
+trajectory of the overhead itself is tracked across BENCH runs.
+"""
+
+import time
+
+import pytest
+
+from repro.benchdata import load_prolog_benchmark
+from repro.core import analyze_groundness
+from repro.engine import TabledEngine
+from repro.obs import NULL_OBSERVER, Observer, use_observer
+from repro.prolog import load_program, parse_term
+
+
+def _timed(fn, rounds=3):
+    """Median wall time of ``rounds`` runs (noise-resistant enough)."""
+    times = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return sorted(times)[len(times) // 2]
+
+
+@pytest.mark.parametrize("name", ["qsort", "press1"])
+def test_observability_overhead(benchmark, bench_observer, name):
+    program = load_prolog_benchmark(name)
+
+    def disabled():
+        with use_observer(NULL_OBSERVER):
+            return analyze_groundness(program)
+
+    def enabled():
+        with use_observer(Observer()):
+            return analyze_groundness(program)
+
+    def with_provenance():
+        with use_observer(Observer(provenance=True)):
+            return analyze_groundness(program)
+
+    base = benchmark.pedantic(disabled, rounds=2, iterations=1)
+    t_disabled = _timed(disabled)
+    t_enabled = _timed(enabled)
+    t_prov = _timed(with_provenance)
+    # same results whichever way the run is observed
+    observed = enabled()
+    for indicator in program.predicates():
+        assert base[indicator].success == observed[indicator].success
+    benchmark.extra_info.update(
+        {
+            "disabled_ms": round(t_disabled * 1000, 2),
+            "enabled_ms": round(t_enabled * 1000, 2),
+            "provenance_ms": round(t_prov * 1000, 2),
+            "enabled_over_disabled": round(t_enabled / t_disabled, 2),
+            "provenance_over_disabled": round(t_prov / t_disabled, 2),
+        }
+    )
+    # loose sanity bound: full observability is a constant factor,
+    # not an asymptotic change
+    assert t_enabled < t_disabled * 10
+    assert t_prov < t_disabled * 10
+
+
+def test_trace_volume_is_bounded(bench_observer):
+    """The span ring buffer caps memory even on busy runs."""
+    program = load_prolog_benchmark("qsort")
+    observer = Observer()
+    with use_observer(observer):
+        for _ in range(3):
+            analyze_groundness(program)
+    assert len(observer.tracer.finished) <= observer.tracer.capacity
+    assert observer.tracer.finished, "expected spans from the analysis runs"
+
+
+_PATH = """
+:- table path/2.
+edge(a,b). edge(b,c). edge(c,d). edge(d,e).
+path(X,Y) :- edge(X,Y).
+path(X,Y) :- path(X,Z), edge(Z,Y).
+"""
+
+
+def test_provenance_cost_is_opt_in(benchmark):
+    """Without the provenance flag the engine records nothing extra."""
+
+    def run():
+        engine = TabledEngine(load_program(_PATH), obs=NULL_OBSERVER)
+        engine.solve(parse_term("path(a, X)"))
+        return engine
+
+    engine = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert engine.provenance == {}
+    with use_observer(Observer(provenance=True)):
+        traced = TabledEngine(load_program(_PATH))
+        traced.solve(parse_term("path(a, X)"))
+    assert traced.provenance

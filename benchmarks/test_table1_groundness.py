@@ -16,13 +16,14 @@ from repro.harness import groundness_row
 
 @pytest.mark.table("1")
 @pytest.mark.parametrize("name", prolog_benchmark_names())
-def test_table1_groundness(benchmark, name):
+def test_table1_groundness(benchmark, bench_record, name):
     source = prolog_benchmark_source(name)
 
     def run():
         return groundness_row(name, source)
 
     row, result = benchmark.pedantic(run, rounds=2, iterations=1)
+    bench_record("1", row, result)
     benchmark.extra_info.update(
         {
             "lines": row.lines,

@@ -23,7 +23,7 @@ from repro.core import analyze_groundness
 
 @pytest.mark.table("2")
 @pytest.mark.parametrize("name", prolog_benchmark_names())
-def test_table2_vs_gaia(benchmark, name):
+def test_table2_vs_gaia(benchmark, bench_record, name):
     program = load_prolog_benchmark(name)
 
     def run():
@@ -41,6 +41,24 @@ def test_table2_vs_gaia(benchmark, name):
         )
 
     ratio = declarative.total_time / gaia_time if gaia_time else float("inf")
+    bench_record(
+        "2",
+        {
+            "name": name,
+            "lines": program.source_lines,
+            "preprocess": declarative.times["preprocess"],
+            "analysis": declarative.times["analysis"],
+            "collection": declarative.times["collection"],
+            "total": declarative.total_time,
+            "compile_increase_pct": None,
+            "table_space": declarative.table_space,
+            "extra": {
+                "gaia_total": gaia_time,
+                "ratio_tabled_over_gaia": ratio,
+            },
+            "completeness": declarative.completeness,
+        },
+    )
     benchmark.extra_info.update(
         {
             "tabled_total_ms": round(declarative.total_time * 1000, 2),

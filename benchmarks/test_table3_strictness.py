@@ -18,7 +18,7 @@ from repro.harness import strictness_row
 
 @pytest.mark.table("3")
 @pytest.mark.parametrize("name", funlang_benchmark_names())
-def test_table3_strictness(benchmark, name):
+def test_table3_strictness(benchmark, bench_record, name):
     source = funlang_benchmark_source(name)
 
     def run():
@@ -26,6 +26,7 @@ def test_table3_strictness(benchmark, name):
 
     rounds = 1 if name in ("strassen", "fft") else 2
     row, result = benchmark.pedantic(run, rounds=rounds, iterations=1)
+    bench_record("3", row, result)
     benchmark.extra_info.update(
         {
             "lines": row.lines,

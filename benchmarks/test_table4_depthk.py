@@ -18,7 +18,7 @@ TABLE4_PROGRAMS = sorted(PAPER_TABLE4)
 
 @pytest.mark.table("4")
 @pytest.mark.parametrize("name", TABLE4_PROGRAMS)
-def test_table4_depthk(benchmark, name):
+def test_table4_depthk(benchmark, bench_record, name):
     source = prolog_benchmark_source(name)
 
     def run():
@@ -26,6 +26,7 @@ def test_table4_depthk(benchmark, name):
 
     rounds = 1 if name == "read" else 2  # read's shape tables are large
     row, result = benchmark.pedantic(run, rounds=rounds, iterations=1)
+    bench_record("4", row, result)
     benchmark.extra_info.update(
         {
             "lines": row.lines,

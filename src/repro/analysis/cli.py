@@ -130,6 +130,15 @@ def main(argv: list[str] | None = None, out=None) -> int:
                 print(json.dumps(diagnostic.to_dict(), sort_keys=True), file=out)
             else:
                 print(diagnostic.format(), file=out)
+        if args.format == "json":
+            # trailing per-file timing row; distinguished from the
+            # diagnostic rows by the "timings" key (no "rule" key)
+            print(
+                json.dumps(
+                    {"file": path, "timings": report.timings}, sort_keys=True
+                ),
+                file=out,
+            )
         if args.summary:
             print(
                 f"{path}: {len(report.errors())} error(s), "

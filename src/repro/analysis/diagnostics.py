@@ -105,6 +105,9 @@ class LintReport:
     """All diagnostics of one lint run, with aggregate queries."""
 
     diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: per-pass seconds (``modecheck.groundness_backend``,
+    #: ``modecheck.adornment``, ``clause_checks``, ...)
+    timings: dict = field(default_factory=dict)
 
     def extend(self, items) -> None:
         self.diagnostics.extend(items)

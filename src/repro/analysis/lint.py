@@ -74,19 +74,42 @@ def lint_program(
     :class:`~repro.runtime.budget.Budget`) bounds that pass — on
     exhaustion it degrades per its ladder instead of failing the lint.
     """
+    import time
+
+    from repro.obs.observer import get_observer
+
+    clock = time.perf_counter
+
+    t0 = clock()
     graph = DependencyGraph(program)
     report = LintReport()
+    report.timings["depgraph"] = clock() - t0
     mode_report: ModeReport | None = None
     if modes:
+        t0 = clock()
         mode_report = check_modes(program, query=query, budget=budget)
         report.extend(mode_report.diagnostics)
+        report.timings["modecheck"] = clock() - t0
+        for pass_name, seconds in mode_report.timings.items():
+            report.timings[f"modecheck.{pass_name}"] = seconds
+    t0 = clock()
     report.extend(_undefined_calls(program, graph))
     report.extend(unstratified_sites(graph))
+    report.timings["graph_checks"] = clock() - t0
+    t0 = clock()
     report.extend(_clause_checks(program, graph, mode_report))
+    report.timings["clause_checks"] = clock() - t0
     if query is not None:
+        t0 = clock()
         report.extend(_dead_code(program, graph, query))
+        report.timings["dead_code"] = clock() - t0
     if filename:
         report.diagnostics = [d.with_file(filename) for d in report.diagnostics]
+    obs = get_observer()
+    if obs.enabled:
+        for pass_name, seconds in report.timings.items():
+            obs.registry.timer(f"lint.{pass_name}").observe(seconds)
+        obs.registry.counter("lint.runs").value += 1
     return report
 
 

@@ -85,6 +85,8 @@ class ModeReport:
     completeness: str = "prop"
     events: list = field(default_factory=list)
     groundness: object | None = None
+    #: per-pass seconds: redundant_clauses / groundness_backend / adornment
+    timings: dict = field(default_factory=dict)
 
     @property
     def degraded(self) -> bool:
@@ -144,13 +146,17 @@ def check_modes(
     the same program); otherwise the backend runs here, sharing this
     pass's governor so one budget covers the whole check.
     """
+    import time
+
     from repro.runtime.budget import ResourceExhausted, governor_for
     from repro.runtime.degrade import DegradationEvent, notify_degradation
 
     report = ModeReport()
     gov = governor_for(budget, governor, fault)
 
+    t0 = time.perf_counter()
     report.diagnostics.extend(_redundant_clauses(program, filename))
+    report.timings["redundant_clauses"] = time.perf_counter() - t0
 
     entries = entry_patterns(program, query)
     if not entries:
@@ -158,6 +164,7 @@ def check_modes(
             _attach_file(report, filename)
         return report
 
+    t0 = time.perf_counter()
     if use_groundness and groundness is None:
         try:
             from repro.core.groundness import analyze_groundness
@@ -170,6 +177,7 @@ def check_modes(
             report.completeness = "adorn"
             groundness = None
             gov = None if gov is None else gov.restarted()
+    report.timings["groundness_backend"] = time.perf_counter() - t0
     if groundness is not None and groundness.degraded:
         # a degraded backend's tables under-approximate: claim nothing
         groundness = None
@@ -178,6 +186,7 @@ def check_modes(
         report.completeness = "adorn"
     report.groundness = groundness
 
+    t0 = time.perf_counter()
     checker = _FlowChecker(program, groundness, gov, report)
     try:
         checker.run(entries)
@@ -188,6 +197,7 @@ def check_modes(
         report.events.append(event)
         notify_degradation(event)
         report.completeness = "partial"
+    report.timings["adornment"] = time.perf_counter() - t0
 
     if filename:
         _attach_file(report, filename)

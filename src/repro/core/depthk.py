@@ -382,6 +382,7 @@ def analyze_depthk(
     result.  Every stage restarts the budget; the injected ``fault``
     (if any) keeps its global fire count across stages.
     """
+    from repro.obs.observer import get_observer
     from repro.runtime.budget import ResourceExhausted, governor_for
     from repro.runtime.degrade import (
         DegradationEvent,
@@ -389,9 +390,11 @@ def analyze_depthk(
         top_widening_join,
     )
 
+    obs = get_observer()
     t0 = time.perf_counter()
-    abstract, warnings = depthk_program(program)
-    db = ClauseDB(abstract, compiled=compiled)
+    with obs.maybe_span("analysis.depthk.preprocess"):
+        abstract, warnings = depthk_program(program)
+        db = ClauseDB(abstract, compiled=compiled)
     t1 = time.perf_counter()
 
     goals = entries if entries is not None else _entry_points(program)
@@ -403,7 +406,11 @@ def analyze_depthk(
     effective_depth = depth
     events: list = []
 
-    def attempt(stage_gov, k, answer_join=None):
+    def attempt(stage_gov, k, answer_join=None, stage="exact"):
+        with obs.maybe_span("analysis.depthk.stage", stage=stage, depth=k):
+            return _attempt(stage_gov, k, answer_join)
+
+    def _attempt(stage_gov, k, answer_join=None):
         engine = TabledEngine(
             db,
             scheduling=scheduling,
@@ -438,13 +445,22 @@ def analyze_depthk(
             raise
         record("exact", exc)
         try:
-            engine = attempt(gov.restarted(), depth, top_widening_join(widen_threshold))
+            engine = attempt(
+                gov.restarted(),
+                depth,
+                top_widening_join(
+                    widen_threshold, metric="analysis.depthk.widenings"
+                ),
+                stage="widened",
+            )
             completeness = "widened"
         except ResourceExhausted as exc2:
             record("widened", exc2)
             for reduced in range(depth - 1, -1, -1):
                 try:
-                    engine = attempt(gov.restarted(), reduced)
+                    engine = attempt(
+                        gov.restarted(), reduced, stage=f"reduced-k({reduced})"
+                    )
                     completeness = f"reduced-k({reduced})"
                     effective_depth = reduced
                     break
@@ -477,6 +493,15 @@ def analyze_depthk(
         predicates[indicator] = PredicateShapes(name, arity, answers, calls)
         table_completeness[indicator] = complete
     t3 = time.perf_counter()
+
+    if obs.enabled:
+        registry = obs.registry
+        registry.timer("analysis.depthk.preprocess").observe(t1 - t0)
+        registry.timer("analysis.depthk.analysis").observe(t2 - t1)
+        registry.timer("analysis.depthk.collection").observe(t3 - t2)
+        registry.counter("analysis.depthk.runs").value += 1
+        if completeness != "exact":
+            registry.counter("analysis.depthk.degraded_runs").value += 1
 
     return DepthKResult(
         predicates=predicates,

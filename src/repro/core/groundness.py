@@ -494,6 +494,7 @@ def analyze_groundness(
     all-top result — instead of raising.  ``fault`` is a
     :class:`~repro.runtime.faultinject.FaultInjector` for tests.
     """
+    from repro.obs.observer import get_observer
     from repro.runtime.budget import ResourceExhausted, governor_for
     from repro.runtime.degrade import (
         DegradationEvent,
@@ -501,11 +502,15 @@ def analyze_groundness(
         top_widening_join,
     )
 
+    obs = get_observer()
     t0 = time.perf_counter()
-    abstract, info = abstract_program(program, optimize, max_enum_arity, encoding)
-    from repro.engine.clausedb import ClauseDB
+    with obs.maybe_span("analysis.groundness.preprocess"):
+        abstract, info = abstract_program(
+            program, optimize, max_enum_arity, encoding
+        )
+        from repro.engine.clausedb import ClauseDB
 
-    db = ClauseDB(abstract, compiled=compiled)
+        db = ClauseDB(abstract, compiled=compiled)
     t1 = time.perf_counter()
 
     goals = entries if entries is not None else info.entry_points
@@ -516,7 +521,8 @@ def analyze_groundness(
     completeness = "exact"
     events: list = []
     try:
-        engine = _evaluate(db, info, goals, scheduling, gov)
+        with obs.maybe_span("analysis.groundness.stage", stage="exact"):
+            engine = _evaluate(db, info, goals, scheduling, gov)
     except ResourceExhausted as exc:
         if not degrade:
             raise
@@ -524,14 +530,18 @@ def analyze_groundness(
         events.append(event)
         notify_degradation(event)
         try:
-            engine = _evaluate(
-                db,
-                info,
-                goals,
-                scheduling,
-                gov.restarted(),
-                answer_join=top_widening_join(widen_threshold),
-            )
+            with obs.maybe_span("analysis.groundness.stage", stage="widened"):
+                engine = _evaluate(
+                    db,
+                    info,
+                    goals,
+                    scheduling,
+                    gov.restarted(),
+                    answer_join=top_widening_join(
+                        widen_threshold,
+                        metric="analysis.groundness.widenings",
+                    ),
+                )
             completeness = "widened"
         except ResourceExhausted as exc2:
             event = DegradationEvent.from_error("groundness", "widened", exc2)
@@ -543,19 +553,29 @@ def analyze_groundness(
 
     predicates = {}
     table_completeness = {}
-    for indicator in info.predicates:
-        if engine is None:
-            name, arity = indicator
-            predicates[indicator] = PredicateGroundness(
-                name, arity, PropFunction.top(arity), [], 0
-            )
-            table_completeness[indicator] = False
-        else:
-            predicates[indicator] = _collect(engine, indicator)
-            table_completeness[indicator] = all(
-                t.complete for t in _tables_for(engine, indicator)
-            )
+    with obs.maybe_span("analysis.groundness.collection"):
+        for indicator in info.predicates:
+            if engine is None:
+                name, arity = indicator
+                predicates[indicator] = PredicateGroundness(
+                    name, arity, PropFunction.top(arity), [], 0
+                )
+                table_completeness[indicator] = False
+            else:
+                predicates[indicator] = _collect(engine, indicator)
+                table_completeness[indicator] = all(
+                    t.complete for t in _tables_for(engine, indicator)
+                )
     t3 = time.perf_counter()
+
+    if obs.enabled:
+        registry = obs.registry
+        registry.timer("analysis.groundness.preprocess").observe(t1 - t0)
+        registry.timer("analysis.groundness.analysis").observe(t2 - t1)
+        registry.timer("analysis.groundness.collection").observe(t3 - t2)
+        registry.counter("analysis.groundness.runs").value += 1
+        if completeness != "exact":
+            registry.counter("analysis.groundness.degraded_runs").value += 1
 
     return GroundnessResult(
         predicates=predicates,

@@ -406,6 +406,7 @@ def analyze_strictness(
     ``degrade=True`` retries with in-table widening to ⊤ and finally
     bails to the all-``n`` (no claim) result, which is trivially sound.
     """
+    from repro.obs.observer import get_observer
     from repro.runtime.budget import ResourceExhausted, governor_for
     from repro.runtime.degrade import (
         DegradationEvent,
@@ -413,18 +414,24 @@ def analyze_strictness(
         top_widening_join,
     )
 
+    obs = get_observer()
     t0 = time.perf_counter()
-    abstract, functions = strictness_program(program, max_enum, encoding)
-    if supplementary:
-        from repro.magic.supptab import supplementary_tables
+    with obs.maybe_span("analysis.strictness.preprocess"):
+        abstract, functions = strictness_program(program, max_enum, encoding)
+        if supplementary:
+            from repro.magic.supptab import supplementary_tables
 
-        abstract = supplementary_tables(abstract)
-    from repro.engine.clausedb import ClauseDB
+            abstract = supplementary_tables(abstract)
+        from repro.engine.clausedb import ClauseDB
 
-    db = ClauseDB(abstract, compiled=compiled)
+        db = ClauseDB(abstract, compiled=compiled)
     t1 = time.perf_counter()
 
-    def attempt(stage_gov, answer_join=None):
+    def attempt(stage_gov, answer_join=None, stage="exact"):
+        with obs.maybe_span("analysis.strictness.stage", stage=stage):
+            return _attempt(stage_gov, answer_join)
+
+    def _attempt(stage_gov, answer_join=None):
         # Answer subsumption collapses the overlapping most-general
         # answers of the compact encoding (an XSB-style engine option;
         # section 6.2).  Early completion is sound here because only
@@ -461,7 +468,13 @@ def analyze_strictness(
         events.append(event)
         notify_degradation(event)
         try:
-            engine, queries = attempt(gov.restarted(), top_widening_join(widen_threshold))
+            engine, queries = attempt(
+                gov.restarted(),
+                top_widening_join(
+                    widen_threshold, metric="analysis.strictness.widenings"
+                ),
+                stage="widened",
+            )
             completeness = "widened"
         except ResourceExhausted as exc2:
             event = DegradationEvent.from_error("strictness", "widened", exc2)
@@ -493,6 +506,15 @@ def analyze_strictness(
         )
         table_completeness[(fname, arity)] = complete
     t3 = time.perf_counter()
+
+    if obs.enabled:
+        registry = obs.registry
+        registry.timer("analysis.strictness.preprocess").observe(t1 - t0)
+        registry.timer("analysis.strictness.analysis").observe(t2 - t1)
+        registry.timer("analysis.strictness.collection").observe(t3 - t2)
+        registry.counter("analysis.strictness.runs").value += 1
+        if completeness != "exact":
+            registry.counter("analysis.strictness.degraded_runs").value += 1
 
     return StrictnessResult(
         functions=results,

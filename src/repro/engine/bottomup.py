@@ -27,6 +27,7 @@ Prop-domain abstract programs need (``sp_f(n, X, Y)`` style answers).
 from __future__ import annotations
 
 from repro.engine.builtins import DET_BUILTINS, NONDET_BUILTINS, PrologError
+from repro.obs.observer import resolve_observer
 from repro.prolog.program import Indicator, Program
 from repro.terms.subst import EMPTY_SUBST, Subst
 from repro.terms.term import Struct, Term, Var
@@ -83,6 +84,7 @@ class BottomUpEngine:
         max_rounds: int | None = None,
         scc: bool = True,
         governor=None,
+        obs=None,
     ):
         self.program = program
         self.max_rounds = max_rounds
@@ -92,6 +94,7 @@ class BottomUpEngine:
 
             governor = ResourceGovernor(Budget(rounds=max_rounds))
         self.governor = governor
+        self.obs = resolve_observer(obs)
         self.relations: dict[Indicator, _Relation] = {}
         self.rounds = 0
         self.derivations = 0
@@ -104,6 +107,32 @@ class BottomUpEngine:
         """Run to fixed point; idempotent."""
         if self._evaluated:
             return self
+        obs = self.obs
+        if not obs.enabled:
+            return self._evaluate()
+        with obs.span("engine.bottomup.evaluate", scc=self.scc) as span:
+            rounds0 = self.rounds
+            derivations0 = self.derivations
+            firings0 = self.rule_firings
+            try:
+                return self._evaluate()
+            finally:
+                span.attrs["rounds"] = self.rounds
+                span.attrs["derivations"] = self.derivations
+                span.attrs["rule_firings"] = self.rule_firings
+                span.attrs["scc_count"] = self.scc_count
+                registry = obs.registry
+                registry.counter("engine.bottomup.rounds").value += (
+                    self.rounds - rounds0
+                )
+                registry.counter("engine.bottomup.derivations").value += (
+                    self.derivations - derivations0
+                )
+                registry.counter("engine.bottomup.rule_firings").value += (
+                    self.rule_firings - firings0
+                )
+
+    def _evaluate(self) -> "BottomUpEngine":
         rules: list[_Rule] = []
         initial: dict[Indicator, list[Term]] = {}
         for indicator in self.program.predicates():

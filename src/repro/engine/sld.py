@@ -20,10 +20,11 @@ from repro.engine.builtins import (
     PrologError,
 )
 from repro.engine.clausedb import ClauseDB
+from repro.obs.observer import NULL_OBSERVER, resolve_observer
 from repro.prolog.program import Program
 from repro.runtime.budget import StepLimitExceeded
 from repro.terms.subst import EMPTY_SUBST, Subst
-from repro.terms.term import Struct, Term, Var
+from repro.terms.term import Struct, Term, Var, term_to_str
 
 
 class _Cut(Exception):
@@ -65,6 +66,7 @@ class SLDEngine:
         max_steps: int | None = None,
         unknown: str = "error",
         governor=None,
+        obs=None,
     ):
         if isinstance(program, ClauseDB):
             self.db = program
@@ -78,11 +80,28 @@ class SLDEngine:
 
             governor = ResourceGovernor(Budget(steps=max_steps))
         self.governor = governor
+        self.obs = resolve_observer(obs)
         self.steps = 0
 
     # ------------------------------------------------------------------
     def solve(self, goal: Term, subst: Subst = EMPTY_SUBST):
         """Yield one substitution per SLD solution of ``goal``."""
+        obs = self.obs
+        if not obs.enabled:
+            yield from self._solve(goal, subst)
+            return
+        start_steps = self.steps
+        with obs.span("engine.sld.solve", goal=term_to_str(goal)) as span:
+            try:
+                yield from self._solve(goal, subst)
+            finally:
+                # flush on normal exhaustion, close() and budget trips
+                delta = self.steps - start_steps
+                span.attrs["steps"] = delta
+                obs.registry.counter("engine.sld.steps").value += delta
+                obs.registry.counter("engine.sld.solves").value += 1
+
+    def _solve(self, goal: Term, subst: Subst = EMPTY_SUBST):
         goals = ((goal, 0), None)
         cps: list = []
         state = (goals, subst)
@@ -160,8 +179,13 @@ class SLDEngine:
         if (name == "\\+" or name == "not") and arity == 1:
             # the sub-engine shares this engine's governor, so nested
             # resolution charges the same step budget as it happens —
-            # an exhausted parent cannot be overrun via nested goals
-            sub = SLDEngine(self.db, unknown=self.unknown, governor=self.governor)
+            # an exhausted parent cannot be overrun via nested goals.
+            # Its steps fold into self.steps below, so it must NOT also
+            # report to the observer (that would double-count).
+            sub = SLDEngine(
+                self.db, unknown=self.unknown, governor=self.governor,
+                obs=NULL_OBSERVER,
+            )
             for _ in sub.solve(goal.args[0], subst):
                 self.steps += sub.steps
                 return None

@@ -38,6 +38,8 @@ from repro.engine.builtins import (
     PrologError,
 )
 from repro.engine.clausedb import ClauseDB
+from repro.obs.observer import resolve_observer
+from repro.obs.registry import MetricsRegistry
 from repro.prolog.program import Program
 from repro.terms.subst import EMPTY_SUBST, Subst
 from repro.terms.term import Struct, Term, Var, term_to_str
@@ -46,21 +48,61 @@ from repro.terms.variant import canonical, rename_apart, variant_key
 
 
 class TableStats:
-    """Counters describing one evaluation run."""
+    """Per-run evaluation counters, as a view over a metrics registry.
 
-    def __init__(self):
-        self.tasks = 0
-        self.calls = 0
-        self.answers = 0
-        self.duplicate_answers = 0
-        self.resumptions = 0
+    Historically a bag of plain int fields; the fields survive as
+    properties backed by named ``engine.tabled.*`` counters in a
+    :class:`~repro.obs.registry.MetricsRegistry`, so the same numbers
+    appear in metric snapshots and bench JSON.  ``TableStats()`` with
+    no registry is self-contained (private registry), preserving the
+    original constructor's behaviour.
+    """
+
+    #: field name -> metric key suffix under ``engine.tabled.``
+    FIELDS = {
+        "tasks": "tasks",
+        "calls": "calls",
+        "answers": "answers",
+        "duplicate_answers": "answer_dedup_hits",
+        "resumptions": "resumptions",
+    }
+    PREFIX = "engine.tabled."
+
+    __slots__ = ("_counters",)
+
+    def __init__(self, registry: MetricsRegistry | None = None):
+        if registry is None:
+            registry = MetricsRegistry()
+        self._counters = {
+            field: registry.counter(self.PREFIX + suffix)
+            for field, suffix in self.FIELDS.items()
+        }
+
+    def counter(self, field: str):
+        """The bound :class:`~repro.obs.registry.Counter` for a field."""
+        return self._counters[field]
 
     def as_dict(self) -> dict:
-        return dict(self.__dict__)
+        return {field: c.value for field, c in self._counters.items()}
 
     def __repr__(self) -> str:
-        parts = ", ".join(f"{k}={v}" for k, v in self.__dict__.items())
+        parts = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
         return f"TableStats({parts})"
+
+
+def _stats_field(field: str) -> property:
+    def _get(self):
+        return self._counters[field].value
+
+    def _set(self, value):
+        self._counters[field].value = value
+
+    return property(_get, _set)
+
+
+for _field in TableStats.FIELDS:
+    setattr(TableStats, _field, _stats_field(_field))
+del _field
 
 
 class Table:
@@ -96,14 +138,18 @@ class Table:
 class _Consumer:
     """A derivation suspended on a table, waiting for (more) answers."""
 
-    __slots__ = ("call_instance", "goals", "subst", "context", "next_answer")
+    __slots__ = ("call_instance", "goals", "subst", "context", "next_answer",
+                 "prov")
 
-    def __init__(self, call_instance, goals, subst, context):
+    def __init__(self, call_instance, goals, subst, context, prov=None):
         self.call_instance = call_instance
         self.goals = goals
         self.subst = subst
         self.context = context
         self.next_answer = 0
+        #: provenance state of the suspended derivation: a
+        #: ``(clause_info, premises)`` pair, or None when not recording
+        self.prov = prov
 
 
 class _Context:
@@ -141,6 +187,7 @@ class TabledEngine:
         answer_subsumption: bool = False,
         early_completion: bool = False,
         governor=None,
+        obs=None,
     ):
         if isinstance(program, ClauseDB):
             self.db = program
@@ -166,9 +213,25 @@ class TabledEngine:
 
             governor = ResourceGovernor(Budget(tasks=max_tasks))
         self.governor = governor
+        # Observability: the engine always owns a private metrics
+        # registry (the stats view below is backed by it); spans and
+        # provenance happen only under an enabled observer, guarded by
+        # one ``obs.enabled`` attribute check on the cold edges.
+        self.obs = resolve_observer(obs)
+        self._registry = MetricsRegistry()
+        self._merge_state: dict = {}
+        self.stats = TableStats(self._registry)
+        self._n_tasks = self.stats.counter("tasks")
+        self._n_calls = self.stats.counter("calls")
+        self._n_answers = self.stats.counter("answers")
+        self._n_dup = self.stats.counter("duplicate_answers")
+        self._n_resumptions = self.stats.counter("resumptions")
+        self._record_provenance = bool(self.obs.enabled and self.obs.provenance)
+        #: (table_key, answer_key) -> (clause_info, premises); see
+        #: :mod:`repro.obs.provenance`
+        self.provenance: dict = {}
         self.tables: dict = {}
         self.tables_by_pred: dict = {}
-        self.stats = TableStats()
         self._table_bytes = 0
         self._worklist: deque = deque()
 
@@ -182,6 +245,23 @@ class TabledEngine:
         included).  All tables touched by the evaluation are complete
         when this returns.
         """
+        obs = self.obs
+        if not obs.enabled:
+            return self._solve(goal)
+        with obs.span("engine.tabled.solve", goal=term_to_str(goal)) as span:
+            try:
+                return self._solve(goal)
+            finally:
+                # flush even when a budget trip unwinds through here, so
+                # partial runs still report what they consumed
+                span.attrs["tables"] = len(self.tables)
+                span.attrs["table_space_bytes"] = self._table_bytes
+                self._registry.gauge("engine.tabled.table_space_bytes").set(
+                    self._table_bytes
+                )
+                self._registry.merge_deltas_into(obs.registry, self._merge_state)
+
+    def _solve(self, goal: Term) -> list[Term]:
         results: list[Term] = []
         seen: set = set()
 
@@ -226,8 +306,8 @@ class TabledEngine:
     # ------------------------------------------------------------------
     # Scheduler
 
-    def _push_task(self, goals, subst: Subst, context: _Context):
-        self._worklist.append(("task", goals, subst, context))
+    def _push_task(self, goals, subst: Subst, context: _Context, prov=None):
+        self._worklist.append(("task", goals, subst, context, prov))
 
     def _push_consume(self, consumer: _Consumer, table: Table):
         self._worklist.append(("consume", consumer, table))
@@ -235,21 +315,22 @@ class TabledEngine:
     def _run(self):
         pop = self._worklist.pop if self.scheduling == "lifo" else self._worklist.popleft
         governor = self.governor
+        n_tasks = self._n_tasks
         while self._worklist:
             item = pop()
             if item[0] == "task":
-                _, goals, subst, context = item
+                _, goals, subst, context, prov = item
                 if (
                     context.table is not None
                     and context.table.satisfied
                 ):
                     continue  # early completion: ground call already answered
-                self.stats.tasks += 1
+                n_tasks.value += 1
                 if governor is not None:
                     governor.charge(
                         "tasks", goals[0] if goals is not None else context.template
                     )
-                self._step(goals, subst, context)
+                self._step(goals, subst, context, prov)
             else:
                 _, consumer, table = item
                 if governor is not None:
@@ -261,10 +342,10 @@ class TabledEngine:
     # ------------------------------------------------------------------
     # One resolution step of a task
 
-    def _step(self, goals, subst: Subst, context: _Context):
+    def _step(self, goals, subst: Subst, context: _Context, prov=None):
         while True:
             if goals is None:
-                self._deliver_answer(subst, context)
+                self._deliver_answer(subst, context, prov)
                 return
             goal, rest = goals
             goal = subst.walk(goal)
@@ -295,11 +376,11 @@ class TabledEngine:
                 if isinstance(walked, Struct) and walked.indicator == ("->", 2):
                     # Logical (complete) reading: (C,T) ; (\+C, E).
                     cond, then = walked.args
-                    self._push_task((cond, (then, rest)), subst, context)
+                    self._push_task((cond, (then, rest)), subst, context, prov)
                     neg = Struct("\\+", (cond,))
-                    self._push_task((neg, (right, rest)), subst, context)
+                    self._push_task((neg, (right, rest)), subst, context, prov)
                     return
-                self._push_task((left, rest), subst, context)
+                self._push_task((left, rest), subst, context, prov)
                 goals = (right, rest)
                 continue
             if name == "->" and arity == 2:
@@ -320,7 +401,7 @@ class TabledEngine:
             # -- user predicates (tabled or not) ----------------------------
             if self.db.defines(indicator):
                 if self.table_all or self.db.is_tabled(indicator):
-                    self._tabled_call(goal, rest, subst, context)
+                    self._tabled_call(goal, rest, subst, context, prov)
                     return
                 first = True
                 for body, extended in self.db.resolve(indicator, goal, subst):
@@ -329,7 +410,7 @@ class TabledEngine:
                         first_state = (body, extended)
                         first = False
                     else:
-                        self._push_task((body, rest), extended, context)
+                        self._push_task((body, rest), extended, context, prov)
                 if first:
                     return
                 body, extended = first_state
@@ -349,7 +430,7 @@ class TabledEngine:
             if nondet is not None:
                 args = goal.args if isinstance(goal, Struct) else ()
                 for extended in nondet(args, subst):
-                    self._push_task(rest, extended, context)
+                    self._push_task(rest, extended, context, prov)
                 return
 
             raise PrologError(f"undefined predicate {name}/{arity}")
@@ -357,7 +438,9 @@ class TabledEngine:
     # ------------------------------------------------------------------
     # Tabled call machinery
 
-    def _tabled_call(self, goal: Term, rest, subst: Subst, context: _Context):
+    def _tabled_call(
+        self, goal: Term, rest, subst: Subst, context: _Context, prov=None
+    ):
         instance = subst.resolve(goal)
         lookup = instance
         if self.call_abstraction is not None:
@@ -370,7 +453,7 @@ class TabledEngine:
             table = self._get_or_create_open(lookup)
         if table is None:
             table = self._create_table(lookup, key)
-        consumer = _Consumer(instance, rest, subst, context)
+        consumer = _Consumer(instance, rest, subst, context, prov)
         table.consumers.append(consumer)
         self._push_consume(consumer, table)
 
@@ -382,7 +465,7 @@ class TabledEngine:
         table.ground_call = not term_variables(call)
         self.tables[key] = table
         self.tables_by_pred.setdefault(table.indicator(), []).append(table)
-        self.stats.calls += 1
+        self._n_calls.value += 1
         delta = len(term_to_str(call)) + 16
         self._table_bytes += delta
         if self.governor is not None:
@@ -390,8 +473,24 @@ class TabledEngine:
         # schedule generators: clause resolution for the tabled call
         context = _Context(table, call)
         indicator = table.indicator()
-        for body, extended in self.db.resolve(indicator, call, EMPTY_SUBST):
-            self._push_task((body, None), extended, context)
+        if self._record_provenance:
+            # open-coded resolve: the derivation must remember *which*
+            # clause it started from, which resolve() does not expose
+            for record in self.db.candidates(indicator, call, EMPTY_SUBST):
+                head, body = self.db.rename(record)
+                extended = unify(call, head, EMPTY_SUBST)
+                if extended is None:
+                    continue
+                source = getattr(record, "source", record)
+                clause_info = (
+                    f"{indicator[0]}/{indicator[1]}",
+                    getattr(source, "line", 0),
+                )
+                self._push_task((body, None), extended, context,
+                                (clause_info, ()))
+        else:
+            for body, extended in self.db.resolve(indicator, call, EMPTY_SUBST):
+                self._push_task((body, None), extended, context)
         return table
 
     def _find_subsuming(self, call: Term) -> Table | None:
@@ -414,7 +513,7 @@ class TabledEngine:
             table = self._create_table(open_call, key)
         return table
 
-    def _deliver_answer(self, subst: Subst, context: _Context):
+    def _deliver_answer(self, subst: Subst, context: _Context, prov=None):
         answer = canonical(context.template, subst)
         if context.sink is not None:
             context.sink(answer)
@@ -423,23 +522,27 @@ class TabledEngine:
         if self.answer_abstraction is not None:
             answer = canonical(self.answer_abstraction(answer))
         if self.answer_join is not None:
-            self._join_answer(table, answer)
+            self._join_answer(table, answer, prov)
             return
-        self._add_answer(table, answer)
+        self._add_answer(table, answer, prov)
 
-    def _add_answer(self, table: Table, answer: Term) -> bool:
+    def _add_answer(self, table: Table, answer: Term, prov=None) -> bool:
         key = variant_key(answer)
         if key in table.answer_keys:
-            self.stats.duplicate_answers += 1
+            self._n_dup.value += 1
             return False
         if self.answer_subsumption:
             for existing in table.answers:
                 if match(rename_apart(existing), answer, EMPTY_SUBST) is not None:
-                    self.stats.duplicate_answers += 1
+                    self._n_dup.value += 1
                     return False
         table.answer_keys.add(key)
         table.answers.append(answer)
-        self.stats.answers += 1
+        self._n_answers.value += 1
+        if self._record_provenance and prov is not None:
+            # first derivation wins; answers are append-only so the
+            # (table key, index) premise references stay stable
+            self.provenance[(table.key, key)] = prov
         delta = len(term_to_str(answer)) + 8
         self._table_bytes += delta
         if self.governor is not None:
@@ -451,26 +554,33 @@ class TabledEngine:
             self._push_consume(consumer, table)
         return True
 
-    def _join_answer(self, table: Table, answer: Term):
+    def _join_answer(self, table: Table, answer: Term, prov=None):
         """Widening path: let the join hook replace the answer set."""
         replacement = self.answer_join(list(table.answers), answer)
         if replacement is None:
-            self._add_answer(table, answer)
+            self._add_answer(table, answer, prov)
             return
         for new_answer in replacement:
-            self._add_answer(table, canonical(new_answer))
+            self._add_answer(table, canonical(new_answer), prov)
 
     def _feed_consumer(self, consumer: _Consumer, table: Table):
         answers = table.answers
         while consumer.next_answer < len(answers):
-            answer = answers[consumer.next_answer]
-            consumer.next_answer += 1
+            index = consumer.next_answer
+            answer = answers[index]
+            consumer.next_answer = index + 1
             extended = self.feed_unify(
                 consumer.call_instance, rename_apart(answer), consumer.subst
             )
             if extended is not None:
-                self.stats.resumptions += 1
-                self._push_task(consumer.goals, extended, consumer.context)
+                self._n_resumptions.value += 1
+                prov = consumer.prov
+                if self._record_provenance and prov is not None:
+                    clause_info, premises = prov
+                    prov = (clause_info, premises + ((table.key, index),))
+                self._push_task(
+                    consumer.goals, extended, consumer.context, prov
+                )
 
     def _nested_holds(self, goal: Term, subst: Subst) -> bool:
         """Negation as failure via a nested, independent evaluation.
@@ -503,6 +613,7 @@ class TabledEngine:
             # share the governor: nested work charges the parent budget
             # directly instead of being re-granted a fresh allowance
             governor=self.governor,
+            obs=self.obs,
         )
         return bool(nested.solve(subst.resolve(goal)))
 

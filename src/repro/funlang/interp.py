@@ -78,10 +78,15 @@ _FALSE = VCons("False", ())
 class LazyInterpreter:
     """Evaluates expressions of a :class:`FunProgram` lazily."""
 
-    def __init__(self, program: FunProgram, fuel: int = 1_000_000, governor=None):
+    def __init__(
+        self, program: FunProgram, fuel: int = 1_000_000, governor=None, obs=None
+    ):
+        from repro.obs.observer import resolve_observer
+
         self.program = program
         self.fuel = fuel
         self.governor = governor
+        self.obs = resolve_observer(obs)
         self.steps = 0
 
     # ------------------------------------------------------------------
@@ -191,6 +196,22 @@ class LazyInterpreter:
 
     def run(self, text: str, to: str = "nf"):
         """Parse and evaluate ``text``; ``to`` is ``"nf"`` or ``"whnf"``."""
+        obs = self.obs
+        if not obs.enabled:
+            return self._run(text, to)
+        start_steps = self.steps
+        with obs.span("engine.funlang.run", expr=text, to=to) as span:
+            try:
+                return self._run(text, to)
+            finally:
+                # flush on Divergence / FuelExhausted too: the steps a
+                # diverging probe burned are part of the validation cost
+                delta = self.steps - start_steps
+                span.attrs["steps"] = delta
+                obs.registry.counter("engine.funlang.steps").value += delta
+                obs.registry.counter("engine.funlang.runs").value += 1
+
+    def _run(self, text: str, to: str):
         from repro.funlang.parser import parse_expr
 
         expr = parse_expr(text)

@@ -1,8 +1,6 @@
 """Benchmark harness: phase timing, compile baseline, table rendering."""
 
 from repro.harness.metrics import (
-    DEGRADATION_EVENTS,
-    clear_degradation_events,
     compile_baseline,
     ghc_like_compile_baseline,
     groundness_row,
@@ -13,8 +11,6 @@ from repro.harness.metrics import (
 )
 
 __all__ = [
-    "DEGRADATION_EVENTS",
-    "clear_degradation_events",
     "compile_baseline",
     "ghc_like_compile_baseline",
     "groundness_row",

@@ -16,29 +16,45 @@ computes the same rows for our system:
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.core.depthk import DepthKResult, analyze_depthk
 from repro.core.groundness import GroundnessResult, analyze_groundness
 from repro.core.strictness import StrictnessResult, analyze_strictness
 from repro.engine.clausedb import ClauseDB
+from repro.obs.observer import Observer, get_observer, use_observer
 from repro.prolog.program import load_program
-from repro.runtime.degrade import DegradationEvent, add_degradation_listener
-
-#: every DegradationEvent observed since import / the last clear — the
-#: harness-level record of budget trips across a benchmark run
-DEGRADATION_EVENTS: list[DegradationEvent] = []
 
 
-def _record_degradation(event: DegradationEvent) -> None:
-    DEGRADATION_EVENTS.append(event)
+@contextmanager
+def _row_observer():
+    """Per-row observability scope for the ``*_row`` helpers.
 
+    Degradation events used to accumulate in a module global fed by an
+    import-time listener — every run saw every earlier run's events.
+    Now each row runs under an observer (the ambient one when a bench
+    session installed one, else a private throwaway) and reads back only
+    the events recorded *during this row*: two back-to-back rows can
+    never see each other's trips.
 
-def clear_degradation_events() -> None:
-    del DEGRADATION_EVENTS[:]
-
-
-add_degradation_listener(_record_degradation)
+    Yields a zero-argument callable returning this row's degradation
+    events (as plain dicts, JSON-ready).
+    """
+    observer = get_observer()
+    if observer.enabled:
+        start = len(observer.registry.events)
+        yield lambda: [
+            dict(e)
+            for e in observer.registry.events[start:]
+            if e["kind"] == "degradation"
+        ]
+        return
+    private = Observer()
+    with use_observer(private):
+        yield lambda: [
+            dict(e) for e in private.registry.events_of("degradation")
+        ]
 
 
 def compile_baseline(source: str, repeat: int = 3) -> float:
@@ -88,7 +104,9 @@ class Row:
 
 def groundness_row(name: str, source: str, **kw) -> tuple[Row, GroundnessResult]:
     program = load_program(source)
-    result = analyze_groundness(program, **kw)
+    with _row_observer() as degradations:
+        result = analyze_groundness(program, **kw)
+        events = degradations()
     baseline = compile_baseline(source)
     row = Row(
         name=name,
@@ -98,7 +116,11 @@ def groundness_row(name: str, source: str, **kw) -> tuple[Row, GroundnessResult]
         collection=result.times["collection"],
         compile_increase_pct=100.0 * result.total_time / baseline if baseline else None,
         table_space=result.table_space,
-        extra={"compile_baseline": baseline, "completeness": result.completeness},
+        extra={
+            "compile_baseline": baseline,
+            "completeness": result.completeness,
+            "degradation_events": events,
+        },
     )
     return row, result
 
@@ -107,7 +129,9 @@ def strictness_row(name: str, source: str, **kw) -> tuple[Row, StrictnessResult]
     from repro.funlang.parser import parse_fun_program
 
     program = parse_fun_program(source)
-    result = analyze_strictness(program, **kw)
+    with _row_observer() as degradations:
+        result = analyze_strictness(program, **kw)
+        events = degradations()
     baseline = ghc_like_compile_baseline(source)
     row = Row(
         name=name,
@@ -117,14 +141,20 @@ def strictness_row(name: str, source: str, **kw) -> tuple[Row, StrictnessResult]
         collection=result.times["collection"],
         compile_increase_pct=100.0 * result.total_time / baseline if baseline else None,
         table_space=result.table_space,
-        extra={"compile_baseline": baseline, "completeness": result.completeness},
+        extra={
+            "compile_baseline": baseline,
+            "completeness": result.completeness,
+            "degradation_events": events,
+        },
     )
     return row, result
 
 
 def depthk_row(name: str, source: str, **kw) -> tuple[Row, DepthKResult]:
     program = load_program(source)
-    result = analyze_depthk(program, **kw)
+    with _row_observer() as degradations:
+        result = analyze_depthk(program, **kw)
+        events = degradations()
     baseline = compile_baseline(source)
     row = Row(
         name=name,
@@ -134,7 +164,11 @@ def depthk_row(name: str, source: str, **kw) -> tuple[Row, DepthKResult]:
         collection=result.times["collection"],
         compile_increase_pct=100.0 * result.total_time / baseline if baseline else None,
         table_space=result.table_space,
-        extra={"compile_baseline": baseline, "completeness": result.completeness},
+        extra={
+            "compile_baseline": baseline,
+            "completeness": result.completeness,
+            "degradation_events": events,
+        },
     )
     return row, result
 

@@ -57,6 +57,10 @@ def magic_transform(program: Program, query: Term) -> tuple[Program, Term]:
     adornment (:func:`repro.analysis.depgraph.prune_unreachable`), so
     the rewrite's output is proportional to the query-relevant slice.
     """
+    return _observed_rewrite(program, query, "magic", _magic_transform)
+
+
+def _magic_transform(program: Program, query: Term) -> tuple[Program, Term]:
     program = prune_unreachable(program, query)
     adorned = adorn_program(program, query)
     out = Program()
@@ -70,6 +74,14 @@ def magic_transform(program: Program, query: Term) -> tuple[Program, Term]:
 
 def supplementary_transform(program: Program, query: Term) -> tuple[Program, Term]:
     """Supplementary magic: shared prefix joins become sup predicates."""
+    return _observed_rewrite(
+        program, query, "supplementary", _supplementary_transform
+    )
+
+
+def _supplementary_transform(
+    program: Program, query: Term
+) -> tuple[Program, Term]:
     program = prune_unreachable(program, query)
     adorned = adorn_program(program, query)
     out = Program()
@@ -80,6 +92,26 @@ def supplementary_transform(program: Program, query: Term) -> tuple[Program, Ter
     adorned_query = _adorned_query(adorned, query)
     _seed(out, adorned_query)
     return out, adorned_query
+
+
+def _observed_rewrite(program: Program, query: Term, variant: str, transform):
+    """Run a rewrite under the current observer (span + rule counters)."""
+    from repro.obs.observer import get_observer
+    from repro.terms.term import term_to_str
+
+    obs = get_observer()
+    if not obs.enabled:
+        return transform(program, query)
+    with obs.span(
+        "magic.rewrite", variant=variant, query=term_to_str(query)
+    ) as span:
+        with obs.registry.time(f"magic.rewrite.{variant}"):
+            out, adorned_query = transform(program, query)
+        rules = sum(len(out.clauses_for(i)) for i in out.predicates())
+        span.attrs["rules"] = rules
+        obs.registry.counter("magic.rewrite.rules").value += rules
+        obs.registry.counter("magic.rewrite.runs").value += 1
+        return out, adorned_query
 
 
 def _adorned_query(adorned: AdornedProgram, query: Term) -> Term:

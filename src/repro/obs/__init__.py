@@ -1,0 +1,51 @@
+"""``repro.obs`` — the unified observability layer.
+
+Zero-dependency metrics, tracing, provenance and bench reporting for
+every engine in the reproduction:
+
+* :class:`MetricsRegistry` — named counters/gauges/timing histograms
+  with hierarchical dotted keys, plus bounded structured events;
+* :class:`Tracer` / :class:`Span` — context-manager structured tracing
+  with monotonic clocks, parent/child links, a bounded ring buffer and
+  JSONL export; budget trips surface as ``resource_exhausted`` events;
+* :class:`Observer` — one run's bundle of the above (plus the answer
+  provenance switch), scoped with :func:`use_observer` and resolved by
+  engines via :func:`get_observer`;
+* :func:`explain` — derivation trees for tabled answers recorded under
+  ``Observer(provenance=True)``;
+* :mod:`repro.obs.bench` — the ``BENCH_table{N}.json`` emitter and the
+  regression reporter behind ``python -m repro.obs report``.
+
+The disabled path is a single attribute check: engines consult
+``obs.enabled`` (``False`` on the default :data:`NULL_OBSERVER`) before
+any span or provenance work, and their per-run counters live on bound
+:class:`~repro.obs.registry.Counter` objects either way.
+"""
+
+from repro.obs.observer import (
+    NULL_OBSERVER,
+    Observer,
+    get_observer,
+    resolve_observer,
+    use_observer,
+)
+from repro.obs.provenance import DerivationNode, explain, render_derivation
+from repro.obs.registry import Counter, Gauge, MetricsRegistry, Timer
+from repro.obs.trace import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "DerivationNode",
+    "Gauge",
+    "MetricsRegistry",
+    "NULL_OBSERVER",
+    "Observer",
+    "Span",
+    "Timer",
+    "Tracer",
+    "explain",
+    "get_observer",
+    "render_derivation",
+    "resolve_observer",
+    "use_observer",
+]

@@ -1,0 +1,228 @@
+"""``python -m repro.obs`` — the observability command line.
+
+Two subcommands:
+
+``explain FILE GOAL``
+    Evaluate ``GOAL`` over ``FILE`` on a provenance-recording tabled
+    engine and print the derivation tree of every matching answer.
+    With ``--groundness``, ``FILE`` is first abstract-compiled
+    (Figure 1) and ``GOAL`` names a source predicate as ``name/arity``
+    (or a call pattern like ``app(g,g,f)`` — ``g`` marks arguments
+    ground at call); the trees then explain *why a groundness fact
+    holds*.
+
+``report OLD.json NEW.json``
+    Diff two bench-emitter files; exit 1 when any row regressed past
+    ``--threshold`` percent (time) / ``--space-threshold`` (bytes),
+    2 on malformed input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+EXIT_OK = 0
+EXIT_REGRESSIONS = 1
+EXIT_USAGE = 2
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Observability tools: answer provenance and "
+        "perf-trajectory regression reports.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    explain = sub.add_parser(
+        "explain", help="print derivation trees for tabled answers"
+    )
+    explain.add_argument("file", help="Prolog source file")
+    explain.add_argument(
+        "goal",
+        help="goal to explain, e.g. 'path(a, X)'; with --groundness a "
+        "predicate 'name/arity' or call pattern 'name(g,f)'",
+    )
+    explain.add_argument(
+        "--groundness",
+        action="store_true",
+        help="abstract-compile first and explain gp$ groundness answers",
+    )
+    explain.add_argument(
+        "--json",
+        action="store_true",
+        help="emit derivation trees as JSON instead of text",
+    )
+    explain.add_argument(
+        "--max-answers",
+        type=int,
+        default=10,
+        metavar="N",
+        help="explain at most N matching answers (default 10)",
+    )
+    explain.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="also export the evaluation's JSONL trace to PATH",
+    )
+
+    report = sub.add_parser(
+        "report", help="diff two BENCH_*.json files and flag regressions"
+    )
+    report.add_argument("old", help="baseline bench JSON")
+    report.add_argument("new", help="candidate bench JSON")
+    report.add_argument(
+        "--threshold",
+        type=float,
+        default=25.0,
+        metavar="PCT",
+        help="flag rows whose total time grew more than PCT%% (default 25)",
+    )
+    report.add_argument(
+        "--space-threshold",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="table-space growth threshold (default: same as --threshold)",
+    )
+    report.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the diff as JSON instead of a table",
+    )
+    return parser
+
+
+# ----------------------------------------------------------------------
+# explain
+
+
+def _parse_explain_goal(args, program):
+    """The goal to evaluate and the goal to explain (may differ)."""
+    from repro.core.groundness import gp_name
+    from repro.prolog.lexer import PrologSyntaxError
+    from repro.prolog.parser import parse_term
+    from repro.terms.term import Struct, fresh_var
+
+    if not args.groundness:
+        try:
+            return parse_term(args.goal), None
+        except PrologSyntaxError as exc:
+            raise SystemExit(f"cannot parse goal {args.goal!r}: {exc}")
+
+    text = args.goal.strip()
+    if "/" in text and "(" not in text:
+        name, _, arity_text = text.partition("/")
+        try:
+            arity = int(arity_text)
+        except ValueError:
+            raise SystemExit(f"bad predicate indicator {text!r}")
+        if arity == 0:
+            return gp_name(name), None
+        return Struct(gp_name(name), tuple(fresh_var() for _ in range(arity))), None
+    try:
+        pattern = parse_term(text)
+    except PrologSyntaxError as exc:
+        raise SystemExit(f"cannot parse goal {text!r}: {exc}")
+    if isinstance(pattern, str):
+        return gp_name(pattern), None
+    args_abstract = tuple(
+        "true" if a == "g" else fresh_var() for a in pattern.args
+    )
+    return Struct(gp_name(pattern.functor), args_abstract), None
+
+
+def run_explain(args, out) -> int:
+    import json as json_module
+
+    from repro.core.groundness import abstract_program
+    from repro.engine.tabling import TabledEngine
+    from repro.obs.observer import Observer, use_observer
+    from repro.obs.provenance import explain, render_derivation
+    from repro.prolog.lexer import PrologSyntaxError
+    from repro.prolog.program import load_program
+    from repro.terms.term import term_to_str
+
+    try:
+        with open(args.file, encoding="utf-8") as handle:
+            source = handle.read()
+    except OSError as exc:
+        print(f"{args.file}: cannot read: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        program = load_program(source)
+    except PrologSyntaxError as exc:
+        print(f"{args.file}:{exc.line}: syntax error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    if args.groundness:
+        program, _info = abstract_program(program)
+    goal, _ = _parse_explain_goal(args, program)
+
+    observer = Observer(provenance=True)
+    with use_observer(observer):
+        engine = TabledEngine(program, table_all=True)
+        engine.solve(goal)
+        trees = explain(engine, goal)
+
+    if args.trace_out:
+        observer.tracer.export_jsonl(args.trace_out)
+
+    if not trees:
+        print(f"no recorded answers match {term_to_str(goal)}", file=out)
+        return EXIT_OK
+    shown = trees[: args.max_answers]
+    if args.json:
+        print(
+            json_module.dumps([t.to_dict() for t in shown], indent=2), file=out
+        )
+    else:
+        print(
+            f"{len(trees)} answer(s) match {term_to_str(goal)}"
+            + (f"; showing {len(shown)}" if len(shown) < len(trees) else ""),
+            file=out,
+        )
+        for tree in shown:
+            print(file=out)
+            print(render_derivation(tree), file=out)
+    return EXIT_OK
+
+
+# ----------------------------------------------------------------------
+# report
+
+
+def run_report(args, out) -> int:
+    import json as json_module
+
+    from repro.obs.bench import (
+        BenchFormatError,
+        diff_benches,
+        format_report,
+        load_bench_file,
+    )
+
+    try:
+        old = load_bench_file(args.old)
+        new = load_bench_file(args.new)
+    except (OSError, ValueError, BenchFormatError) as exc:
+        print(f"report: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    diff = diff_benches(
+        old, new, threshold_pct=args.threshold,
+        space_threshold_pct=args.space_threshold,
+    )
+    if args.json:
+        print(json_module.dumps(diff, indent=2, sort_keys=True), file=out)
+    else:
+        print(format_report(diff), file=out)
+    return EXIT_REGRESSIONS if diff["regressions"] else EXIT_OK
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    args = build_arg_parser().parse_args(argv)
+    if args.command == "explain":
+        return run_explain(args, out)
+    return run_report(args, out)

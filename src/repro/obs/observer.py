@@ -1,0 +1,114 @@
+"""The :class:`Observer` — one run's observability bundle — and scoping.
+
+An observer ties together a :class:`~repro.obs.registry.MetricsRegistry`,
+a :class:`~repro.obs.trace.Tracer` and a provenance switch.  Engines and
+analysis drivers resolve the *current* observer at construction time
+(:func:`get_observer`); by default that is :data:`NULL_OBSERVER`, whose
+``enabled`` attribute is ``False`` — the one attribute hot paths are
+allowed to check before doing any observability work.
+
+Scoping uses a :mod:`contextvars` variable, so ``with use_observer(obs):``
+bounds exactly one run (and composes with any future thread/async
+parallelism): everything constructed inside the block reports to that
+observer's registry and tracer, and nothing outside the block can see —
+or pollute — its events.
+"""
+
+from __future__ import annotations
+
+import contextvars
+from contextlib import contextmanager, nullcontext
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+class Observer:
+    """A run-scoped bundle of registry + tracer + provenance flag.
+
+    ``provenance=True`` asks tabled engines constructed under this
+    observer to record, per answer, the clause and premise answers of
+    its first derivation (see :mod:`repro.obs.provenance`).
+    """
+
+    __slots__ = ("enabled", "registry", "tracer", "provenance")
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        provenance: bool = False,
+    ):
+        self.enabled = True
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.provenance = provenance
+
+    # convenience pass-throughs -----------------------------------------
+    def span(self, name: str, **attrs):
+        return self.tracer.span(name, **attrs)
+
+    def maybe_span(self, name: str, **attrs):
+        """A span when enabled, a no-op context otherwise (cold paths)."""
+        return self.tracer.span(name, **attrs)
+
+    def event(self, name: str, **attrs) -> None:
+        self.tracer.event(name, **attrs)
+
+    def counter(self, name: str):
+        return self.registry.counter(name)
+
+    def __repr__(self) -> str:
+        return f"Observer(provenance={self.provenance}, {self.registry!r})"
+
+
+class _NullObserver:
+    """The disabled observer: a single falsy ``enabled`` attribute.
+
+    Hot paths check ``obs.enabled`` and skip; cold paths may call
+    :meth:`maybe_span` unconditionally and get a no-op context.  There
+    is exactly one instance, :data:`NULL_OBSERVER`.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+    provenance = False
+    registry = None
+    tracer = None
+
+    def maybe_span(self, name: str, **attrs):
+        return nullcontext()
+
+    def event(self, name: str, **attrs) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "NULL_OBSERVER"
+
+
+NULL_OBSERVER = _NullObserver()
+
+_CURRENT: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_observer", default=NULL_OBSERVER
+)
+
+
+def get_observer():
+    """The observer in scope (``NULL_OBSERVER`` when none is active)."""
+    return _CURRENT.get()
+
+
+@contextmanager
+def use_observer(observer: Observer):
+    """Make ``observer`` current for the dynamic extent of the block."""
+    token = _CURRENT.set(observer)
+    try:
+        yield observer
+    finally:
+        _CURRENT.reset(token)
+
+
+def resolve_observer(obs=None):
+    """The observer an engine should adopt: explicit wins, else current."""
+    return obs if obs is not None else _CURRENT.get()

@@ -1,0 +1,130 @@
+"""Answer provenance: *why* does a tabled answer hold?
+
+When a :class:`~repro.engine.tabling.TabledEngine` runs under an
+observer with ``provenance=True``, it records — per recorded answer —
+the program clause and the premise answers of the derivation that
+*first* produced it.  This module turns those flat records into
+derivation trees: the observability analogue of the paper's
+"calls for free" claim.  Where tabling hands you every call pattern
+without a magic-sets pass, provenance hands you, per groundness fact,
+the clause-level argument for it.
+
+The engine-side records are deliberately small: per answer, a
+``(clause_info, premises)`` pair where ``clause_info`` is
+``(head_text, line)`` and each premise is ``(table_key, answer_index)``
+— a stable reference, since answer lists are append-only.  Premises
+always refer to answers recorded strictly earlier, so the provenance
+graph is acyclic by construction; :func:`explain` still carries a
+visited-set guard against records rewritten by in-table widening.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.terms.subst import EMPTY_SUBST
+from repro.terms.term import Struct, Term, term_to_str
+from repro.terms.unify import unify
+from repro.terms.variant import rename_apart, variant_key
+
+
+@dataclass
+class DerivationNode:
+    """One step of a derivation tree: an answer and how it arose."""
+
+    call: Term
+    answer: Term
+    clause_line: int | None = None
+    clause_head: str | None = None
+    premises: list["DerivationNode"] = field(default_factory=list)
+    #: False when the engine has no provenance record for this answer
+    #: (evaluation ran without provenance, or the record was widened away)
+    recorded: bool = True
+
+    @property
+    def answer_text(self) -> str:
+        return term_to_str(self.answer)
+
+    @property
+    def call_text(self) -> str:
+        return term_to_str(self.call)
+
+    def to_dict(self) -> dict:
+        return {
+            "call": self.call_text,
+            "answer": self.answer_text,
+            "clause_line": self.clause_line,
+            "clause_head": self.clause_head,
+            "recorded": self.recorded,
+            "premises": [p.to_dict() for p in self.premises],
+        }
+
+
+def explain(engine, goal: Term) -> list[DerivationNode]:
+    """Derivation trees for every recorded answer unifying with ``goal``.
+
+    ``goal`` may be a (possibly open) call — every matching answer in
+    every table of that predicate is explained — or a concrete answer
+    instance, in which case exactly its derivations come back.
+    """
+    indicator = goal.indicator if isinstance(goal, Struct) else (goal, 0)
+    nodes: list[DerivationNode] = []
+    seen: set = set()
+    for table in engine.tables_by_pred.get(indicator, ()):
+        for index, answer in enumerate(table.answers):
+            if unify(goal, rename_apart(answer), EMPTY_SUBST) is None:
+                continue
+            key = (table.key, variant_key(answer))
+            if key in seen:
+                continue
+            seen.add(key)
+            nodes.append(_build(engine, table, index, frozenset()))
+    return nodes
+
+
+def _build(engine, table, answer_index: int, visiting: frozenset) -> DerivationNode:
+    answer = table.answers[answer_index]
+    key = (table.key, variant_key(answer))
+    node = DerivationNode(call=table.call, answer=answer)
+    record = engine.provenance.get(key)
+    if record is None or key in visiting:
+        node.recorded = record is not None
+        return node
+    clause_info, premises = record
+    if clause_info is not None:
+        node.clause_head, node.clause_line = clause_info
+    visiting = visiting | {key}
+    for premise_table_key, premise_index in premises:
+        premise_table = engine.tables.get(premise_table_key)
+        if premise_table is None or premise_index >= len(premise_table.answers):
+            continue  # table dropped/rewritten (widening): skip premise
+        node.premises.append(_build(engine, premise_table, premise_index, visiting))
+    return node
+
+
+def render_derivation(node: DerivationNode, indent: str = "") -> str:
+    """A human-readable tree, one line per derivation step::
+
+        gp$qs(true,true)  [clause qs/2 @ line 3]
+          <- gp$part(true,true,true,true)  [clause part/4 @ line 7]
+          <- gp$qs(true,true)  (seen above)
+    """
+    lines = [_describe(node, indent)]
+    for premise in node.premises:
+        lines.append(render_derivation(premise, indent + "  "))
+    return "\n".join(lines)
+
+
+def _describe(node: DerivationNode, indent: str) -> str:
+    prefix = f"{indent}<- " if indent else ""
+    text = f"{prefix}{node.answer_text}"
+    if node.clause_head is not None:
+        text += f"  [clause {node.clause_head} @ line {node.clause_line}]"
+    elif node.clause_line is not None:
+        text += f"  [clause @ line {node.clause_line}]"
+    elif not node.premises:
+        if node.recorded:
+            text += "  [fact]"
+        else:
+            text += "  [no provenance recorded]"
+    return text

@@ -1,0 +1,209 @@
+"""The metrics registry: counters, gauges and timing histograms.
+
+Instruments are named with hierarchical dotted keys
+(``engine.tabled.calls``, ``magic.rewrite.rules``,
+``analysis.groundness.widenings`` ...) and created on first use; a
+registry is a plain in-process container, cheap enough that every
+:class:`~repro.engine.tabling.TabledEngine` owns one even when no
+observability is requested (the engine's per-run ``TableStats`` view is
+backed by it).  Structured *events* — degradation records, budget trips
+— live in a bounded list on the registry, which is what gives them
+per-run scoping: one registry per run means two back-to-back runs can
+never see each other's events.
+
+Everything here is zero-dependency and intentionally dumb: the hot-path
+contract of the observability layer is that engines touch bound
+:class:`Counter` objects directly (an attribute increment), not the
+registry's name lookup.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+
+class Counter:
+    """A monotonically increasing count; hot paths mutate ``value``."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A point-in-time value (table bytes, depth bound in force, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value})"
+
+
+class Timer:
+    """A duration histogram: count/total/min/max over observations."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if self.min is None or seconds < self.min:
+            self.min = seconds
+        if self.max is None or seconds > self.max:
+            self.max = seconds
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+    def __repr__(self) -> str:
+        return f"Timer({self.name}: n={self.count}, total={self.total:.6f}s)"
+
+
+class MetricsRegistry:
+    """Named instruments plus a bounded structured-event list.
+
+    ``max_events`` bounds the event list; past it, events are dropped
+    and counted in :attr:`dropped_events` rather than growing without
+    bound (the same discipline as the tracer's ring buffer).
+    """
+
+    __slots__ = ("counters", "gauges", "timers", "events", "max_events",
+                 "dropped_events", "clock")
+
+    def __init__(self, max_events: int = 1024, clock=time.perf_counter):
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.timers: dict[str, Timer] = {}
+        self.events: list[dict] = []
+        self.max_events = max_events
+        self.dropped_events = 0
+        self.clock = clock
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        instrument = self.counters.get(name)
+        if instrument is None:
+            instrument = Counter(name)
+            self.counters[name] = instrument
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self.gauges.get(name)
+        if instrument is None:
+            instrument = Gauge(name)
+            self.gauges[name] = instrument
+        return instrument
+
+    def timer(self, name: str) -> Timer:
+        instrument = self.timers.get(name)
+        if instrument is None:
+            instrument = Timer(name)
+            self.timers[name] = instrument
+        return instrument
+
+    @contextmanager
+    def time(self, name: str):
+        """Context manager observing the block's duration under ``name``."""
+        timer = self.timer(name)
+        start = self.clock()
+        try:
+            yield timer
+        finally:
+            timer.observe(self.clock() - start)
+
+    # ------------------------------------------------------------------
+    def record_event(self, kind: str, **payload) -> None:
+        """Append a structured event (``kind`` plus free-form fields)."""
+        if len(self.events) >= self.max_events:
+            self.dropped_events += 1
+            return
+        event = {"kind": kind}
+        event.update(payload)
+        self.events.append(event)
+
+    def events_of(self, kind: str) -> list[dict]:
+        return [e for e in self.events if e["kind"] == kind]
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """A JSON-ready dump of every instrument and the event list."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self.counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self.gauges.items())},
+            "timers": {n: t.as_dict() for n, t in sorted(self.timers.items())},
+            "events": list(self.events),
+            "dropped_events": self.dropped_events,
+        }
+
+    def merge_deltas_into(self, target: "MetricsRegistry", state: dict) -> None:
+        """Add this registry's growth since the last merge into ``target``.
+
+        ``state`` is caller-owned bookkeeping (last-merged values per
+        instrument).  Used by engines that keep a private per-engine
+        registry for their stats view but periodically fold the deltas
+        into an active observer's run-wide registry, so hot paths never
+        pay a second increment.
+        """
+        for name, counter in self.counters.items():
+            last = state.get(name, 0)
+            if counter.value != last:
+                target.counter(name).value += counter.value - last
+                state[name] = counter.value
+        for name, gauge in self.gauges.items():
+            target.gauge(name).value = gauge.value
+        for name, timer in self.timers.items():
+            key = ("t", name)
+            last_count, last_total = state.get(key, (0, 0.0))
+            if timer.count != last_count:
+                merged = target.timer(name)
+                merged.count += timer.count - last_count
+                merged.total += timer.total - last_total
+                if timer.min is not None and (
+                    merged.min is None or timer.min < merged.min
+                ):
+                    merged.min = timer.min
+                if timer.max is not None and (
+                    merged.max is None or timer.max > merged.max
+                ):
+                    merged.max = timer.max
+                state[key] = (timer.count, timer.total)
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry({len(self.counters)} counters, "
+            f"{len(self.gauges)} gauges, {len(self.timers)} timers, "
+            f"{len(self.events)} events)"
+        )

@@ -1,0 +1,185 @@
+"""Span-based structured tracing with bounded buffering and JSONL export.
+
+A :class:`Span` is one timed region — an engine ``solve``, an analysis
+phase, a degradation-ladder stage — with a monotonic start/end, a
+parent link, free-form attributes and a list of point *events*.  Spans
+nest via the context-manager API::
+
+    with tracer.span("analysis.groundness", program="qsort"):
+        with tracer.span("stage", stage="exact"):
+            ...
+
+Finished spans land in a bounded ring buffer (oldest dropped first), so
+tracing a long run cannot exhaust memory; :meth:`Tracer.export_jsonl`
+writes one JSON object per line, innermost-finished first — the natural
+order for reconstruction, and the order that guarantees a run killed by
+a budget trip still flushes every span that was open at the time (each
+gets the exhaustion event attached as the exception unwinds).
+
+Budget trips are recognised duck-typed — any exception carrying a
+``kind`` attribute (the :class:`~repro.runtime.budget.ResourceExhausted`
+taxonomy) is recorded as a ``resource_exhausted`` span event — so this
+module stays import-light.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+from collections import deque
+from contextlib import contextmanager
+
+
+class Span:
+    """One timed, attributed region of a run."""
+
+    __slots__ = ("name", "span_id", "parent_id", "start", "end", "attrs",
+                 "events", "status")
+
+    def __init__(self, name: str, span_id: int, parent_id: int | None,
+                 start: float, attrs: dict):
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.end = None
+        self.attrs = attrs
+        self.events: list[dict] = []
+        self.status = "ok"
+
+    @property
+    def duration(self) -> float | None:
+        return None if self.end is None else self.end - self.start
+
+    def add_event(self, name: str, **attrs) -> None:
+        event = {"name": name}
+        if attrs:
+            event.update(attrs)
+        self.events.append(event)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "status": self.status,
+            "attrs": self.attrs,
+            "events": self.events,
+        }
+
+    def __repr__(self) -> str:
+        dur = f"{self.duration * 1000:.3f}ms" if self.end is not None else "open"
+        return f"Span({self.name}, {dur}, status={self.status})"
+
+
+class Tracer:
+    """Produces nested spans; keeps the last ``capacity`` finished ones.
+
+    The clock is monotonic (:func:`time.perf_counter` by default) so
+    span math survives wall-clock adjustments.  The span stack is a
+    plain instance attribute: engines share one tracer per run and the
+    evaluation they trace is strictly nested single-threaded work.
+    """
+
+    def __init__(self, capacity: int = 4096, clock=time.perf_counter):
+        self.capacity = capacity
+        self.clock = clock
+        self.finished: deque[Span] = deque(maxlen=capacity)
+        self._stack: list[Span] = []
+        self._next_id = 1
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Span | None:
+        return self._stack[-1] if self._stack else None
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            name,
+            self._next_id,
+            None if parent is None else parent.span_id,
+            self.clock(),
+            attrs,
+        )
+        self._next_id += 1
+        self._stack.append(span)
+        try:
+            yield span
+        except BaseException as exc:
+            kind = getattr(exc, "kind", None)
+            if kind is not None:
+                # a ResourceExhausted-style budget trip: record it on
+                # every span it unwinds through so partial traces stay
+                # self-describing
+                span.status = "exhausted"
+                span.add_event(
+                    "resource_exhausted",
+                    kind=kind,
+                    spent=getattr(exc, "spent", None),
+                    limit=getattr(exc, "limit", None),
+                    injected=getattr(exc, "injected", False),
+                )
+            else:
+                span.status = "error"
+                span.add_event("error", type=type(exc).__name__)
+            raise
+        finally:
+            span.end = self.clock()
+            # usually a plain pop; generator-wrapped spans (SLD solve)
+            # can close out of order if two generators are interleaved
+            if self._stack and self._stack[-1] is span:
+                self._stack.pop()
+            else:
+                try:
+                    self._stack.remove(span)
+                except ValueError:
+                    pass
+            if len(self.finished) == self.capacity:
+                self.dropped += 1
+            self.finished.append(span)
+
+    def event(self, name: str, **attrs) -> None:
+        """Attach a point event to the innermost open span (else drop)."""
+        if self._stack:
+            self._stack[-1].add_event(name, **attrs)
+
+    # ------------------------------------------------------------------
+    def spans(self) -> list[Span]:
+        return list(self.finished)
+
+    def clear(self) -> None:
+        self.finished.clear()
+        self.dropped = 0
+
+    def export_jsonl(self, destination) -> int:
+        """Write finished spans as JSONL; returns the span count.
+
+        ``destination`` is a path or a writable text file object.
+        """
+        if isinstance(destination, (str, bytes)) or hasattr(destination, "__fspath__"):
+            with open(destination, "w", encoding="utf-8") as handle:
+                return self.export_jsonl(handle)
+        count = 0
+        for span in self.finished:
+            destination.write(json.dumps(span.to_dict(), sort_keys=True))
+            destination.write("\n")
+            count += 1
+        return count
+
+    def export_jsonl_str(self) -> str:
+        buffer = io.StringIO()
+        self.export_jsonl(buffer)
+        return buffer.getvalue()
+
+    def __repr__(self) -> str:
+        return (
+            f"Tracer({len(self.finished)} finished, {len(self._stack)} open, "
+            f"dropped={self.dropped})"
+        )

@@ -73,6 +73,29 @@ def remove_degradation_listener(listener) -> None:
 def notify_degradation(event: DegradationEvent) -> None:
     for listener in list(_LISTENERS):
         listener(event)
+    # route to the current observer (if any): the per-run record of
+    # budget trips, scoped by use_observer() rather than module state
+    from repro.obs.observer import get_observer
+
+    obs = get_observer()
+    if obs.enabled:
+        obs.registry.record_event(
+            "degradation",
+            analysis=event.analysis,
+            stage=event.stage,
+            budget_kind=event.kind,
+            spent=event.spent,
+            limit=event.limit,
+            context=event.context,
+            injected=event.injected,
+        )
+        obs.registry.counter(f"analysis.{event.analysis}.degradations").value += 1
+        obs.event(
+            "degradation",
+            analysis=event.analysis,
+            stage=event.stage,
+            kind=event.kind,
+        )
 
 
 # ----------------------------------------------------------------------
@@ -93,7 +116,7 @@ def most_general_answer(answer: Term) -> Term:
     return answer
 
 
-def top_widening_join(threshold: int = 8):
+def top_widening_join(threshold: int = 8, metric: str | None = None):
     """An ``answer_join`` hook widening any table past ``threshold``.
 
     While a table holds fewer than ``threshold`` answers, answers are
@@ -101,7 +124,12 @@ def top_widening_join(threshold: int = 8):
     the join records the single most-general answer instead, and drops
     every subsequent answer (the ⊤ answer subsumes them), so no table
     — and no consumer fan-out — grows without bound.
+
+    ``metric`` optionally names an observer counter (e.g.
+    ``analysis.groundness.widenings``) incremented each time a table is
+    actually widened to ⊤.
     """
+    from repro.obs.observer import get_observer
 
     def join(existing: list, new: Term):
         if len(existing) < threshold:
@@ -109,6 +137,10 @@ def top_widening_join(threshold: int = 8):
         top = most_general_answer(new)
         if existing and variant_key(existing[-1]) == variant_key(top):
             return []  # already widened: drop the new answer
+        if metric is not None:
+            obs = get_observer()
+            if obs.enabled:
+                obs.registry.counter(metric).value += 1
         return [top]
 
     return join

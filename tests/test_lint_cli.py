@@ -77,22 +77,44 @@ def test_json_format_emits_one_object_per_line():
     code, output = run_cli(BUGS, "--format", "json")
     assert code == EXIT_ERRORS
     rows = [json.loads(line) for line in output.splitlines()]
-    assert rows, "expected diagnostics"
+    diagnostics = [row for row in rows if "rule" in row]
+    assert diagnostics, "expected diagnostics"
     assert all(
         set(row) == {
             "file", "line", "rule", "severity", "message",
             "predicate", "clause", "witness",
         }
-        for row in rows
+        for row in diagnostics
     )
     certain = [
-        row for row in rows
+        row for row in diagnostics
         if row["rule"] == "instantiation-error" and row["severity"] == "error"
     ]
     assert certain and certain[0]["line"] == 10
     assert certain[0]["file"] == BUGS
     assert certain[0]["witness"] == "area(f)"
     assert certain[0]["predicate"] == "area/1"
+
+
+def test_json_format_appends_timing_row():
+    _, output = run_cli(BUGS, "--format", "json")
+    rows = [json.loads(line) for line in output.splitlines()]
+    timing_rows = [row for row in rows if "timings" in row]
+    assert len(timing_rows) == 1
+    assert rows[-1] == timing_rows[0]  # always the last line per file
+    timings = timing_rows[0]["timings"]
+    assert timing_rows[0]["file"] == BUGS
+    # the per-pass breakdown from the mode checker rides along
+    for key in (
+        "modecheck",
+        "modecheck.groundness_backend",
+        "modecheck.adornment",
+        "clause_checks",
+    ):
+        assert key in timings and timings[key] >= 0.0
+    # text format stays free of the timing row
+    _, text_output = run_cli(BUGS)
+    assert "timings" not in text_output
 
 
 def test_strict_fails_on_warnings(tmp_path):
@@ -110,7 +132,9 @@ def test_strict_clean_file_still_exits_zero(tmp_path):
     clean.write_text("p(1).\np(2).\nq(X) :- p(X).\n")
     code, output = run_cli(str(clean), "--strict", "--format", "json")
     assert code == EXIT_OK
-    assert output == ""
+    # no diagnostics: only the timing row remains
+    rows = [json.loads(line) for line in output.splitlines()]
+    assert [set(row) for row in rows] == [{"file", "timings"}]
 
 
 def test_no_modecheck_suppresses_flow_rules():

@@ -1,0 +1,114 @@
+"""The metrics registry: instruments, events, snapshots, delta merging."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, Observer, use_observer
+from repro.obs.observer import NULL_OBSERVER, get_observer, resolve_observer
+
+
+def test_instruments_are_created_on_first_use_and_cached():
+    registry = MetricsRegistry()
+    counter = registry.counter("engine.tabled.calls")
+    counter.inc()
+    counter.value += 2
+    assert registry.counter("engine.tabled.calls") is counter
+    assert registry.counter("engine.tabled.calls").value == 3
+    gauge = registry.gauge("engine.tabled.table_space_bytes")
+    gauge.set(512)
+    assert registry.gauge("engine.tabled.table_space_bytes").value == 512
+
+
+def test_timer_histogram_tracks_count_total_min_max():
+    registry = MetricsRegistry()
+    timer = registry.timer("analysis.groundness.analysis")
+    for seconds in (0.25, 0.5, 0.125):
+        timer.observe(seconds)
+    assert timer.count == 3
+    assert timer.total == pytest.approx(0.875)
+    assert timer.min == 0.125 and timer.max == 0.5
+    assert timer.mean == pytest.approx(0.875 / 3)
+
+
+def test_time_context_manager_observes_even_on_error():
+    registry = MetricsRegistry()
+    with pytest.raises(RuntimeError):
+        with registry.time("magic.rewrite.magic"):
+            raise RuntimeError("boom")
+    assert registry.timer("magic.rewrite.magic").count == 1
+
+
+def test_event_list_is_bounded():
+    registry = MetricsRegistry(max_events=3)
+    for i in range(5):
+        registry.record_event("degradation", stage=f"s{i}")
+    assert len(registry.events) == 3
+    assert registry.dropped_events == 2
+    assert [e["stage"] for e in registry.events_of("degradation")] == [
+        "s0", "s1", "s2",
+    ]
+
+
+def test_snapshot_is_json_shaped():
+    import json
+
+    registry = MetricsRegistry()
+    registry.counter("a.b").inc(7)
+    registry.gauge("a.g").set(3)
+    registry.timer("a.t").observe(0.5)
+    registry.record_event("degradation", analysis="groundness")
+    snap = registry.snapshot()
+    assert json.loads(json.dumps(snap)) == snap
+    assert snap["counters"]["a.b"] == 7
+    assert snap["timers"]["a.t"]["count"] == 1
+
+
+def test_merge_deltas_folds_growth_exactly_once():
+    private, shared, state = MetricsRegistry(), MetricsRegistry(), {}
+    private.counter("engine.tabled.tasks").value = 10
+    private.timer("solve").observe(1.0)
+    private.merge_deltas_into(shared, state)
+    # a second merge with no growth adds nothing
+    private.merge_deltas_into(shared, state)
+    assert shared.counter("engine.tabled.tasks").value == 10
+    assert shared.timer("solve").count == 1
+    # further growth merges only the delta
+    private.counter("engine.tabled.tasks").value = 25
+    private.timer("solve").observe(0.5)
+    private.merge_deltas_into(shared, state)
+    assert shared.counter("engine.tabled.tasks").value == 25
+    assert shared.timer("solve").count == 2
+    assert shared.timer("solve").total == pytest.approx(1.5)
+
+
+def test_merge_deltas_into_two_targets_independently():
+    private = MetricsRegistry()
+    private.counter("x").value = 4
+    a, b = MetricsRegistry(), MetricsRegistry()
+    state_a, state_b = {}, {}
+    private.merge_deltas_into(a, state_a)
+    private.counter("x").value = 6
+    private.merge_deltas_into(b, state_b)
+    assert a.counter("x").value == 4
+    assert b.counter("x").value == 6
+
+
+def test_observer_context_scoping():
+    assert get_observer() is NULL_OBSERVER
+    assert not NULL_OBSERVER.enabled
+    observer = Observer()
+    with use_observer(observer):
+        assert get_observer() is observer
+        inner = Observer()
+        with use_observer(inner):
+            assert get_observer() is inner
+        assert get_observer() is observer
+    assert get_observer() is NULL_OBSERVER
+
+
+def test_resolve_observer_prefers_explicit():
+    ambient = Observer()
+    explicit = Observer()
+    with use_observer(ambient):
+        assert resolve_observer(None) is ambient
+        assert resolve_observer(explicit) is explicit
+        assert resolve_observer(NULL_OBSERVER) is NULL_OBSERVER

@@ -1,0 +1,160 @@
+"""Structured tracing: nesting, ring bounds, JSONL export, crash flush.
+
+The crash-flush tests are the observability contract for degraded runs:
+an evaluation killed by a budget trip must still leave a well-formed
+JSONL trace whose spans carry the ``resource_exhausted`` event.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import Observer, Tracer, use_observer
+from repro.prolog import load_program, parse_term
+from repro.runtime import (
+    Budget,
+    DeadlineExceeded,
+    ResourceGovernor,
+    TableSpaceExceeded,
+    TaskBudgetExceeded,
+)
+
+PATH = """
+:- table path/2.
+edge(a, b). edge(b, c). edge(c, d).
+path(X, Y) :- edge(X, Y).
+path(X, Y) :- path(X, Z), edge(Z, Y).
+"""
+
+
+def make_clock(start=0.0):
+    state = {"now": start}
+
+    def clock():
+        state["now"] += 1.0
+        return state["now"]
+
+    return clock
+
+
+def test_spans_nest_and_record_parentage():
+    tracer = Tracer(clock=make_clock())
+    with tracer.span("outer", goal="p(X)") as outer:
+        with tracer.span("inner") as inner:
+            tracer.event("tick", n=1)
+    assert inner.parent_id == outer.span_id
+    assert outer.parent_id is None
+    assert inner.events == [{"name": "tick", "n": 1}]
+    # innermost finished first
+    assert [s.name for s in tracer.spans()] == ["inner", "outer"]
+    assert all(s.duration is not None and s.duration > 0 for s in tracer.spans())
+
+
+def test_ring_buffer_drops_oldest():
+    tracer = Tracer(capacity=4)
+    for i in range(10):
+        with tracer.span(f"s{i}"):
+            pass
+    assert [s.name for s in tracer.spans()] == ["s6", "s7", "s8", "s9"]
+    assert tracer.dropped == 6
+
+
+def test_error_status_and_event():
+    tracer = Tracer()
+    with pytest.raises(ValueError):
+        with tracer.span("work"):
+            raise ValueError("nope")
+    (span,) = tracer.spans()
+    assert span.status == "error"
+    assert span.events[0]["name"] == "error"
+    assert span.events[0]["type"] == "ValueError"
+
+
+def test_export_jsonl_roundtrips():
+    tracer = Tracer(clock=make_clock())
+    with tracer.span("a", x=1):
+        with tracer.span("b"):
+            pass
+    lines = tracer.export_jsonl_str().splitlines()
+    rows = [json.loads(line) for line in lines]
+    assert [r["name"] for r in rows] == ["b", "a"]
+    assert rows[1]["attrs"] == {"x": 1}
+    assert all(r["end"] >= r["start"] for r in rows)
+
+
+def test_export_jsonl_to_path(tmp_path):
+    tracer = Tracer()
+    with tracer.span("only"):
+        pass
+    destination = tmp_path / "trace.jsonl"
+    assert tracer.export_jsonl(destination) == 1
+    assert json.loads(destination.read_text())["name"] == "only"
+
+
+# ----------------------------------------------------------------------
+# Crash flush: budget trips leave complete, self-describing traces
+
+
+def _run_to_exhaustion(budget, expected):
+    from repro.engine import TabledEngine
+
+    observer = Observer()
+    with use_observer(observer):
+        # poll_interval=1 so even this tiny program trips the deadline
+        engine = TabledEngine(
+            load_program(PATH),
+            governor=ResourceGovernor(budget=budget, poll_interval=1),
+        )
+        with pytest.raises(expected):
+            engine.solve(parse_term("path(X, Y)"))
+    return observer
+
+
+@pytest.mark.parametrize(
+    "budget,expected,kind",
+    [
+        (Budget(deadline=1e-9), DeadlineExceeded, "deadline"),
+        (Budget(table_bytes=64), TableSpaceExceeded, "table_bytes"),
+        (Budget(tasks=4), TaskBudgetExceeded, "tasks"),
+    ],
+)
+def test_killed_run_flushes_well_formed_jsonl(budget, expected, kind):
+    observer = _run_to_exhaustion(budget, expected)
+    text = observer.tracer.export_jsonl_str()
+    rows = [json.loads(line) for line in text.splitlines()]
+    assert rows, "killed run exported no spans"
+    # every line parsed (well-formed JSONL); the solve span is last out
+    # (outermost) and carries the exhaustion marker
+    last = rows[-1]
+    assert last["name"] == "engine.tabled.solve"
+    assert last["status"] == "exhausted"
+    assert last["end"] is not None
+    exhausted = [e for e in last["events"] if e["name"] == "resource_exhausted"]
+    assert exhausted and exhausted[0]["kind"] == kind
+    assert exhausted[0]["limit"] is not None
+
+
+def test_killed_run_still_merges_metrics():
+    observer = _run_to_exhaustion(Budget(tasks=4), TaskBudgetExceeded)
+    # the finally-path merge ran: the partial run's consumption is visible
+    # (the counter ticks before the charge that trips, hence >=)
+    assert observer.registry.counter("engine.tabled.tasks").value >= 4
+    assert observer.registry.gauge("engine.tabled.table_space_bytes").value > 0
+
+
+def test_injected_faults_are_marked_in_trace():
+    from repro.engine import TabledEngine
+    from repro.runtime import FaultInjector
+
+    observer = Observer()
+    with use_observer(observer):
+        engine = TabledEngine(
+            load_program(PATH),
+            governor=ResourceGovernor(fault=FaultInjector("tasks", at=3)),
+        )
+        with pytest.raises(DeadlineExceeded):
+            engine.solve(parse_term("path(X, Y)"))
+    rows = [json.loads(l) for l in observer.tracer.export_jsonl_str().splitlines()]
+    events = [e for r in rows for e in r["events"]
+              if e["name"] == "resource_exhausted"]
+    assert events and all(e["injected"] for e in events)

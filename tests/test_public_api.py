@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.imperative",
     "repro.benchdata",
     "repro.harness",
+    "repro.obs",
 ]
 
 

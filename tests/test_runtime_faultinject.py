@@ -208,13 +208,45 @@ def test_degradation_listener_sees_events(qsort_program):
     assert seen[0].kind == "deadline" and seen[0].injected
 
 
-def test_harness_metrics_records_degradations(qsort_program):
-    from repro.harness import metrics
+def test_observer_registry_records_degradations(qsort_program):
+    from repro.obs import Observer, use_observer
 
-    metrics.clear_degradation_events()
-    analyze_groundness(qsort_program, fault=FaultInjector("tasks", 5, times=2))
-    assert [e.stage for e in metrics.DEGRADATION_EVENTS] == ["exact", "widened"]
-    metrics.clear_degradation_events()
+    observer = Observer()
+    with use_observer(observer):
+        analyze_groundness(qsort_program, fault=FaultInjector("tasks", 5, times=2))
+    events = observer.registry.events_of("degradation")
+    assert [e["stage"] for e in events] == ["exact", "widened"]
+    assert all(e["analysis"] == "groundness" for e in events)
+    assert all(e["injected"] for e in events)
+
+
+def test_degradation_events_scoped_per_run(qsort_program):
+    """Two back-to-back runs never see each other's degradation events."""
+    from repro.obs import Observer, use_observer
+
+    first = Observer()
+    with use_observer(first):
+        analyze_groundness(qsort_program, fault=FaultInjector("tasks", 5, times=1))
+    second = Observer()
+    with use_observer(second):
+        analyze_groundness(qsort_program)
+    assert [e["stage"] for e in first.registry.events_of("degradation")] == ["exact"]
+    assert second.registry.events_of("degradation") == []
+
+
+def test_row_helper_scopes_degradations_per_row(qsort_program):
+    from repro.benchdata.loader import prolog_benchmark_source
+    from repro.harness import groundness_row
+
+    source = prolog_benchmark_source("qsort")
+    row1, _ = groundness_row(
+        "qsort", source, fault=FaultInjector("tasks", 5, times=2)
+    )
+    row2, _ = groundness_row("qsort", source)
+    stages1 = [e["stage"] for e in row1.extra["degradation_events"]]
+    assert stages1 == ["exact", "widened"]
+    # the second, un-faulted row starts clean: no leaked events
+    assert row2.extra["degradation_events"] == []
 
 
 # ----------------------------------------------------------------------
