@@ -77,6 +77,16 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="wall-clock budget for the mode checker (it degrades "
         "gracefully instead of failing when exceeded)",
     )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        metavar="N",
+        help="lint files in N worker processes (0 = one per core); "
+        "diagnostics, output order and exit codes are identical to a "
+        "serial run",
+    )
     return parser
 
 
@@ -109,44 +119,87 @@ def lint_file(
     return report, None
 
 
+def lint_payload(
+    path: str,
+    query_text: str | None,
+    modes: bool = True,
+    deadline: float | None = None,
+) -> dict:
+    """Lint one file into a JSON-able payload (the corpus-task shape).
+
+    The same dict whether produced in-process or by a
+    :func:`repro.parallel.map_corpus` worker, so serial and ``--jobs N``
+    runs emit identical output.
+    """
+    report, fatal = lint_file(path, query_text, modes=modes, deadline=deadline)
+    if fatal is not None:
+        return {"fatal": fatal}
+    ordered = report.sorted()
+    return {
+        "fatal": None,
+        "rows": [d.to_dict() for d in ordered],
+        "texts": [d.format() for d in ordered],
+        "errors": len(report.errors()),
+        "warnings": len(report.warnings()),
+        "timings": dict(report.timings),
+    }
+
+
 def main(argv: list[str] | None = None, out=None) -> int:
     out = out if out is not None else sys.stdout
     args = build_arg_parser().parse_args(argv)
-    exit_code = EXIT_OK
-    for path in args.files:
-        report, fatal = lint_file(
-            path,
-            args.query,
-            modes=not args.no_modecheck,
-            deadline=args.deadline,
+    modes = not args.no_modecheck
+    if args.jobs != 1 and len(args.files) > 1:
+        from repro.parallel.corpus import map_corpus
+
+        results = map_corpus(
+            args.files,
+            task="lint",
+            jobs=args.jobs,
+            options={
+                "query": args.query,
+                "modes": modes,
+                "deadline": args.deadline,
+            },
         )
-        if fatal is not None:
-            print(fatal, file=out)
+        payloads = (
+            (r.path, r.payload if r.error is None else {"fatal": r.error})
+            for r in results
+        )
+    else:
+        payloads = (
+            (path, lint_payload(path, args.query, modes, args.deadline))
+            for path in args.files
+        )
+    exit_code = EXIT_OK
+    for path, payload in payloads:
+        if payload["fatal"] is not None:
+            print(payload["fatal"], file=out)
             return EXIT_USAGE
-        for diagnostic in report.sorted():
-            if args.errors_only and diagnostic.severity != Severity.ERROR:
+        for row, text in zip(payload["rows"], payload["texts"]):
+            if args.errors_only and row["severity"] != str(Severity.ERROR):
                 continue
             if args.format == "json":
-                print(json.dumps(diagnostic.to_dict(), sort_keys=True), file=out)
+                print(json.dumps(row, sort_keys=True), file=out)
             else:
-                print(diagnostic.format(), file=out)
+                print(text, file=out)
         if args.format == "json":
             # trailing per-file timing row; distinguished from the
             # diagnostic rows by the "timings" key (no "rule" key)
             print(
                 json.dumps(
-                    {"file": path, "timings": report.timings}, sort_keys=True
+                    {"file": path, "timings": payload["timings"]}, sort_keys=True
                 ),
                 file=out,
             )
         if args.summary:
             print(
-                f"{path}: {len(report.errors())} error(s), "
-                f"{len(report.warnings())} warning(s)",
+                f"{path}: {payload['errors']} error(s), "
+                f"{payload['warnings']} warning(s)",
                 file=out,
             )
-        if report.has_errors():
+        if payload["errors"]:
             exit_code = EXIT_ERRORS
-        elif args.strict and report.warnings():
+        elif args.strict and payload["warnings"]:
             exit_code = EXIT_ERRORS
     return exit_code

@@ -40,6 +40,11 @@ rule id                     severity  finding
                                       query (only with a query)
 ``dynamic-goal``            info      call through an unbound variable
                                       (unanalyzable)
+``scc-entangled``           info      nearly every defined predicate
+                                      shares one SCC: the condensation
+                                      has no layering, so SCC-guided
+                                      and parallel evaluation degrade
+                                      to the flat loop
 ==========================  ========  ==================================
 
 The flow-sensitive rules come from :mod:`repro.analysis.modecheck`
@@ -95,6 +100,7 @@ def lint_program(
     t0 = clock()
     report.extend(_undefined_calls(program, graph))
     report.extend(unstratified_sites(graph))
+    report.extend(_entangled_condensation(program, graph))
     report.timings["graph_checks"] = clock() - t0
     t0 = clock()
     report.extend(_clause_checks(program, graph, mode_report))
@@ -182,6 +188,52 @@ def _undefined_calls(program: Program, graph: DependencyGraph) -> list[Diagnosti
             )
         )
     return out
+
+
+def _entangled_condensation(
+    program: Program, graph: DependencyGraph
+) -> list[Diagnostic]:
+    """Flag a condensation collapsed into (essentially) one component.
+
+    Supplementary-magic guard predicates are the classic cause on
+    qsort-like programs: guards call answers and answers call guards,
+    so every predicate lands in a single SCC and both the layering the
+    SCC-guided engine exploits and the parallelism of the condensation
+    scheduler are lost.  The note is informational — the program is
+    still correct — but it explains why ``max_workers`` buys nothing
+    and points at the guard/answer-splitting rewrite (DESIGN.md) that
+    would recover structure.
+    """
+    defined = [ind for ind in program.predicates() if program.clauses_for(ind)]
+    if len(defined) < 3:
+        return []
+    components = graph.sccs()
+    largest = max(components, key=len)
+    entangled = [ind for ind in largest if program.clauses_for(ind)]
+    if len(entangled) < max(3, -(-len(defined) * 4 // 5)):  # >= ceil(80%)
+        return []
+    lines = [
+        clause.line
+        for ind in entangled
+        for clause in program.clauses_for(ind)[:1]
+    ]
+    return [
+        Diagnostic(
+            "scc-entangled",
+            Severity.INFO,
+            f"{len(entangled)} of {len(defined)} defined predicates share "
+            "one strongly connected component; the dependency "
+            "condensation has no layering, so SCC-guided evaluation "
+            "degrades to the flat loop and the parallel component "
+            "scheduler finds no independent work (guard predicates of "
+            "the supplementary-magic rewrite commonly entangle answers "
+            "this way; splitting guards from answers recovers the "
+            "structure)",
+            None,
+            None,
+            min(lines, default=0),
+        )
+    ]
 
 
 def _clause_checks(

@@ -18,6 +18,14 @@ body positions.  ``scc=False`` selects the flat whole-program loop
 model, the SCC mode with strictly fewer rule applications on layered
 programs (compare :attr:`BottomUpEngine.rule_firings`).
 
+Independent condensation components can additionally evaluate
+*concurrently*: ``max_workers`` > 1 hands the component DAG to the
+ready-set scheduler of :mod:`repro.parallel.scheduler`.  Each
+predicate lives in exactly one component, a component only reads
+relations of completed callee components, and work counters fold per
+component — so parallel evaluation is bit-for-bit deterministic
+(identical fact stores, orders and totals for any worker count).
+
 Supported programs: definite clauses whose body literals are user
 predicates or deterministic builtins.  Derived facts may contain
 variables (non-ground facts are stored canonically), which the
@@ -68,6 +76,23 @@ class _Rule:
         ]
 
 
+class _CompStats:
+    """Per-component work counters, folded into the engine at join.
+
+    Workers evaluating independent components concurrently must not
+    race the engine-level totals; each component accumulates here and
+    the engine folds components in index order (the sums are
+    commutative, so the totals equal the serial walk's exactly).
+    """
+
+    __slots__ = ("rounds", "rule_firings", "derivations")
+
+    def __init__(self):
+        self.rounds = 0
+        self.rule_firings = 0
+        self.derivations = 0
+
+
 class BottomUpEngine:
     """Semi-naive evaluation of a definite program's minimal model.
 
@@ -76,6 +101,16 @@ class BottomUpEngine:
     ``rounds`` counts semi-naive iterations and ``rule_firings`` counts
     rule applications (one delta-join pass over one rule) — the metric
     the SCC schedule reduces.
+
+    ``max_workers`` > 1 evaluates *independent* condensation
+    components concurrently on a thread pool (ready-set scheduling
+    over :meth:`~repro.analysis.depgraph.DependencyGraph.condensation_edges`);
+    each predicate belongs to exactly one component and a component
+    starts only after every callee component completed, so workers
+    write disjoint relations and read only finished ones — the fact
+    stores, their order, and the work counters are bit-for-bit
+    identical for any worker count.  The default ``max_workers=1`` is
+    exactly the sequential walk.
     """
 
     def __init__(
@@ -85,6 +120,7 @@ class BottomUpEngine:
         scc: bool = True,
         governor=None,
         obs=None,
+        max_workers: int = 1,
     ):
         self.program = program
         self.max_rounds = max_rounds
@@ -95,11 +131,13 @@ class BottomUpEngine:
             governor = ResourceGovernor(Budget(rounds=max_rounds))
         self.governor = governor
         self.obs = resolve_observer(obs)
+        self.max_workers = max(1, int(max_workers)) if max_workers else 1
         self.relations: dict[Indicator, _Relation] = {}
         self.rounds = 0
         self.derivations = 0
         self.rule_firings = 0
         self.scc_count = 0
+        self.condensation = None
         self._evaluated = False
 
     # ------------------------------------------------------------------
@@ -110,7 +148,9 @@ class BottomUpEngine:
         obs = self.obs
         if not obs.enabled:
             return self._evaluate()
-        with obs.span("engine.bottomup.evaluate", scc=self.scc) as span:
+        with obs.span(
+            "engine.bottomup.evaluate", scc=self.scc, max_workers=self.max_workers
+        ) as span:
             rounds0 = self.rounds
             derivations0 = self.derivations
             firings0 = self.rule_firings
@@ -172,6 +212,7 @@ class BottomUpEngine:
 
     def _evaluate_by_scc(self, rules: list[_Rule], initial) -> None:
         from repro.analysis.depgraph import DependencyGraph
+        from repro.parallel.scheduler import condensation_profile
 
         graph = DependencyGraph(self.program)
         components = graph.sccs()  # callees before callers
@@ -181,27 +222,115 @@ class BottomUpEngine:
         for rule in rules:
             rules_by_scc.setdefault(index[rule.indicator], []).append(rule)
 
-        for position, component in enumerate(components):
-            members = set(component)
-            delta: list[Term] = []
-            for indicator in component:
-                delta.extend(initial.get(indicator, ()))
-            recursive: list[tuple[_Rule, list[int]]] = []
-            for rule in rules_by_scc.get(position, ()):
-                scc_positions = [
-                    i
-                    for i in rule.user_positions
-                    if _indicator(rule.body[i]) in members
-                ]
-                if scc_positions:
-                    recursive.append((rule, scc_positions))
-                else:
-                    # every dependency is already complete: fire once
-                    self._fire_full(rule, delta)
-            if recursive:
-                self._seminaive(recursive, delta)
+        edges = graph.condensation_edges()
+        profile = condensation_profile(len(components), edges)
+        profile["largest_component"] = max(
+            (len(component) for component in components), default=0
+        )
+        self.condensation = profile
+        if self.obs.enabled:
+            registry = self.obs.registry
+            registry.gauge("engine.scc.condensation_width").set(profile["width"])
+            registry.gauge("engine.scc.largest_component").set(
+                profile["largest_component"]
+            )
+            registry.gauge("engine.scc.components").set(profile["components"])
 
-    def _seminaive(self, recursive: list, delta: list[Term]) -> None:
+        if self.max_workers > 1 and len(components) > 1:
+            self._evaluate_components_parallel(
+                components, edges, rules_by_scc, initial
+            )
+            return
+        for position, component in enumerate(components):
+            stats = _CompStats()
+            try:
+                self._evaluate_component(
+                    component, rules_by_scc.get(position, ()), initial, stats
+                )
+            finally:
+                self._fold_stats(stats)
+
+    def _evaluate_component(
+        self, component, component_rules, initial, stats: _CompStats
+    ) -> None:
+        """Evaluate one SCC against already-complete callee relations."""
+        members = set(component)
+        delta: list[Term] = []
+        for indicator in component:
+            delta.extend(initial.get(indicator, ()))
+        recursive: list[tuple[_Rule, list[int]]] = []
+        for rule in component_rules:
+            scc_positions = [
+                i
+                for i in rule.user_positions
+                if _indicator(rule.body[i]) in members
+            ]
+            if scc_positions:
+                recursive.append((rule, scc_positions))
+            else:
+                # every dependency is already complete: fire once
+                self._fire_full(rule, delta, stats)
+        if recursive:
+            self._seminaive(recursive, delta, stats)
+
+    def _evaluate_components_parallel(
+        self, components, edges, rules_by_scc, initial
+    ) -> None:
+        """Ready-set schedule: independent components on worker threads.
+
+        Workers touch only their own component's relations (pre-created
+        here so the shared dict is never resized concurrently) and
+        their own :class:`_CompStats`; the governor is switched to
+        locked charging; on the first worker error the governor is
+        cancelled so siblings trip cooperatively, and partial stats
+        still fold so exhausted runs report their spend.
+        """
+        from repro.parallel.scheduler import run_condensation_schedule
+
+        precreated = []
+        for rule_list in rules_by_scc.values():
+            for rule in rule_list:
+                if rule.indicator not in self.relations:
+                    precreated.append(rule.indicator)
+                    self._relation(rule.indicator)
+        governor = self.governor
+        if governor is not None:
+            governor.make_thread_safe()
+        stats_by_component = [_CompStats() for _ in components]
+
+        def run(position):
+            self._evaluate_component(
+                components[position],
+                rules_by_scc.get(position, ()),
+                initial,
+                stats_by_component[position],
+            )
+
+        try:
+            run_condensation_schedule(
+                len(components),
+                edges,
+                run,
+                self.max_workers,
+                on_abort=None if governor is None else governor.cancel,
+            )
+        finally:
+            for stats in stats_by_component:
+                self._fold_stats(stats)
+            # drop rule-head relations that never derived a fact, so the
+            # store matches the serial walk's exactly (which creates a
+            # relation only on first derivation)
+            for indicator in precreated:
+                if not self.relations[indicator].facts:
+                    del self.relations[indicator]
+
+    def _fold_stats(self, stats: _CompStats) -> None:
+        self.rounds += stats.rounds
+        self.rule_firings += stats.rule_firings
+        self.derivations += stats.derivations
+
+    def _seminaive(self, recursive: list, delta: list[Term],
+                   stats: _CompStats) -> None:
         """Delta iteration over one recursive component."""
         by_pred: dict[Indicator, list] = {}
         for entry in recursive:
@@ -209,7 +338,7 @@ class BottomUpEngine:
             for i in scc_positions:
                 by_pred.setdefault(_indicator(rule.body[i]), []).append(entry)
         while delta:
-            self.rounds += 1
+            stats.rounds += 1
             if self.governor is not None:
                 self.governor.charge("rounds", delta[0])
             delta_keys = {variant_key(f) for f in delta}
@@ -224,24 +353,32 @@ class BottomUpEngine:
                         continue
                     seen.add(id(entry))
                     rule, scc_positions = entry
-                    self._fire(rule, scc_positions, delta_keys, delta_by_pred, next_delta)
+                    self._fire(rule, scc_positions, delta_keys, delta_by_pred,
+                               next_delta, stats)
             delta = next_delta
 
     # ------------------------------------------------------------------
     # Flat evaluation: the original whole-program loop (ablation baseline).
 
     def _evaluate_flat(self, rules: list[_Rule], initial) -> None:
+        stats = _CompStats()
+        try:
+            self._evaluate_flat_inner(rules, initial, stats)
+        finally:
+            self._fold_stats(stats)
+
+    def _evaluate_flat_inner(self, rules, initial, stats: _CompStats) -> None:
         delta: list[Term] = [f for group in initial.values() for f in group]
         by_pred: dict[Indicator, list[_Rule]] = {}
         for rule in rules:
             if not rule.user_positions:
                 # builtin-only body: derivable immediately, no delta to wait on
-                self._fire_full(rule, delta)
+                self._fire_full(rule, delta, stats)
                 continue
             for i in rule.user_positions:
                 by_pred.setdefault(_indicator(rule.body[i]), []).append(rule)
         while delta:
-            self.rounds += 1
+            stats.rounds += 1
             if self.governor is not None:
                 self.governor.charge("rounds", delta[0])
             delta_keys = {variant_key(f) for f in delta}
@@ -256,7 +393,8 @@ class BottomUpEngine:
                         continue
                     seen_rules.add(id(rule))
                     self._fire(
-                        rule, rule.user_positions, delta_keys, delta_by_pred, next_delta
+                        rule, rule.user_positions, delta_keys, delta_by_pred,
+                        next_delta, stats
                     )
             delta = next_delta
 
@@ -268,16 +406,18 @@ class BottomUpEngine:
             self.relations[indicator] = relation
         return relation
 
-    def _fire_full(self, rule: _Rule, next_delta: list[Term]) -> None:
+    def _fire_full(self, rule: _Rule, next_delta: list[Term],
+                   stats: _CompStats) -> None:
         """Apply a rule once, joining every position against the store."""
-        self.rule_firings += 1
+        stats.rule_firings += 1
         if self.governor is not None:
             self.governor.poll(rule.head)
         renamed = rename_apart(Struct("$rule", (rule.head, *rule.body)))
         head, body = renamed.args[0], list(renamed.args[1:])
-        self._join(rule, head, body, 0, EMPTY_SUBST, None, None, next_delta)
+        self._join(rule, head, body, 0, EMPTY_SUBST, None, None, next_delta, stats)
 
-    def _fire(self, rule: _Rule, positions, delta_keys, delta_by_pred, next_delta):
+    def _fire(self, rule: _Rule, positions, delta_keys, delta_by_pred,
+              next_delta, stats: _CompStats):
         """Semi-naive firing: require >= 1 delta fact among body matches.
 
         For each eligible body position (``positions``), join that
@@ -287,7 +427,7 @@ class BottomUpEngine:
         for delta_position in positions:
             if _indicator(rule.body[delta_position]) not in delta_by_pred:
                 continue
-            self.rule_firings += 1
+            stats.rule_firings += 1
             if self.governor is not None:
                 self.governor.poll(rule.head)
             renamed = rename_apart(Struct("$rule", (rule.head, *rule.body)))
@@ -301,6 +441,7 @@ class BottomUpEngine:
                 delta_position,
                 delta_keys,
                 next_delta,
+                stats,
             )
 
     def _join(
@@ -313,10 +454,11 @@ class BottomUpEngine:
         delta_position,
         delta_keys,
         next_delta,
+        stats: _CompStats,
     ):
         if position == len(body):
             fact = canonical(head, subst)
-            self.derivations += 1
+            stats.derivations += 1
             if self._relation(rule.indicator).add(fact):
                 next_delta.append(fact)
             return
@@ -333,6 +475,7 @@ class BottomUpEngine:
                     delta_position,
                     delta_keys,
                     next_delta,
+                    stats,
                 )
             return
         relation = self.relations.get(lit_ind)
@@ -352,6 +495,7 @@ class BottomUpEngine:
                     delta_position,
                     delta_keys,
                     next_delta,
+                    stats,
                 )
 
 

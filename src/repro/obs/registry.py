@@ -19,6 +19,7 @@ registry's name lookup.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 
@@ -98,10 +99,17 @@ class MetricsRegistry:
     ``max_events`` bounds the event list; past it, events are dropped
     and counted in :attr:`dropped_events` rather than growing without
     bound (the same discipline as the tracer's ring buffer).
+
+    Instrument *creation* and event recording are serialised behind a
+    lock, so threads sharing one registry can never lose a counter to a
+    create/create race.  Increments on an already-bound instrument stay
+    lock-free — parallel evaluators that need exact totals either fold
+    per-worker registries at join (:meth:`merge_deltas_into`,
+    :meth:`merge_snapshot`) or keep each instrument single-writer.
     """
 
     __slots__ = ("counters", "gauges", "timers", "events", "max_events",
-                 "dropped_events", "clock")
+                 "dropped_events", "clock", "_lock")
 
     def __init__(self, max_events: int = 1024, clock=time.perf_counter):
         self.counters: dict[str, Counter] = {}
@@ -111,27 +119,37 @@ class MetricsRegistry:
         self.max_events = max_events
         self.dropped_events = 0
         self.clock = clock
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def counter(self, name: str) -> Counter:
         instrument = self.counters.get(name)
         if instrument is None:
-            instrument = Counter(name)
-            self.counters[name] = instrument
+            with self._lock:
+                instrument = self.counters.get(name)
+                if instrument is None:
+                    instrument = Counter(name)
+                    self.counters[name] = instrument
         return instrument
 
     def gauge(self, name: str) -> Gauge:
         instrument = self.gauges.get(name)
         if instrument is None:
-            instrument = Gauge(name)
-            self.gauges[name] = instrument
+            with self._lock:
+                instrument = self.gauges.get(name)
+                if instrument is None:
+                    instrument = Gauge(name)
+                    self.gauges[name] = instrument
         return instrument
 
     def timer(self, name: str) -> Timer:
         instrument = self.timers.get(name)
         if instrument is None:
-            instrument = Timer(name)
-            self.timers[name] = instrument
+            with self._lock:
+                instrument = self.timers.get(name)
+                if instrument is None:
+                    instrument = Timer(name)
+                    self.timers[name] = instrument
         return instrument
 
     @contextmanager
@@ -147,12 +165,13 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     def record_event(self, kind: str, **payload) -> None:
         """Append a structured event (``kind`` plus free-form fields)."""
-        if len(self.events) >= self.max_events:
-            self.dropped_events += 1
-            return
-        event = {"kind": kind}
-        event.update(payload)
-        self.events.append(event)
+        with self._lock:
+            if len(self.events) >= self.max_events:
+                self.dropped_events += 1
+                return
+            event = {"kind": kind}
+            event.update(payload)
+            self.events.append(event)
 
     def events_of(self, kind: str) -> list[dict]:
         return [e for e in self.events if e["kind"] == kind]
@@ -200,6 +219,40 @@ class MetricsRegistry:
                 ):
                     merged.max = timer.max
                 state[key] = (timer.count, timer.total)
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold another registry's :meth:`snapshot` dump into this one.
+
+        The process-level counterpart of :meth:`merge_deltas_into`:
+        worker processes cannot ship live registries across the pickle
+        boundary, so they ship snapshots and the session registry folds
+        them — counters add, gauges take the incoming value, timers
+        merge their count/total/min/max, events append (subject to this
+        registry's ``max_events`` bound, overflow counted in
+        :attr:`dropped_events`).
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).value += value
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).value = value
+        for name, data in snapshot.get("timers", {}).items():
+            if not data.get("count"):
+                continue
+            merged = self.timer(name)
+            merged.count += data["count"]
+            merged.total += data["total"]
+            if data.get("min") is not None and (
+                merged.min is None or data["min"] < merged.min
+            ):
+                merged.min = data["min"]
+            if data.get("max") is not None and (
+                merged.max is None or data["max"] > merged.max
+            ):
+                merged.max = data["max"]
+        for event in snapshot.get("events", ()):
+            event = dict(event)
+            self.record_event(event.pop("kind", "event"), **event)
+        self.dropped_events += snapshot.get("dropped_events", 0)
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,230 @@
+"""Process-level corpus fan-out: whole-file analyses across cores.
+
+Intra-program component threading (:mod:`repro.parallel.scheduler`) is
+a correctness/latency layer — under the GIL it cannot add CPU
+throughput.  Multi-core throughput on the hot corpus paths (linting a
+tree of files, a groundness/strictness/depth-k sweep, the benchmark
+harness) comes from here: :func:`map_corpus` runs one whole-file
+analysis per task in a :class:`~concurrent.futures.ProcessPoolExecutor`
+and returns per-file results *in input order*, so output and exit
+codes are identical whatever the worker count.
+
+Each worker process runs its task under a private
+:class:`~repro.obs.Observer` and ships the registry snapshot back with
+the result; the parent folds every snapshot into the session observer
+(:meth:`~repro.obs.registry.MetricsRegistry.merge_snapshot`), so the
+merged counters/timers/events equal a serial run's — observability
+stays intact under parallelism.
+
+Task payloads are plain JSON-able dicts (they cross the pickle
+boundary), and a worker exception becomes the result's ``error`` field
+rather than killing the whole sweep.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CorpusResult:
+    """One file's outcome: payload or error, plus timing and metrics."""
+
+    path: str
+    task: str
+    payload: dict | None
+    error: str | None
+    seconds: float
+    metrics: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """``None``/0 -> one worker per core; negatives are an error."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be positive, got {jobs}")
+    return jobs
+
+
+def map_corpus(
+    paths,
+    task: str = "lint",
+    jobs: int | None = 1,
+    options: dict | None = None,
+    observer=None,
+) -> list[CorpusResult]:
+    """Run ``task`` over every file in ``paths``; results in input order.
+
+    ``task`` names a whole-file analysis: ``lint``, ``modecheck``,
+    ``groundness``, ``depthk`` (Prolog sources) or ``strictness``
+    (functional ``.eq`` sources).  ``jobs`` is the process count
+    (``None``/``0`` = one per core); ``jobs=1`` runs in-process with no
+    pool, so the serial path has zero fan-out overhead.  ``options``
+    is a JSON-able dict forwarded to the task (e.g. ``{"query": ...,
+    "deadline": ...}`` for lint).
+
+    Worker metrics snapshots are folded into ``observer`` (default:
+    the ambient observer) in input order.
+    """
+    if task not in TASKS:
+        raise ValueError(f"unknown corpus task {task!r}; have {sorted(TASKS)}")
+    jobs = resolve_jobs(jobs)
+    items = [(str(path), task, options) for path in paths]
+    if jobs <= 1 or len(items) <= 1:
+        records = [_corpus_worker(item) for item in items]
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+            records = list(pool.map(_corpus_worker, items))
+    results = [CorpusResult(**record) for record in records]
+    _fold_metrics(results, observer)
+    return results
+
+
+def _fold_metrics(results: list[CorpusResult], observer) -> None:
+    from repro.obs.observer import resolve_observer
+
+    obs = resolve_observer(observer)
+    if not getattr(obs, "enabled", False):
+        return
+    registry = obs.registry
+    for result in results:
+        registry.merge_snapshot(result.metrics)
+        registry.counter("parallel.corpus.files").inc()
+        if result.error is not None:
+            registry.counter("parallel.corpus.errors").inc()
+        registry.timer("parallel.corpus.file_seconds").observe(result.seconds)
+
+
+def _corpus_worker(item) -> dict:
+    """Top-level (picklable) worker: run one task under a private observer."""
+    path, task, options = item
+    from repro.obs import Observer, use_observer
+
+    observer = Observer()
+    started = time.perf_counter()
+    payload, error = None, None
+    try:
+        with use_observer(observer):
+            payload = TASKS[task](path, options or {})
+    except Exception as exc:  # noqa: BLE001 — one bad file must not kill the sweep
+        error = f"{type(exc).__name__}: {exc}"
+    return {
+        "path": path,
+        "task": task,
+        "payload": payload,
+        "error": error,
+        "seconds": time.perf_counter() - started,
+        "metrics": observer.registry.snapshot(),
+    }
+
+
+# ----------------------------------------------------------------------
+# Tasks.  Each returns a JSON-able dict; deterministic for a given file
+# (dict insertion orders are sorted), so serial and parallel sweeps
+# compare equal field-for-field (timings aside).
+
+
+def _load(path: str):
+    from repro.prolog.program import load_program
+
+    with open(path, encoding="utf-8") as handle:
+        return load_program(handle.read())
+
+
+def _task_lint(path: str, options: dict) -> dict:
+    from repro.analysis.cli import lint_payload
+
+    return lint_payload(
+        path,
+        options.get("query"),
+        modes=options.get("modes", True),
+        deadline=options.get("deadline"),
+    )
+
+
+def _task_modecheck(path: str, options: dict) -> dict:
+    from repro.analysis.modecheck import check_modes
+    from repro.prolog.parser import parse_term
+
+    program = _load(path)
+    query = options.get("query")
+    report = check_modes(
+        program, query=parse_term(query) if query else None
+    )
+    ordered = sorted(report.diagnostics, key=lambda d: (d.line, d.rule, d.message))
+    return {
+        "rows": [d.with_file(path).to_dict() for d in ordered],
+        "texts": [d.with_file(path).format() for d in ordered],
+        "timings": dict(report.timings),
+    }
+
+
+def _task_groundness(path: str, options: dict) -> dict:
+    from repro.core.groundness import analyze_groundness
+    from repro.runtime.budget import Budget
+
+    deadline = options.get("deadline")
+    result = analyze_groundness(
+        _load(path),
+        budget=Budget(deadline=deadline) if deadline is not None else None,
+    )
+    return {
+        "completeness": result.completeness,
+        "table_space": result.table_space,
+        "predicates": {
+            f"{name}/{arity}": {
+                "ground_on_success": list(info.ground_on_success),
+                "ground_at_call": list(info.ground_at_call),
+                "answers": info.answer_count,
+            }
+            for (name, arity), info in sorted(result.predicates.items())
+        },
+    }
+
+
+def _task_depthk(path: str, options: dict) -> dict:
+    from repro.core.depthk import analyze_depthk
+
+    result = analyze_depthk(_load(path), depth=options.get("depth", 2))
+    return {
+        "completeness": result.completeness,
+        "depth": result.depth,
+        "table_space": result.table_space,
+        "predicates": sorted(
+            f"{name}/{arity}" for name, arity in result.predicates
+        ),
+    }
+
+
+def _task_strictness(path: str, options: dict) -> dict:
+    from repro.core.strictness import analyze_strictness
+    from repro.funlang.parser import parse_fun_program
+
+    with open(path, encoding="utf-8") as handle:
+        program = parse_fun_program(handle.read())
+    result = analyze_strictness(program)
+    return {
+        "completeness": result.completeness,
+        "table_space": result.table_space,
+        "functions": sorted(
+            f"{name}/{arity}" for name, arity in result.functions
+        ),
+    }
+
+
+#: task name -> worker-side implementation
+TASKS = {
+    "lint": _task_lint,
+    "modecheck": _task_modecheck,
+    "groundness": _task_groundness,
+    "depthk": _task_depthk,
+    "strictness": _task_strictness,
+}

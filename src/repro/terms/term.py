@@ -53,7 +53,7 @@ class Struct:
     Zero-arity symbols are plain ``str`` atoms, never ``Struct``.
     """
 
-    __slots__ = ("functor", "args", "_hash")
+    __slots__ = ("functor", "args", "_hash", "_vkey")
 
     def __init__(self, functor: str, args: tuple):
         if not args:
@@ -61,6 +61,10 @@ class Struct:
         self.functor = functor
         self.args = args
         self._hash = None
+        # variant-key cache, filled only for ground subtrees (whose key
+        # is independent of any substitution or variable numbering); see
+        # repro.terms.variant
+        self._vkey = None
 
     def __eq__(self, other: object) -> bool:
         return (

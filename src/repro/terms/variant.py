@@ -21,18 +21,45 @@ def variant_key(term: Term, subst: Subst = EMPTY_SUBST) -> VariantKey:
 
     The term is resolved under ``subst`` on the fly, so callers need not
     build the resolved term first.
+
+    Keys of *ground* structures are memoized on the term
+    (``Struct._vkey``): a subtree containing no variable occurrence has
+    a key independent of both the substitution and the surrounding
+    variable numbering, so tabled calls, answer inserts and semi-naive
+    delta dedup — which rekey the same stored facts over and over — pay
+    the tree walk once per term.  The cache write is idempotent (always
+    the same value for a given term), so racing worker threads are
+    harmless.
     """
-    numbering: dict[int, int] = {}
-    return _key(term, subst, numbering)
-
-
-def _key(term: Term, subst: Subst, numbering: dict[int, int]) -> tuple:
-    term = subst.walk(term)
-    if isinstance(term, Var):
-        index = numbering.setdefault(term.id, len(numbering))
-        return ("v", index)
     if isinstance(term, Struct):
-        return ("s", term.functor, tuple(_key(a, subst, numbering) for a in term.args))
+        cached = term._vkey
+        if cached is not None:
+            return cached
+    numbering: dict[int, int] = {}
+    return _key(term, subst, numbering, [0])
+
+
+def _key(term: Term, subst: Subst, numbering: dict[int, int],
+         var_occurrences: list) -> tuple:
+    if isinstance(term, Var):
+        # count the occurrence *before* walking: even a var bound to a
+        # ground term makes every enclosing key substitution-dependent,
+        # so no ancestor may cache
+        var_occurrences[0] += 1
+        term = subst.walk(term)
+        if isinstance(term, Var):
+            index = numbering.setdefault(term.id, len(numbering))
+            return ("v", index)
+    if isinstance(term, Struct):
+        cached = term._vkey
+        if cached is not None:
+            return cached
+        before = var_occurrences[0]
+        key = ("s", term.functor,
+               tuple(_key(a, subst, numbering, var_occurrences) for a in term.args))
+        if var_occurrences[0] == before:
+            term._vkey = key
+        return key
     if isinstance(term, int):
         return ("i", term)
     return ("a", term)
@@ -40,6 +67,8 @@ def _key(term: Term, subst: Subst, numbering: dict[int, int]) -> tuple:
 
 def is_variant(t1: Term, t2: Term, subst: Subst = EMPTY_SUBST) -> bool:
     """True iff ``t1`` and ``t2`` are identical up to variable renaming."""
+    if t1 is t2:
+        return True
     return variant_key(t1, subst) == variant_key(t2, subst)
 
 
