@@ -1,0 +1,121 @@
+"""E13 — the failure-proving pass (failcheck) over the corpus.
+
+Two things the table records:
+
+* **cost** — per benchmark program, the reduce fixpoint's time and the
+  abstract pass's time (with its completion status: the deterministic
+  task budget deliberately trips on the outliers whose exact depth-k
+  analysis takes minutes, so lint latency stays bounded);
+* **ablation** — on the seeded dead-query corpus
+  (``tests/data/failcheck_bugs.pl``), reduce-only vs the full pass:
+  how many of the seeded dead predicates each tier certifies and at
+  what cost.
+
+The soundness gate rides along: failcheck must make **zero**
+``dead-predicate`` claims on the benchdata programs (they all run), and
+must certify every seeded dead predicate in the bugs corpus.
+"""
+
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.failcheck import failcheck_program, prove_query_failure
+from repro.benchdata import load_prolog_benchmark, prolog_benchmark_source
+from repro.prolog import load_program
+from repro.prolog.parser import parse_term
+
+BUGS_PATH = Path(__file__).parent.parent / "tests" / "data" / "failcheck_bugs.pl"
+
+#: programs the task budget lets run to exact completion vs the two
+#: outliers it deliberately trips on (documented in the module)
+CORPUS = ["qsort", "disj", "pg", "gabriel", "kalah", "press2"]
+
+
+@pytest.mark.table("fail")
+@pytest.mark.parametrize("name", CORPUS)
+def test_failcheck_cost_and_soundness(benchmark, bench_record, name):
+    program = load_prolog_benchmark(name)
+    lines = len(prolog_benchmark_source(name).splitlines())
+
+    def run():
+        return failcheck_program(program)
+
+    t0 = time.perf_counter()
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    total = time.perf_counter() - t0
+
+    # soundness: these programs all run, so no dead-predicate claims
+    assert report.dead == {}, sorted(report.dead)
+
+    bench_record(
+        "fail",
+        {
+            "name": name,
+            "lines": lines,
+            "preprocess": report.timings.get("reduce", 0.0),
+            "analysis": report.timings.get("abstract", 0.0),
+            "collection": 0.0,
+            "total": total,
+            "table_space": 0,
+            "extra": {
+                "completeness": report.completeness,
+                "live": len(report.live),
+                "dead": len(report.dead),
+            },
+        },
+    )
+
+
+@pytest.mark.table("fail")
+def test_failcheck_seeded_corpus_ablation(benchmark, bench_record):
+    """Reduce-only vs the full pass on the seeded dead-query corpus."""
+    source = BUGS_PATH.read_text(encoding="utf-8")
+    lines = len(source.splitlines())
+    program = load_program(source)
+
+    t0 = time.perf_counter()
+    reduce_only = failcheck_program(program, abstract=False)
+    reduce_seconds = time.perf_counter() - t0
+
+    def run():
+        return failcheck_program(program)
+
+    t0 = time.perf_counter()
+    full = benchmark.pedantic(run, rounds=1, iterations=1)
+    full_seconds = time.perf_counter() - t0
+
+    # the seeded ground truth: 3 reduce-provable, 3 only abstractly
+    assert sorted(m for m in reduce_only.dead.values()) == ["reduce"] * 3
+    assert len(full.dead) == 6
+    assert sorted(full.dead.values()).count("abstract") == 3
+    assert full.completeness == "exact"
+
+    # the query-directed escalation proves what neither tier claims
+    proof = prove_query_failure(program, parse_term("reach(d, a)"))
+    assert proof is not None and proof.method == "abstract-magic"
+
+    for name, seconds, report in (
+        ("bugs_reduce_only", reduce_seconds, reduce_only),
+        ("bugs_full", full_seconds, full),
+    ):
+        bench_record(
+            "fail",
+            {
+                "name": name,
+                "lines": lines,
+                "preprocess": report.timings.get("reduce", 0.0),
+                "analysis": report.timings.get("abstract", 0.0),
+                "collection": 0.0,
+                "total": seconds,
+                "table_space": 0,
+                "extra": {
+                    "completeness": report.completeness,
+                    "dead": len(report.dead),
+                    "dead_abstract": sorted(report.dead.values()).count(
+                        "abstract"
+                    ),
+                },
+            },
+        )

@@ -14,6 +14,10 @@ The subsystem the engines and transformations lean on for *structure*:
   mode checker (adornment SIPS + the tabled Prop analysis as backend);
 * :mod:`repro.analysis.stratify` — stratification of negation over the
   condensation;
+* :mod:`repro.analysis.failcheck` — failure proving: the reduce
+  liveness fixpoint + depth-k abstract success-set emptiness
+  (``dead-predicate`` / ``unreachable-clause``), and query-directed
+  proofs via the magic rewrite;
 * :mod:`repro.analysis.lint` / :mod:`repro.analysis.cli` — the combined
   lint pass and its ``python -m repro.lint`` front end.
 
@@ -39,9 +43,21 @@ from repro.analysis.modes import (
     missing_builtin_modes,
     modes_for,
 )
+from repro.analysis.failcheck import (
+    FailcheckReport,
+    FailureProof,
+    failcheck_program,
+    prove_query_failure,
+    render_failure,
+)
 from repro.analysis.stratify import stratum_numbers, unstratified_sites
 
 __all__ = [
+    "FailcheckReport",
+    "FailureProof",
+    "failcheck_program",
+    "prove_query_failure",
+    "render_failure",
     "BUILTIN_MODE_TABLE",
     "BuiltinModes",
     "Determinism",

@@ -71,6 +71,12 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="skip the groundness-flow mode checker",
     )
     parser.add_argument(
+        "--no-failcheck",
+        action="store_true",
+        help="skip the failure-proving pass (dead-predicate / "
+        "unreachable-clause)",
+    )
+    parser.add_argument(
         "--deadline",
         type=float,
         metavar="SECONDS",
@@ -95,6 +101,7 @@ def lint_file(
     query_text: str | None,
     modes: bool = True,
     deadline: float | None = None,
+    failcheck: bool = True,
 ) -> tuple[LintReport, str | None]:
     """Lint one file; returns (report, fatal-message-or-None)."""
     try:
@@ -114,7 +121,8 @@ def lint_file(
             return LintReport(), f"--query: cannot parse {query_text!r}: {exc}"
     budget = Budget(deadline=deadline) if deadline is not None else None
     report = lint_program(
-        program, query=query, filename=path, modes=modes, budget=budget
+        program, query=query, filename=path, modes=modes, budget=budget,
+        failcheck=failcheck,
     )
     return report, None
 
@@ -124,6 +132,7 @@ def lint_payload(
     query_text: str | None,
     modes: bool = True,
     deadline: float | None = None,
+    failcheck: bool = True,
 ) -> dict:
     """Lint one file into a JSON-able payload (the corpus-task shape).
 
@@ -131,7 +140,9 @@ def lint_payload(
     :func:`repro.parallel.map_corpus` worker, so serial and ``--jobs N``
     runs emit identical output.
     """
-    report, fatal = lint_file(path, query_text, modes=modes, deadline=deadline)
+    report, fatal = lint_file(
+        path, query_text, modes=modes, deadline=deadline, failcheck=failcheck
+    )
     if fatal is not None:
         return {"fatal": fatal}
     ordered = report.sorted()
@@ -149,6 +160,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
     out = out if out is not None else sys.stdout
     args = build_arg_parser().parse_args(argv)
     modes = not args.no_modecheck
+    failcheck = not args.no_failcheck
     if args.jobs != 1 and len(args.files) > 1:
         from repro.parallel.corpus import map_corpus
 
@@ -160,6 +172,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
                 "query": args.query,
                 "modes": modes,
                 "deadline": args.deadline,
+                "failcheck": failcheck,
             },
         )
         payloads = (
@@ -168,7 +181,10 @@ def main(argv: list[str] | None = None, out=None) -> int:
         )
     else:
         payloads = (
-            (path, lint_payload(path, args.query, modes, args.deadline))
+            (
+                path,
+                lint_payload(path, args.query, modes, args.deadline, failcheck),
+            )
             for path in args.files
         )
     exit_code = EXIT_OK

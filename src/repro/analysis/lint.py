@@ -38,6 +38,12 @@ rule id                     severity  finding
                                       depth (non-termination risk)
 ``dead-code``               warning   predicate unreachable from the
                                       query (only with a query)
+``dead-predicate``          warning   predicate provably never succeeds
+                                      (failcheck: reduce fixpoint or
+                                      empty abstract success set)
+``unreachable-clause``      warning   clause of a live predicate that
+                                      provably cannot succeed
+                                      (failcheck)
 ``dynamic-goal``            info      call through an unbound variable
                                       (unanalyzable)
 ``scc-entangled``           info      nearly every defined predicate
@@ -51,7 +57,10 @@ The flow-sensitive rules come from :mod:`repro.analysis.modecheck`
 (``modes=False`` disables the pass); its per-clause entry-binding facts
 also feed back into the clause checks, so a head variable every
 reaching call pattern binds is recognised as a caller input rather
-than flagged ``unsafe-head-var``.
+than flagged ``unsafe-head-var``.  The failure-proving rules come from
+:mod:`repro.analysis.failcheck` (``failcheck=False`` disables them);
+their witnesses are ``p/n`` indicators that feed
+``python -m repro.obs explain FILE p/n --failcheck``.
 """
 
 from __future__ import annotations
@@ -72,12 +81,15 @@ def lint_program(
     filename: str | None = None,
     modes: bool = True,
     budget=None,
+    failcheck: bool = True,
 ) -> LintReport:
     """Run all lint rules; diagnostics carry ``filename`` when given.
 
-    ``modes`` runs the groundness-flow mode checker; ``budget`` (a
-    :class:`~repro.runtime.budget.Budget`) bounds that pass — on
-    exhaustion it degrades per its ladder instead of failing the lint.
+    ``modes`` runs the groundness-flow mode checker; ``failcheck`` the
+    failure-proving pass (``dead-predicate`` / ``unreachable-clause``);
+    ``budget`` (a :class:`~repro.runtime.budget.Budget`) bounds those
+    passes — on exhaustion they degrade per their ladders instead of
+    failing the lint.
     """
     import time
 
@@ -109,6 +121,13 @@ def lint_program(
         t0 = clock()
         report.extend(_dead_code(program, graph, query))
         report.timings["dead_code"] = clock() - t0
+    if failcheck:
+        from repro.analysis.failcheck import failcheck_program
+
+        t0 = clock()
+        fc_report = failcheck_program(program, budget=budget)
+        report.extend(fc_report.diagnostics)
+        report.timings["failcheck"] = clock() - t0
     if filename:
         report.diagnostics = [d.with_file(filename) for d in report.diagnostics]
     obs = get_observer()

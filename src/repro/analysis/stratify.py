@@ -65,8 +65,12 @@ def stratum_numbers(graph: DependencyGraph) -> dict[Indicator, int] | None:
         level = 0
         for node in component:
             for target in graph.successors(node):
-                target_position = index[target]
-                if target_position == position:
+                # a successor may be absent from the SCC index when the
+                # graph was mutated after condensation (or a malformed
+                # graph lists an edge to an unknown node) — skip rather
+                # than KeyError; an unknown target contributes no stratum
+                target_position = index.get(target)
+                if target_position is None or target_position == position:
                     continue
                 bump = 1 if (node, target) in neg_pairs else 0
                 level = max(level, stratum[target_position] + bump)

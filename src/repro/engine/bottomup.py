@@ -26,10 +26,21 @@ relations of completed callee components, and work counters fold per
 component — so parallel evaluation is bit-for-bit deterministic
 (identical fact stores, orders and totals for any worker count).
 
-Supported programs: definite clauses whose body literals are user
-predicates or deterministic builtins.  Derived facts may contain
-variables (non-ground facts are stored canonically), which the
-Prop-domain abstract programs need (``sp_f(n, X, Y)`` style answers).
+Supported programs: clauses whose body literals are user predicates,
+deterministic builtins, or **stratified negation** (``\\+ Goal`` /
+``not(Goal)``).  A negative literal is evaluated as negation-as-failure
+against the *frozen* relations of a strictly lower stratum
+(:func:`repro.analysis.stratify.stratum_numbers`): Tarjan's
+callees-first component order already places the negated component
+before its negating caller in the serial walk, and the parallel path
+inserts stratum barriers (:func:`repro.parallel.scheduler.run_stratified_schedule`)
+so a stratum-*k+1* component never starts while a stratum-*k* table is
+still growing.  Programs that negate inside a recursive component are
+rejected up front with :class:`UnstratifiedProgramError`, which carries
+the same ``unstratified-negation`` diagnostics the lint pass reports.
+Derived facts may contain variables (non-ground facts are stored
+canonically), which the Prop-domain abstract programs need
+(``sp_f(n, X, Y)`` style answers).
 """
 
 from __future__ import annotations
@@ -41,6 +52,31 @@ from repro.terms.subst import EMPTY_SUBST, Subst
 from repro.terms.term import Struct, Term, Var
 from repro.terms.unify import unify
 from repro.terms.variant import canonical, rename_apart, variant_key
+
+
+#: goal wrappers evaluated as negation-as-failure
+_NEG: frozenset[Indicator] = frozenset({("\\+", 1), ("not", 1)})
+
+
+class UnstratifiedProgramError(PrologError):
+    """The program negates inside a recursive component.
+
+    Raised before evaluation starts; :attr:`diagnostics` carries the
+    ``unstratified-negation`` lint diagnostics
+    (:func:`repro.analysis.stratify.unstratified_sites`) for the
+    offending call sites, so engine callers surface exactly what
+    ``python -m repro.lint`` would.
+    """
+
+    rule = "unstratified-negation"
+
+    def __init__(self, diagnostics):
+        self.diagnostics = list(diagnostics)
+        detail = "; ".join(d.format() for d in self.diagnostics)
+        super().__init__(
+            "[unstratified-negation] program is not stratified: "
+            + (detail or "a predicate depends on its own negation")
+        )
 
 
 class _Relation:
@@ -62,17 +98,31 @@ class _Relation:
 
 
 class _Rule:
-    """One non-fact clause, flattened, with source provenance."""
+    """One non-fact clause, flattened, with source provenance.
 
-    __slots__ = ("indicator", "head", "body", "line", "user_positions")
+    ``user_positions`` are the *positive* user-predicate positions (the
+    only ones eligible for the semi-naive delta join); negative
+    literals live in ``neg_positions`` and are evaluated inline as
+    existence checks against completed lower-stratum relations — they
+    bind nothing, so they never participate in a delta.
+    """
+
+    __slots__ = ("indicator", "head", "body", "line", "user_positions",
+                 "neg_positions")
 
     def __init__(self, indicator: Indicator, head: Term, body: list[Term], line: int):
         self.indicator = indicator
         self.head = head
         self.body = body
         self.line = line
+        self.neg_positions = [
+            i for i, literal in enumerate(body) if _indicator(literal) in _NEG
+        ]
         self.user_positions = [
-            i for i, literal in enumerate(body) if not _is_builtin(_indicator(literal))
+            i
+            for i, literal in enumerate(body)
+            if not _is_builtin(_indicator(literal))
+            and _indicator(literal) not in _NEG
         ]
 
 
@@ -85,12 +135,13 @@ class _CompStats:
     commutative, so the totals equal the serial walk's exactly).
     """
 
-    __slots__ = ("rounds", "rule_firings", "derivations")
+    __slots__ = ("rounds", "rule_firings", "derivations", "neg_checks")
 
     def __init__(self):
         self.rounds = 0
         self.rule_firings = 0
         self.derivations = 0
+        self.neg_checks = 0
 
 
 class BottomUpEngine:
@@ -136,8 +187,10 @@ class BottomUpEngine:
         self.rounds = 0
         self.derivations = 0
         self.rule_firings = 0
+        self.neg_checks = 0
         self.scc_count = 0
         self.condensation = None
+        self.strata: dict[Indicator, int] | None = None
         self._evaluated = False
 
     # ------------------------------------------------------------------
@@ -154,6 +207,7 @@ class BottomUpEngine:
             rounds0 = self.rounds
             derivations0 = self.derivations
             firings0 = self.rule_firings
+            negs0 = self.neg_checks
             try:
                 return self._evaluate()
             finally:
@@ -171,6 +225,10 @@ class BottomUpEngine:
                 registry.counter("engine.bottomup.rule_firings").value += (
                     self.rule_firings - firings0
                 )
+                if self.neg_checks != negs0:
+                    registry.counter("engine.negation.calls").value += (
+                        self.neg_checks - negs0
+                    )
 
     def _evaluate(self) -> "BottomUpEngine":
         rules: list[_Rule] = []
@@ -184,8 +242,14 @@ class BottomUpEngine:
                         initial.setdefault(indicator, []).append(fact)
                 else:
                     rules.append(_Rule(indicator, clause.head, body, clause.line))
+        has_negation = any(rule.neg_positions for rule in rules)
+        if has_negation and not self.scc:
+            raise PrologError(
+                "negation requires SCC-guided evaluation (scc=True): the "
+                "flat loop has no strata to freeze negated relations against"
+            )
         if self.scc:
-            self._evaluate_by_scc(rules, initial)
+            self._evaluate_by_scc(rules, initial, has_negation)
         else:
             self._evaluate_flat(rules, initial)
         self._evaluated = True
@@ -210,7 +274,9 @@ class BottomUpEngine:
     # ------------------------------------------------------------------
     # SCC-guided evaluation: condensation order, one stratum at a time.
 
-    def _evaluate_by_scc(self, rules: list[_Rule], initial) -> None:
+    def _evaluate_by_scc(
+        self, rules: list[_Rule], initial, has_negation: bool = False
+    ) -> None:
         from repro.analysis.depgraph import DependencyGraph
         from repro.parallel.scheduler import condensation_profile
 
@@ -218,6 +284,19 @@ class BottomUpEngine:
         components = graph.sccs()  # callees before callers
         index = graph.scc_index()
         self.scc_count = len(components)
+        comp_strata = None
+        if has_negation:
+            from repro.analysis.stratify import stratum_numbers, unstratified_sites
+
+            sites = unstratified_sites(graph)
+            numbers = stratum_numbers(graph)
+            if sites or numbers is None:
+                raise UnstratifiedProgramError(sites)
+            self.strata = numbers
+            comp_strata = [
+                max(numbers.get(node, 0) for node in component)
+                for component in components
+            ]
         rules_by_scc: dict[int, list[_Rule]] = {}
         for rule in rules:
             rules_by_scc.setdefault(index[rule.indicator], []).append(rule)
@@ -238,9 +317,12 @@ class BottomUpEngine:
 
         if self.max_workers > 1 and len(components) > 1:
             self._evaluate_components_parallel(
-                components, edges, rules_by_scc, initial
+                components, edges, rules_by_scc, initial, comp_strata
             )
             return
+        # serial walk: Tarjan's callees-first order covers negative edges
+        # too (they are ordinary condensation edges), so every negated
+        # relation is frozen before its negating component runs
         for position, component in enumerate(components):
             stats = _CompStats()
             try:
@@ -274,7 +356,7 @@ class BottomUpEngine:
             self._seminaive(recursive, delta, stats)
 
     def _evaluate_components_parallel(
-        self, components, edges, rules_by_scc, initial
+        self, components, edges, rules_by_scc, initial, comp_strata=None
     ) -> None:
         """Ready-set schedule: independent components on worker threads.
 
@@ -284,8 +366,13 @@ class BottomUpEngine:
         locked charging; on the first worker error the governor is
         cancelled so siblings trip cooperatively, and partial stats
         still fold so exhausted runs report their spend.
+
+        ``comp_strata`` (set when the program negates) adds stratum
+        barriers: a stratum-*k+1* component is dispatched only after
+        every stratum-*k* component completed, so negative literals
+        always read frozen relations.
         """
-        from repro.parallel.scheduler import run_condensation_schedule
+        from repro.parallel.scheduler import run_stratified_schedule
 
         precreated = []
         for rule_list in rules_by_scc.values():
@@ -307,9 +394,10 @@ class BottomUpEngine:
             )
 
         try:
-            run_condensation_schedule(
+            run_stratified_schedule(
                 len(components),
                 edges,
+                comp_strata,
                 run,
                 self.max_workers,
                 on_abort=None if governor is None else governor.cancel,
@@ -328,6 +416,7 @@ class BottomUpEngine:
         self.rounds += stats.rounds
         self.rule_firings += stats.rule_firings
         self.derivations += stats.derivations
+        self.neg_checks += stats.neg_checks
 
     def _seminaive(self, recursive: list, delta: list[Term],
                    stats: _CompStats) -> None:
@@ -464,6 +553,26 @@ class BottomUpEngine:
             return
         literal = body[position]
         lit_ind = _indicator(literal)
+        if lit_ind in _NEG:
+            # negation-as-failure against frozen lower-stratum relations:
+            # succeeds iff the (renamed) inner goal has no solution, and
+            # binds nothing either way
+            stats.neg_checks += 1
+            if not self._neg_exists(
+                _flatten_body(literal.args[0]), 0, subst, rule.line
+            ):
+                self._join(
+                    rule,
+                    head,
+                    body,
+                    position + 1,
+                    subst,
+                    delta_position,
+                    delta_keys,
+                    next_delta,
+                    stats,
+                )
+            return
         if _is_builtin(lit_ind):
             for extended in _eval_builtin(literal, lit_ind, subst, rule.line):
                 self._join(
@@ -497,6 +606,57 @@ class BottomUpEngine:
                     next_delta,
                     stats,
                 )
+
+    def _neg_exists(self, literals, position, subst: Subst, line: int) -> bool:
+        """Does the negated conjunction have at least one solution?
+
+        Solved against the already-complete relations of strictly lower
+        strata (stratification guarantees every predicate reachable
+        under a negation is frozen by the time the negating rule
+        fires).  Supports conjunction, disjunction, builtins, and
+        nested negation; stops at the first witness.
+        """
+        if position == len(literals):
+            return True
+        literal = literals[position]
+        lit_ind = _indicator(literal)
+        if lit_ind == (";", 2):
+            rest = literals[position + 1 :]
+            for branch in literal.args:
+                if isinstance(branch, Struct) and branch.indicator == ("->", 2):
+                    raise PrologError(
+                        "if-then-else under \\+ is not supported in "
+                        f"bottom-up evaluation (line {line})"
+                    )
+                if self._neg_exists(
+                    _flatten_body(branch) + rest, 0, subst, line
+                ):
+                    return True
+            return False
+        if lit_ind == ("->", 2):
+            raise PrologError(
+                "if-then-else under \\+ is not supported in bottom-up "
+                f"evaluation (line {line})"
+            )
+        if lit_ind in _NEG:
+            if self._neg_exists(_flatten_body(literal.args[0]), 0, subst, line):
+                return False
+            return self._neg_exists(literals, position + 1, subst, line)
+        if _is_builtin(lit_ind):
+            for extended in _eval_builtin(literal, lit_ind, subst, line):
+                if self._neg_exists(literals, position + 1, extended, line):
+                    return True
+            return False
+        relation = self.relations.get(lit_ind)
+        if relation is None:
+            return False
+        for fact in relation.facts:
+            extended = unify(literal, rename_apart(fact), subst)
+            if extended is not None and self._neg_exists(
+                literals, position + 1, extended, line
+            ):
+                return True
+        return False
 
 
 def _flatten_body(body: Term) -> list[Term]:

@@ -182,6 +182,10 @@ class SLDEngine:
             # an exhausted parent cannot be overrun via nested goals.
             # Its steps fold into self.steps below, so it must NOT also
             # report to the observer (that would double-count).
+            if self.obs.enabled:
+                # the sub-engine is muted (see above), so the parent
+                # records the negation call it is about to make
+                self.obs.registry.counter("engine.negation.calls").inc()
             sub = SLDEngine(
                 self.db, unknown=self.unknown, governor=self.governor,
                 obs=NULL_OBSERVER,

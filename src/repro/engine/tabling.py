@@ -588,7 +588,12 @@ class TabledEngine:
         Sound for stratified uses: the negated subgoal must not depend
         on tables currently under computation.  Fact-defined and
         builtin subgoals take a direct fast path (no nested engine).
+        Every check — fast path or nested engine — counts one
+        ``engine.negation.calls`` in the active observer, so negation
+        cost is visible in traces and reports.
         """
+        if self.obs.enabled:
+            self.obs.registry.counter("engine.negation.calls").inc()
         walked = subst.walk(goal)
         indicator = (
             walked.indicator if isinstance(walked, Struct) else (walked, 0)

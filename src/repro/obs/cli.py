@@ -9,7 +9,11 @@ Two subcommands:
     (Figure 1) and ``GOAL`` names a source predicate as ``name/arity``
     (or a call pattern like ``app(g,g,f)`` — ``g`` marks arguments
     ground at call); the trees then explain *why a groundness fact
-    holds*.
+    holds*.  With ``--failcheck``, ``GOAL`` is a ``name/arity``
+    indicator (the witness the ``dead-predicate`` lint rows carry) and
+    the output is the *failure proof*: the reduce-pass culprit chain
+    or the empty depth-k abstract success set — or, for a live
+    predicate, its abstract answers as counter-evidence.
 
 ``report OLD.json NEW.json``
     Diff two bench-emitter files; exit 1 when any row regressed past
@@ -48,6 +52,19 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--groundness",
         action="store_true",
         help="abstract-compile first and explain gp$ groundness answers",
+    )
+    explain.add_argument(
+        "--failcheck",
+        action="store_true",
+        help="render the failure proof for GOAL given as 'name/arity' "
+        "(the witness of a dead-predicate lint diagnostic)",
+    )
+    explain.add_argument(
+        "--depth",
+        type=int,
+        default=2,
+        metavar="K",
+        help="depth bound of the failcheck abstraction (default 2)",
     )
     explain.add_argument(
         "--json",
@@ -156,6 +173,8 @@ def run_explain(args, out) -> int:
         print(f"{args.file}:{exc.line}: syntax error: {exc}", file=sys.stderr)
         return EXIT_USAGE
 
+    if args.failcheck:
+        return _explain_failcheck(args, program, out)
     if args.groundness:
         program, _info = abstract_program(program)
     goal, _ = _parse_explain_goal(args, program)
@@ -186,6 +205,60 @@ def run_explain(args, out) -> int:
         for tree in shown:
             print(file=out)
             print(render_derivation(tree), file=out)
+    return EXIT_OK
+
+
+def _explain_failcheck(args, program, out) -> int:
+    """Render a failure proof (or counter-evidence) for one predicate.
+
+    ``GOAL`` is a ``name/arity`` indicator — exactly the witness string
+    the ``dead-predicate`` lint diagnostics carry — or a concrete query
+    term, in which case the query-directed proof
+    (:func:`repro.analysis.failcheck.prove_query_failure`) runs too.
+    """
+    from repro.analysis.failcheck import (
+        failcheck_program,
+        parse_indicator,
+        prove_query_failure,
+        render_failure,
+    )
+    from repro.prolog.lexer import PrologSyntaxError
+    from repro.prolog.parser import parse_term
+    from repro.terms.term import Struct
+
+    text = args.goal.strip()
+    indicator = None
+    query = None
+    if "/" in text and "(" not in text:
+        indicator = parse_indicator(text)
+        if indicator is None:
+            print(f"bad predicate indicator {text!r}", file=sys.stderr)
+            return EXIT_USAGE
+    else:
+        try:
+            query = parse_term(text)
+        except PrologSyntaxError as exc:
+            print(f"cannot parse goal {text!r}: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        if isinstance(query, Struct):
+            indicator = query.indicator
+        elif isinstance(query, str):
+            indicator = (query, 0)
+        else:
+            print(f"not a callable goal: {text!r}", file=sys.stderr)
+            return EXIT_USAGE
+
+    report = failcheck_program(program, depth=args.depth)
+    print(render_failure(program, report, indicator), file=out)
+    if query is not None and not report.is_dead(indicator):
+        proof = prove_query_failure(program, query, depth=args.depth)
+        if proof is not None:
+            print(proof.format(), file=out)
+        else:
+            print(
+                f"no failure proof for query `{text}` (it may succeed)",
+                file=out,
+            )
     return EXIT_OK
 
 

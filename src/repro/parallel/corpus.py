@@ -64,8 +64,8 @@ def map_corpus(
     """Run ``task`` over every file in ``paths``; results in input order.
 
     ``task`` names a whole-file analysis: ``lint``, ``modecheck``,
-    ``groundness``, ``depthk`` (Prolog sources) or ``strictness``
-    (functional ``.eq`` sources).  ``jobs`` is the process count
+    ``groundness``, ``depthk``, ``failcheck`` (Prolog sources) or
+    ``strictness`` (functional ``.eq`` sources).  ``jobs`` is the process count
     (``None``/``0`` = one per core); ``jobs=1`` runs in-process with no
     pool, so the serial path has zero fan-out overhead.  ``options``
     is a JSON-able dict forwarded to the task (e.g. ``{"query": ...,
@@ -147,6 +147,7 @@ def _task_lint(path: str, options: dict) -> dict:
         options.get("query"),
         modes=options.get("modes", True),
         deadline=options.get("deadline"),
+        failcheck=options.get("failcheck", True),
     )
 
 
@@ -204,6 +205,29 @@ def _task_depthk(path: str, options: dict) -> dict:
     }
 
 
+def _task_failcheck(path: str, options: dict) -> dict:
+    from repro.analysis.failcheck import failcheck_program
+    from repro.runtime.budget import Budget
+
+    deadline = options.get("deadline")
+    report = failcheck_program(
+        _load(path),
+        depth=options.get("depth", 2),
+        budget=Budget(deadline=deadline) if deadline is not None else None,
+    )
+    ordered = sorted(report.diagnostics, key=lambda d: (d.line, d.rule, d.message))
+    return {
+        "completeness": report.completeness,
+        "dead": sorted(
+            f"{name}/{arity} [{method}]"
+            for (name, arity), method in report.dead.items()
+        ),
+        "rows": [d.with_file(path).to_dict() for d in ordered],
+        "texts": [d.with_file(path).format() for d in ordered],
+        "timings": dict(report.timings),
+    }
+
+
 def _task_strictness(path: str, options: dict) -> dict:
     from repro.core.strictness import analyze_strictness
     from repro.funlang.parser import parse_fun_program
@@ -226,5 +250,6 @@ TASKS = {
     "modecheck": _task_modecheck,
     "groundness": _task_groundness,
     "depthk": _task_depthk,
+    "failcheck": _task_failcheck,
     "strictness": _task_strictness,
 }

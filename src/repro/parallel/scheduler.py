@@ -118,6 +118,65 @@ def _primary_error(errors: list[tuple[int, BaseException]]) -> BaseException:
     return chosen[1]
 
 
+def run_stratified_schedule(
+    count: int,
+    edges: dict[int, set[int]],
+    strata,
+    run,
+    max_workers: int,
+    on_abort=None,
+) -> None:
+    """Stratum-barriered ready-set schedule over a condensation DAG.
+
+    ``strata[i]`` is component ``i``'s stratum (from
+    :func:`repro.analysis.stratify.stratum_numbers`); components of
+    stratum *k+1* become ready only after **every** stratum-*k*
+    component has completed — the barrier stratified negation needs,
+    because a negative literal must read a *frozen* lower-stratum
+    relation, not merely the relations its own positive dependencies
+    produced.  Within one stratum the ordinary ready-set schedule of
+    :func:`run_condensation_schedule` applies, so independent
+    same-stratum components still run concurrently.
+
+    With ``strata`` ``None`` or uniform the call degenerates to a plain
+    :func:`run_condensation_schedule` (no barrier, identical behaviour
+    for negation-free programs).  Error semantics are inherited: the
+    first worker error aborts the current stratum (``on_abort`` fires
+    once) and re-raises; later strata are never dispatched.
+    """
+    if count <= 0:
+        return
+    if strata is None or len(set(strata[:count])) <= 1:
+        run_condensation_schedule(count, edges, run, max_workers, on_abort=on_abort)
+        return
+    if len(strata) < count:
+        raise ScheduleError(
+            f"strata covers {len(strata)} of {count} components"
+        )
+    for stratum in sorted(set(strata[:count])):
+        members = [i for i in range(count) if strata[i] == stratum]
+        local = {component: j for j, component in enumerate(members)}
+        sub_edges: dict[int, set[int]] = {}
+        for component in members:
+            deps = set()
+            for callee in edges.get(component, ()):
+                if strata[callee] > stratum:
+                    raise ScheduleError(
+                        f"component {component} (stratum {stratum}) depends on "
+                        f"component {callee} of a higher stratum {strata[callee]}"
+                    )
+                if strata[callee] == stratum:
+                    deps.add(local[callee])
+            sub_edges[local[component]] = deps
+        run_condensation_schedule(
+            len(members),
+            sub_edges,
+            lambda j, members=members: run(members[j]),
+            max_workers,
+            on_abort=on_abort,
+        )
+
+
 # ----------------------------------------------------------------------
 # Static condensation shape
 

@@ -1,0 +1,44 @@
+% Seeded provably-dead queries for the failcheck pass.
+% Every predicate marked DEAD below must be certified by
+% repro.analysis.failcheck (reduce fixpoint or depth-k abstract
+% emptiness); the live decoys must never be claimed.
+
+% --- live decoys ------------------------------------------------------
+color(red).
+color(green).
+pick(X) :- color(X).
+
+edge(a, b).
+edge(b, c).
+edge(c, a).
+reach(X, X).
+reach(X, Y) :- edge(X, Z), reach(Z, Y).
+
+even(zero).
+even(s(s(X))) :- even(X).
+
+% --- DEAD 1: calls an undefined predicate (reduce pass) ---------------
+ghost(X) :- color(X), phantom(X).
+
+% --- DEAD 2: fail in every clause (reduce pass) -----------------------
+never(X) :- fail, color(X).
+never(X) :- color(X), false.
+
+% --- DEAD 3: constant mismatch, provable only abstractly --------------
+% color/1 has no blue answer, so the equality can never hold.
+blue_pick(X) :- color(X), X = blue.
+
+% --- DEAD 4: structural mismatch in Peano arithmetic ------------------
+% even/1 derives zero, s(s(zero)), ... — never s(zero).
+odd_one :- even(s(zero)).
+
+% --- DEAD 5: transitively dead through a dead callee ------------------
+chain(X) :- blue_pick(X).
+
+% --- DEAD 6: recursion with no base case (reduce pass) ----------------
+loop_forever(X) :- loop_forever(X).
+
+% --- query-directed decoy: reach/2 is live, but no edge leaves d, so
+% reach(d, a) fails; provable only with the magic-directed abstraction
+% (see prove_query_failure), never as a dead-predicate claim.
+island(d).

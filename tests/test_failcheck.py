@@ -1,0 +1,349 @@
+"""The failure-proving pass: seeded dead queries, soundness, plumbing.
+
+Three layers under test:
+
+* the seeded corpus ``tests/data/failcheck_bugs.pl`` — every predicate
+  marked DEAD there must be certified (with the expected proof method),
+  every live decoy must survive;
+* soundness — the pass must make **zero** ``dead-predicate`` claims on
+  the shipped benchdata suite, whose programs all run;
+* plumbing — lint rows / CLI flags / ``obs explain --failcheck``
+  witnesses / the ``map_corpus`` task all agree with the in-process API.
+"""
+
+import io
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.failcheck import (
+    FailureProof,
+    failcheck_program,
+    parse_indicator,
+    prove_query_failure,
+    reduce_liveness,
+    render_failure,
+)
+from repro.benchdata.loader import (
+    load_prolog_benchmark,
+    prolog_benchmark_names,
+)
+from repro.prolog import load_program
+from repro.prolog.parser import parse_term
+
+BUGS_PATH = Path(__file__).parent / "data" / "failcheck_bugs.pl"
+
+#: the seeded corpus' ground truth: dead predicate -> expected method
+SEEDED_DEAD = {
+    ("ghost", 1): "reduce",
+    ("never", 1): "reduce",
+    ("loop_forever", 1): "reduce",
+    ("blue_pick", 1): "abstract",
+    ("odd_one", 0): "abstract",
+    ("chain", 1): "abstract",
+}
+
+SEEDED_LIVE = {
+    ("color", 1),
+    ("pick", 1),
+    ("edge", 2),
+    ("reach", 2),
+    ("even", 1),
+    ("island", 1),
+}
+
+
+@pytest.fixture(scope="module")
+def bugs_program():
+    return load_program(BUGS_PATH.read_text(encoding="utf-8"))
+
+
+@pytest.fixture(scope="module")
+def bugs_report(bugs_program):
+    return failcheck_program(bugs_program)
+
+
+def test_seeded_corpus_all_dead_predicates_certified(bugs_report):
+    assert bugs_report.dead == SEEDED_DEAD
+    assert len(bugs_report.dead) >= 5  # the acceptance floor
+
+
+def test_seeded_corpus_live_decoys_survive(bugs_report):
+    assert SEEDED_LIVE <= bugs_report.live
+    assert not SEEDED_LIVE & set(bugs_report.dead)
+
+
+def test_seeded_corpus_abstract_pass_completed_exactly(bugs_report):
+    assert bugs_report.completeness == "exact"
+    assert bugs_report.abstract_complete[("blue_pick", 1)]
+
+
+def test_dead_predicate_diagnostics_carry_indicator_witnesses(bugs_report):
+    rows = [d for d in bugs_report.diagnostics if d.rule == "dead-predicate"]
+    witnesses = {d.witness for d in rows}
+    assert witnesses == {
+        f"{name}/{arity}" for name, arity in SEEDED_DEAD
+    }
+    # every witness round-trips through the explain CLI's parser
+    for witness in witnesses:
+        assert parse_indicator(witness) in SEEDED_DEAD
+
+
+def test_reduce_only_mode_skips_abstract_claims(bugs_program):
+    report = failcheck_program(bugs_program, abstract=False)
+    assert report.dead == {
+        ind: m for ind, m in SEEDED_DEAD.items() if m == "reduce"
+    }
+    assert report.abstract_shapes == {}
+
+
+def test_budget_trip_keeps_reduce_claims_only(bugs_program):
+    from repro.runtime.budget import Budget
+
+    report = failcheck_program(bugs_program, budget=Budget(tasks=3))
+    assert report.completeness.startswith("reduce-only(")
+    assert all(method == "reduce" for method in report.dead.values())
+
+
+def test_unreachable_clause_on_live_predicate():
+    program = load_program(
+        "p(1).\np(X) :- missing(X).\nq(X) :- p(X)."
+    )
+    report = failcheck_program(program)
+    assert ("p", 1) in report.live
+    rows = [d for d in report.diagnostics if d.rule == "unreachable-clause"]
+    assert len(rows) == 1
+    assert rows[0].predicate == ("p", 1)
+    assert rows[0].clause_index == 1
+    assert "missing" in rows[0].message
+
+
+def test_reduce_liveness_handles_control_constructs():
+    program = load_program(
+        """
+        a(1).
+        both_dead(X) :- (fail ; missing(X)).
+        one_live(X) :- (fail ; a(X)).
+        guarded(X) :- (a(X) -> fail ; a(X)).
+        negated(X) :- a(X), \\+ missing_too(X).
+        """
+    )
+    live, _culprits = reduce_liveness(program)
+    assert ("both_dead", 1) not in live
+    assert ("one_live", 1) in live
+    assert ("guarded", 1) in live  # else-branch is live
+    assert ("negated", 1) in live  # \\+ over-approximated as satisfiable
+
+
+# ----------------------------------------------------------------------
+# soundness sweep: zero false provably-dead claims on programs that run
+
+
+@pytest.mark.parametrize("name", prolog_benchmark_names())
+def test_no_false_dead_claims_on_benchdata(name):
+    report = failcheck_program(load_prolog_benchmark(name))
+    assert report.dead == {}, sorted(report.dead)
+
+
+# ----------------------------------------------------------------------
+# query-directed proofs
+
+
+def test_prove_query_failure_undefined(bugs_program):
+    proof = prove_query_failure(bugs_program, parse_term("phantom(x)"))
+    assert proof is not None and proof.method == "undefined"
+    assert "phantom/1" in proof.format()
+
+
+def test_prove_query_failure_reduce_and_abstract(bugs_program):
+    reduce_proof = prove_query_failure(bugs_program, parse_term("never(red)"))
+    assert reduce_proof is not None and reduce_proof.method == "reduce"
+    abstract_proof = prove_query_failure(
+        bugs_program, parse_term("blue_pick(X)")
+    )
+    assert abstract_proof is not None and abstract_proof.method == "abstract"
+    assert abstract_proof.witness == "blue_pick/1"
+
+
+def test_prove_query_failure_magic_directed(bugs_program):
+    """reach/2 is live, but nothing is reachable from d except d."""
+    proof = prove_query_failure(bugs_program, parse_term("reach(d, a)"))
+    assert proof is not None
+    assert proof.method == "abstract-magic"
+    assert "reach" in proof.witness  # the adorned abstract goal
+    assert isinstance(proof, FailureProof)
+
+
+def test_prove_query_failure_none_for_live_query(bugs_program):
+    assert prove_query_failure(bugs_program, parse_term("reach(a, c)")) is None
+    assert prove_query_failure(bugs_program, parse_term("color(red)")) is None
+
+
+def test_prove_query_failure_skips_builtins_and_dynamic():
+    program = load_program(":- dynamic(db/1).\np(X) :- db(X).")
+    assert prove_query_failure(program, parse_term("db(1)")) is None
+    assert prove_query_failure(program, parse_term("atom(foo)")) is None
+
+
+def test_parse_indicator():
+    assert parse_indicator("p/2") == ("p", 2)
+    assert parse_indicator("odd_one/0") == ("odd_one", 0)
+    assert parse_indicator("p") is None
+    assert parse_indicator("p/x") is None
+    assert parse_indicator("/2") is None
+
+
+# ----------------------------------------------------------------------
+# rendering (the obs-explain backend)
+
+
+def test_render_failure_reduce_chain(bugs_program, bugs_report):
+    text = render_failure(bugs_program, bugs_report, ("ghost", 1))
+    assert "dead-predicate ghost/1" in text
+    assert "undefined predicate phantom/1" in text
+
+
+def test_render_failure_abstract_certificate(bugs_program, bugs_report):
+    text = render_failure(bugs_program, bugs_report, ("blue_pick", 1))
+    assert "[abstract]" in text
+    assert "success set is empty" in text
+
+
+def test_render_failure_live_counter_evidence(bugs_program, bugs_report):
+    text = render_failure(bugs_program, bugs_report, ("color", 1))
+    assert "not provably dead" in text
+    assert "abstract success set" in text
+
+
+def test_render_failure_recurses_into_dead_callee():
+    program = load_program("a(X) :- b(X).\nb(X) :- fail, a(X).")
+    report = failcheck_program(program)
+    text = render_failure(program, report, ("a", 1))
+    assert "dead-predicate a/1" in text
+    assert "dead-predicate b/1" in text  # expanded inline, cycle-guarded
+
+
+# ----------------------------------------------------------------------
+# lint / CLI / obs / corpus plumbing
+
+
+def test_lint_program_emits_failcheck_rows(bugs_program):
+    from repro.analysis.lint import lint_program
+
+    report = lint_program(bugs_program)
+    rules = {d.rule for d in report.diagnostics}
+    assert "dead-predicate" in rules
+    assert "failcheck" in report.timings
+    quiet = lint_program(bugs_program, failcheck=False)
+    assert "dead-predicate" not in {d.rule for d in quiet.diagnostics}
+    assert "failcheck" not in quiet.timings
+
+
+def test_lint_cli_failcheck_flags(capsys, tmp_path):
+    from repro.analysis.cli import EXIT_ERRORS, EXIT_OK, main
+
+    assert main([str(BUGS_PATH), "--strict"]) == EXIT_ERRORS
+    out = capsys.readouterr().out
+    assert out.count("dead-predicate") >= len(SEEDED_DEAD)
+    # only failcheck can see this one (no other lint rule fires), so the
+    # flag flips the strict exit code
+    clean = tmp_path / "clean.pl"
+    clean.write_text("color(red).\nblue_pick(X) :- color(X), X = blue.\n")
+    assert main([str(clean), "--strict"]) == EXIT_ERRORS
+    assert "dead-predicate" in capsys.readouterr().out
+    assert main([str(clean), "--strict", "--no-failcheck"]) == EXIT_OK
+    assert "dead-predicate" not in capsys.readouterr().out
+
+
+def test_lint_cli_json_includes_failcheck_timing(capsys):
+    from repro.analysis.cli import main
+
+    main([str(BUGS_PATH), "--format", "json"])
+    rows = [
+        json.loads(line)
+        for line in capsys.readouterr().out.splitlines()
+        if line
+    ]
+    (timing_row,) = [r for r in rows if "timings" in r]
+    assert "failcheck" in timing_row["timings"]
+    assert any(r.get("rule") == "dead-predicate" for r in rows)
+
+
+def test_obs_explain_failcheck_witness_renders():
+    from repro.obs.cli import main as obs_main
+
+    buffer = io.StringIO()
+    code = obs_main(
+        ["explain", str(BUGS_PATH), "ghost/1", "--failcheck"], out=buffer
+    )
+    assert code == 0
+    text = buffer.getvalue()
+    assert "dead-predicate ghost/1" in text
+    assert "phantom/1" in text
+
+
+def test_obs_explain_failcheck_every_lint_witness(bugs_report):
+    """Acceptance: each dead-predicate witness is explainable."""
+    from repro.obs.cli import main as obs_main
+
+    for diag in bugs_report.diagnostics:
+        if diag.rule != "dead-predicate":
+            continue
+        buffer = io.StringIO()
+        code = obs_main(
+            ["explain", str(BUGS_PATH), diag.witness, "--failcheck"],
+            out=buffer,
+        )
+        assert code == 0
+        assert f"dead-predicate {diag.witness}" in buffer.getvalue()
+
+
+def test_obs_explain_failcheck_concrete_query():
+    from repro.obs.cli import main as obs_main
+
+    buffer = io.StringIO()
+    code = obs_main(
+        ["explain", str(BUGS_PATH), "reach(d, a)", "--failcheck"], out=buffer
+    )
+    assert code == 0
+    text = buffer.getvalue()
+    assert "not provably dead" in text  # reach/2 itself is live
+    assert "abstract-magic" in text  # but the query has a proof
+
+
+def test_map_corpus_failcheck_task(bugs_report):
+    from repro.parallel.corpus import map_corpus
+
+    (result,) = map_corpus([BUGS_PATH], task="failcheck", jobs=1)
+    assert result.error is None
+    dead = result.payload["dead"]
+    assert f"ghost/1 [reduce]" in dead
+    assert f"blue_pick/1 [abstract]" in dead
+    assert len(dead) == len(SEEDED_DEAD)
+    assert result.payload["completeness"] == "exact"
+
+
+def test_map_corpus_lint_respects_failcheck_option():
+    from repro.parallel.corpus import map_corpus
+
+    (on,) = map_corpus([BUGS_PATH], task="lint", jobs=1)
+    (off,) = map_corpus(
+        [BUGS_PATH], task="lint", jobs=1, options={"failcheck": False}
+    )
+    on_rules = {row["rule"] for row in on.payload["rows"]}
+    off_rules = {row["rule"] for row in off.payload["rows"]}
+    assert "dead-predicate" in on_rules
+    assert "dead-predicate" not in off_rules
+
+
+def test_failcheck_observability_counters(bugs_program):
+    from repro.obs import Observer, use_observer
+
+    obs = Observer()
+    with use_observer(obs):
+        failcheck_program(bugs_program)
+    assert obs.registry.counter("analysis.failcheck.runs").value == 1
+    assert obs.registry.counter(
+        "analysis.failcheck.dead_predicates"
+    ).value == len(SEEDED_DEAD)

@@ -473,3 +473,117 @@ def test_merge_snapshot_respects_event_bound():
     target.merge_snapshot(source.snapshot())
     assert len(target.events) == 3
     assert target.dropped_events == 2
+
+
+# ----------------------------------------------------------------------
+# Stratum barriers: negation-bearing programs under max_workers=N
+
+
+STRATIFIED_PROGRAMS = {
+    "unreachable": """
+        edge(a,b). edge(b,c). edge(c,d). edge(d,b). edge(e,f).
+        node(a). node(b). node(c). node(d). node(e). node(f). node(g).
+        reach(a).
+        reach(Y) :- reach(X), edge(X,Y).
+        unreachable(X) :- node(X), \\+ reach(X).
+    """,
+    # three strata with several independent components per stratum
+    "three_strata": """
+        p(1). p(2). p(3). q(2). q(4). r(3). r(5).
+        s(X) :- p(X), \\+ q(X).
+        t(X) :- p(X), \\+ r(X).
+        u(X) :- p(X), \\+ s(X), \\+ t(X).
+        v(X) :- q(X), \\+ p(X).
+    """,
+    # nested negation and a conjunction under \+
+    "nested": """
+        a(1). a(2). a(3). b(2). c(3).
+        d(X) :- a(X), \\+ (b(X) ; c(X)).
+        e(X) :- a(X), \\+ \\+ b(X).
+        f(X) :- a(X), \\+ (b(X), \\+ c(X)).
+    """,
+}
+
+
+def negation_fingerprint(engine: BottomUpEngine):
+    fingerprint = engine_fingerprint(engine)
+    return fingerprint + (engine.neg_checks,)
+
+
+@pytest.mark.parametrize("name", sorted(STRATIFIED_PROGRAMS))
+def test_stratified_workers_are_bit_for_bit_deterministic(name):
+    """Stratum-barriered parallel evaluation of ``\\+``-bearing programs
+    matches the serial walk exactly: stores, fact order, and every work
+    counter including the negation checks."""
+    program = load_program(STRATIFIED_PROGRAMS[name])
+    serial = negation_fingerprint(BottomUpEngine(program))
+    for workers in (2, 4, 8):
+        parallel = negation_fingerprint(
+            BottomUpEngine(
+                load_program(STRATIFIED_PROGRAMS[name]), max_workers=workers
+            )
+        )
+        assert parallel == serial, f"max_workers={workers} diverged on {name}"
+
+
+def test_stratified_schedule_enforces_stratum_barrier():
+    """No stratum-1 component may start before every stratum-0 one is
+    done, even with no condensation edges between them."""
+    from repro.parallel.scheduler import run_stratified_schedule
+
+    strata = [0, 0, 0, 1, 1, 2]
+    completed = []
+    lock = threading.Lock()
+    started_with = {}
+
+    def run(position):
+        with lock:
+            started_with[position] = set(completed)
+        with lock:
+            completed.append(position)
+
+    run_stratified_schedule(6, {}, strata, run, max_workers=4)
+    assert sorted(completed) == [0, 1, 2, 3, 4, 5]
+    for position, done in started_with.items():
+        lower = {
+            other
+            for other in range(6)
+            if strata[other] < strata[position]
+        }
+        assert lower <= done, (
+            f"component {position} (stratum {strata[position]}) started "
+            f"before lower strata completed: had {done}"
+        )
+
+
+def test_stratified_schedule_uniform_strata_degenerates():
+    order = []
+    from repro.parallel.scheduler import run_stratified_schedule
+
+    run_stratified_schedule(
+        3, {1: {0}, 2: {1}}, [0, 0, 0], order.append, max_workers=1
+    )
+    assert order == [0, 1, 2]
+    order.clear()
+    run_stratified_schedule(
+        3, {1: {0}, 2: {1}}, None, order.append, max_workers=1
+    )
+    assert order == [0, 1, 2]
+
+
+def test_stratified_schedule_rejects_upward_dependency():
+    from repro.parallel.scheduler import run_stratified_schedule
+
+    with pytest.raises(ScheduleError, match="higher stratum"):
+        run_stratified_schedule(
+            2, {0: {1}}, [0, 1], lambda i: None, max_workers=2
+        )
+
+
+def test_unstratified_program_rejected_any_worker_count():
+    from repro.engine.bottomup import UnstratifiedProgramError
+
+    source = "move(a,b). move(b,a).\nwin(X) :- move(X,Y), \\+ win(Y)."
+    for workers in (1, 4):
+        with pytest.raises(UnstratifiedProgramError, match="unstratified-negation"):
+            BottomUpEngine(load_program(source), max_workers=workers).evaluate()
