@@ -1,0 +1,156 @@
+"""E13 — the analysis daemon: request latency, cache, fault overhead.
+
+What serving adds on top of :func:`~repro.parallel.map_corpus` is a
+*latency* story, so this table records per-request percentiles rather
+than sweep throughput:
+
+* **cold** requests pay one worker round-trip (IPC + analysis) per
+  file — p50/p95 over the benchmark corpus;
+* **warm** requests hit the variant-keyed result cache and skip the
+  pool entirely, so the warm p95 should sit well under the cold p50;
+* **recovery** measures the supervised path end to end: a request whose
+  worker is killed mid-flight (injected abort) must still come back
+  correct, and the row records what the kill + respawn + retry cost.
+
+Rows land in ``BENCH_tableserve.json`` next to the other tables and
+diff in the same ``repro.obs report`` gate.
+"""
+
+import statistics
+import time
+from pathlib import Path
+
+import pytest
+
+import repro.benchdata as benchdata
+from repro.serve import AnalysisDaemon, check_reply
+from repro.serve.retry import RetryPolicy
+
+CORPUS_DIR = Path(benchdata.__file__).parent / "prolog"
+
+
+def _corpus_paths():
+    return sorted(str(p) for p in CORPUS_DIR.glob("*.pl"))
+
+
+def _lines(paths):
+    return sum(len(Path(p).read_text().splitlines()) for p in paths)
+
+
+def _percentile(samples, q):
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _row(name, lines, seconds, extra):
+    return {
+        "name": name,
+        "lines": lines,
+        "preprocess": 0.0,
+        "analysis": seconds,
+        "collection": 0.0,
+        "total": seconds,
+        "table_space": 0,
+        "extra": extra,
+    }
+
+
+@pytest.mark.table("serve")
+def test_serve_latency_cold_vs_cached(benchmark, bench_record):
+    """Cold pool round-trips vs warm cache hits over the corpus."""
+    paths = _corpus_paths()
+    lines = _lines(paths)
+    with AnalysisDaemon(pool_size=2, queue_limit=16) as daemon:
+        def fire(index, path):
+            started = time.perf_counter()
+            reply = daemon.handle({"id": index, "task": "groundness",
+                                   "path": path, "deadline": 60})
+            elapsed = time.perf_counter() - started
+            assert check_reply(reply) == "ok"
+            return reply, elapsed
+
+        cold = []
+        for index, path in enumerate(paths):
+            reply, elapsed = fire(index, path)
+            assert not reply["cached"]
+            cold.append(elapsed)
+
+        def warm_sweep():
+            samples = []
+            for index, path in enumerate(paths):
+                reply, elapsed = fire(1000 + index, path)
+                assert reply["cached"]
+                samples.append(elapsed)
+            return samples
+
+        warm = benchmark.pedantic(warm_sweep, rounds=1, iterations=1)
+        hits = daemon.cache.hits
+        misses = daemon.cache.misses
+    hit_rate = hits / (hits + misses) if hits + misses else 0.0
+    cold_p50, cold_p95 = _percentile(cold, 0.5), _percentile(cold, 0.95)
+    warm_p50, warm_p95 = _percentile(warm, 0.5), _percentile(warm, 0.95)
+    benchmark.extra_info.update({
+        "cold_p50": round(cold_p50, 4), "cold_p95": round(cold_p95, 4),
+        "warm_p50": round(warm_p50, 6), "warm_p95": round(warm_p95, 6),
+        "cache_hit_rate": round(hit_rate, 3),
+    })
+    bench_record("serve", _row(
+        "request_cold", lines, sum(cold),
+        {"p50": round(cold_p50, 4), "p95": round(cold_p95, 4),
+         "requests": len(cold)},
+    ))
+    bench_record("serve", _row(
+        "request_cached", lines, sum(warm),
+        {"p50": round(warm_p50, 6), "p95": round(warm_p95, 6),
+         "requests": len(warm), "cache_hit_rate": round(hit_rate, 3)},
+    ))
+    # the cache must actually be doing its job
+    assert hit_rate >= 0.5
+    assert warm_p95 < max(cold_p50, 0.05)
+
+
+@pytest.mark.table("serve")
+def test_serve_crash_recovery_overhead(benchmark, bench_record):
+    """One injected worker abort per request: kill + respawn + retry cost."""
+    path = str(CORPUS_DIR / "qsort.pl")
+    lines = _lines([path])
+    with AnalysisDaemon(
+        pool_size=2, queue_limit=4,
+        retry=RetryPolicy(max_attempts=3, base=0.01, max_delay=0.05),
+    ) as daemon:
+        baseline = daemon.handle({"id": 0, "task": "groundness",
+                                  "path": path, "deadline": 60})
+        assert check_reply(baseline) == "ok"
+
+        def recover(index):
+            started = time.perf_counter()
+            reply = daemon.handle({"id": index, "task": "groundness",
+                                   "path": path, "deadline": 60,
+                                   "inject": {"kind": "abort"}})
+            elapsed = time.perf_counter() - started
+            assert check_reply(reply) == "ok"
+            assert reply["attempts"] == 2
+            assert reply["payload"]["predicates"] == \
+                baseline["payload"]["predicates"]
+            return elapsed
+
+        samples = []
+
+        def run():
+            for index in range(1, 4):
+                samples.append(recover(index))
+            return samples
+
+        benchmark.pedantic(run, rounds=1, iterations=1)
+        respawns = daemon.pool.respawns
+    p50 = _percentile(samples, 0.5)
+    benchmark.extra_info.update({
+        "recovery_p50": round(p50, 4), "respawns": respawns,
+    })
+    bench_record("serve", _row(
+        "request_crash_recovery", lines, sum(samples),
+        {"p50": round(p50, 4), "requests": len(samples),
+         "respawns": respawns},
+    ))
+    assert respawns >= 3

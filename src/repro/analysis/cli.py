@@ -86,14 +86,29 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--jobs",
         "-j",
-        type=int,
+        type=_jobs_arg,
         default=1,
         metavar="N",
-        help="lint files in N worker processes (0 = one per core); "
-        "diagnostics, output order and exit codes are identical to a "
-        "serial run",
+        help="lint files in N worker processes (0 = one per core, "
+        "clamped to the number of files); diagnostics, output order "
+        "and exit codes are identical to a serial run",
     )
     return parser
+
+
+def _jobs_arg(value: str) -> int:
+    """``--jobs`` validator: a clear message instead of a traceback."""
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer process count, got {value!r}"
+        ) from None
+    if jobs < 0:
+        raise argparse.ArgumentTypeError(
+            f"process count must be >= 0 (0 = one per core), got {jobs}"
+        )
+    return jobs
 
 
 def lint_file(

@@ -26,6 +26,7 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
 
@@ -45,12 +46,22 @@ class CorpusResult:
         return self.error is None
 
 
-def resolve_jobs(jobs: int | None) -> int:
-    """``None``/0 -> one worker per core; negatives are an error."""
+def resolve_jobs(jobs: int | None, limit: int | None = None) -> int:
+    """``None``/0 -> one worker per core; negatives/non-integers error.
+
+    ``limit`` (when given) caps the result — pass the corpus size so a
+    two-file sweep never forks eight idle workers.
+    """
     if jobs is None or jobs == 0:
-        return os.cpu_count() or 1
-    if jobs < 0:
+        jobs = os.cpu_count() or 1
+    elif isinstance(jobs, bool) or not isinstance(jobs, int):
+        raise ValueError(
+            f"jobs must be an integer process count, got {jobs!r}"
+        )
+    elif jobs < 0:
         raise ValueError(f"jobs must be positive, got {jobs}")
+    if limit is not None:
+        jobs = max(1, min(jobs, limit))
     return jobs
 
 
@@ -73,19 +84,79 @@ def map_corpus(
 
     Worker metrics snapshots are folded into ``observer`` (default:
     the ambient observer) in input order.
+
+    A *hard* worker death (``os._exit``, a segfault, the OOM killer)
+    breaks the whole :class:`ProcessPoolExecutor`; the sweep survives
+    it: the pool is respawned, files left unfinished are retried once
+    in single-file isolation, and the culprit file — the one that kills
+    its worker again — is reported as that file's ``error`` result
+    instead of sinking the other files' work.
     """
     if task not in TASKS:
         raise ValueError(f"unknown corpus task {task!r}; have {sorted(TASKS)}")
-    jobs = resolve_jobs(jobs)
     items = [(str(path), task, options) for path in paths]
+    jobs = resolve_jobs(jobs, limit=len(items) or 1)
     if jobs <= 1 or len(items) <= 1:
         records = [_corpus_worker(item) for item in items]
     else:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
-            records = list(pool.map(_corpus_worker, items))
+        records = _map_with_recovery(items, jobs, observer)
     results = [CorpusResult(**record) for record in records]
     _fold_metrics(results, observer)
     return results
+
+
+def _map_with_recovery(items, jobs: int, observer) -> list[dict]:
+    """Fan ``items`` over a process pool, surviving hard worker deaths."""
+    records: list[dict | None] = [None] * len(items)
+    try:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [pool.submit(_corpus_worker, item) for item in items]
+            for index, future in enumerate(futures):
+                try:
+                    records[index] = future.result()
+                except BrokenProcessPool:
+                    continue
+    except BrokenProcessPool:
+        # a worker died so early that submit/shutdown itself broke;
+        # whatever is still None below gets the isolated retry
+        pass
+    suspects = [index for index, record in enumerate(records) if record is None]
+    if suspects:
+        _count_pool_breaks(observer, len(suspects))
+    for index in suspects:
+        # retry each unfinished file once, isolated in its own
+        # single-worker pool: survivors were innocent bystanders of the
+        # pool break, and the culprit identifies itself by killing its
+        # private worker again
+        records[index] = _retry_isolated(items[index])
+    return records
+
+
+def _retry_isolated(item) -> dict:
+    path, task, _options = item
+    started = time.perf_counter()
+    try:
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            return pool.submit(_corpus_worker, item).result()
+    except BrokenProcessPool:
+        return {
+            "path": path,
+            "task": task,
+            "payload": None,
+            "error": "WorkerCrashed: worker process died (hard exit) "
+            "while analyzing this file",
+            "seconds": time.perf_counter() - started,
+            "metrics": {},
+        }
+
+
+def _count_pool_breaks(observer, retried: int) -> None:
+    from repro.obs.observer import resolve_observer
+
+    obs = resolve_observer(observer)
+    if getattr(obs, "enabled", False):
+        obs.registry.counter("parallel.corpus.pool_breaks").inc()
+        obs.registry.counter("parallel.corpus.retried_files").inc(retried)
 
 
 def _fold_metrics(results: list[CorpusResult], observer) -> None:
@@ -108,6 +179,14 @@ def _corpus_worker(item) -> dict:
     path, task, options = item
     from repro.obs import Observer, use_observer
 
+    inject = (options or {}).get("inject") or {}
+    if path in inject:
+        # chaos/regression hook: exhibit a process-level fault for this
+        # file (e.g. {"inject": {"bad.pl": {"kind": "abort"}}} models a
+        # worker OOM-killed while analyzing bad.pl)
+        from repro.runtime.faultinject import apply_process_fault
+
+        apply_process_fault(inject[path])
     observer = Observer()
     started = time.perf_counter()
     payload, error = None, None

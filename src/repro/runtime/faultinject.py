@@ -1,4 +1,4 @@
-"""Deterministic fault injection for the resource governor.
+"""Deterministic fault injection: budget-level and process-level.
 
 A :class:`FaultInjector` is attached to a
 :class:`~repro.runtime.budget.ResourceGovernor` and trips a chosen
@@ -11,9 +11,23 @@ ladder are fully reproducible.
 restarted between degradation stages share the injector object, so
 ``times=1`` trips only the first (exact) stage and lets the first
 retry succeed, ``times=2`` also trips the first retry, etc.
+
+The *process-level* half simulates faults the governor cannot model
+because they kill or wedge the whole worker process: a hard abort
+(``os._exit``, standing in for segfaults and OOM kills), a hang past
+the request deadline, and a corrupt reply on the IPC channel.  Specs
+are plain JSON-able dicts so they cross the pickle boundary into
+worker processes unchanged; :func:`apply_process_fault` is called by
+the workers (:mod:`repro.parallel.corpus`, :mod:`repro.serve.pool`)
+and a :class:`ProcessFaultPlan` deals a seeded, reproducible schedule
+of such specs for chaos testing (:mod:`repro.serve.chaos`).
 """
 
 from __future__ import annotations
+
+import os
+import random
+import time
 
 from repro.runtime.budget import ERROR_FOR_KIND, EVENT_KINDS
 
@@ -68,3 +82,94 @@ class FaultInjector:
             f"FaultInjector(event={self.event!r}, at={self.at}, "
             f"kind={self.kind!r}, fired={self.fired})"
         )
+
+
+# ----------------------------------------------------------------------
+# Process-level faults
+
+
+#: fault kinds a worker process can be asked to exhibit
+PROCESS_FAULT_KINDS = ("abort", "hang", "corrupt")
+
+#: the exit status an injected abort dies with (distinctive on purpose)
+ABORT_EXIT_STATUS = 43
+
+#: sentinel returned by :func:`apply_process_fault` for ``corrupt``:
+#: the worker must garble its *reply*, which only the IPC layer can do
+CORRUPT_REPLY = "corrupt-reply"
+
+
+def apply_process_fault(spec: dict | None) -> str | None:
+    """Exhibit the fault described by ``spec`` inside a worker process.
+
+    ``spec`` is a JSON-able dict — ``{"kind": "abort" | "hang" |
+    "corrupt", ...}`` — or ``None``/empty for no fault.
+
+    * ``abort`` calls ``os._exit`` (no cleanup, no exception — the
+      closest pure-Python stand-in for a segfault or OOM kill);
+    * ``hang`` sleeps for ``spec["seconds"]`` (default 600 — far past
+      any sane request deadline) and then returns, modelling a wedged
+      worker that the supervisor must kill;
+    * ``corrupt`` returns :data:`CORRUPT_REPLY`, instructing the IPC
+      layer to send a malformed reply object instead of the real one.
+
+    Returns ``None`` when no externally-visible fault is requested.
+    """
+    if not spec:
+        return None
+    kind = spec.get("kind")
+    if kind is None:
+        return None
+    if kind not in PROCESS_FAULT_KINDS:
+        raise ValueError(
+            f"unknown process fault kind {kind!r}; have {PROCESS_FAULT_KINDS}"
+        )
+    if kind == "abort":
+        os._exit(spec.get("status", ABORT_EXIT_STATUS))
+    if kind == "hang":
+        time.sleep(spec.get("seconds", 600.0))
+        return None
+    return CORRUPT_REPLY
+
+
+class ProcessFaultPlan:
+    """A seeded, reproducible schedule of process-level faults.
+
+    ``deal(index)`` maps a request index to a fault spec (or ``None``)
+    — the same seed always yields the same schedule, so a chaos run is
+    exactly replayable.  ``rates`` maps fault kind to probability per
+    request; kinds are drawn independently in a fixed order, first hit
+    wins, so the marginal rates are slightly below nominal but stable.
+
+    The plan lives in the *parent* (scheduler/driver) process: it deals
+    specs that ride on requests into workers, keeping all randomness on
+    one side of the process boundary.
+    """
+
+    def __init__(self, seed: int, rates: dict | None = None,
+                 hang_seconds: float = 600.0):
+        self.seed = seed
+        self.rates = dict(rates) if rates else {"abort": 0.15, "hang": 0.1,
+                                                "corrupt": 0.15}
+        for kind in self.rates:
+            if kind not in PROCESS_FAULT_KINDS:
+                raise ValueError(f"unknown process fault kind {kind!r}")
+        self.hang_seconds = hang_seconds
+        self.dealt: list = []
+
+    def deal(self, index: int) -> dict | None:
+        """The fault spec for request ``index`` (deterministic in seed)."""
+        rng = random.Random(f"{self.seed}:{index}")
+        spec = None
+        for kind in PROCESS_FAULT_KINDS:
+            rate = self.rates.get(kind, 0.0)
+            if rate and rng.random() < rate:
+                spec = {"kind": kind}
+                if kind == "hang":
+                    spec["seconds"] = self.hang_seconds
+                break
+        self.dealt.append(spec)
+        return spec
+
+    def __repr__(self) -> str:
+        return f"ProcessFaultPlan(seed={self.seed}, rates={self.rates})"

@@ -1,0 +1,118 @@
+"""The circuit breaker: trip to degraded serving while the pool flaps.
+
+A classic three-state machine, kept pure over an injected clock so the
+transitions are unit-testable without sleeps:
+
+* **closed** — normal operation; worker failures are counted in a
+  sliding window of the last ``window`` outcomes, and when the count
+  reaches ``failure_threshold`` the breaker opens;
+* **open** — pool dispatch is refused outright for ``reset_seconds``;
+  the daemon serves *in-process degraded* replies instead (tight
+  budget, :mod:`repro.runtime.degrade` ladder) so clients keep getting
+  sound answers while the pool is presumed sick;
+* **half-open** — after the cooldown, up to ``probe_limit`` requests
+  are let through to the pool as probes; ``probe_successes``
+  consecutive successes close the breaker, any probe failure reopens
+  it (and restarts the cooldown).
+
+The daemon gates on :meth:`allow` and reports every pool outcome via
+:meth:`record_success` / :meth:`record_failure`; :meth:`state` is
+exported as a gauge (0 closed / 1 half-open / 2 open).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+
+CLOSED, HALF_OPEN, OPEN = "closed", "half-open", "open"
+
+#: gauge encoding of the state, exported via the metrics registry
+STATE_GAUGE = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+
+class CircuitBreaker:
+    """Failure-rate gate between the daemon and its worker pool."""
+
+    def __init__(self, failure_threshold: int = 3, window: int = 8,
+                 reset_seconds: float = 5.0, probe_successes: int = 2,
+                 probe_limit: int = 2, clock=time.monotonic):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if window < failure_threshold:
+            raise ValueError("window must be >= failure_threshold")
+        self.failure_threshold = failure_threshold
+        self.window = window
+        self.reset_seconds = reset_seconds
+        self.probe_successes = probe_successes
+        self.probe_limit = probe_limit
+        self.clock = clock
+        self.state = CLOSED
+        self.opened_count = 0
+        self._outcomes: deque = deque(maxlen=window)
+        self._opened_at: float | None = None
+        self._probes_in_flight = 0
+        self._probe_wins = 0
+
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """May the next request use the worker pool?
+
+        Advances ``open -> half-open`` when the cooldown has elapsed;
+        in half-open, admits at most ``probe_limit`` probes at a time.
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if self.clock() - self._opened_at >= self.reset_seconds:
+                self.state = HALF_OPEN
+                self._probes_in_flight = 0
+                self._probe_wins = 0
+            else:
+                return False
+        if self._probes_in_flight >= self.probe_limit:
+            return False
+        self._probes_in_flight += 1
+        return True
+
+    def record_success(self) -> None:
+        if self.state == HALF_OPEN:
+            self._probes_in_flight = max(0, self._probes_in_flight - 1)
+            self._probe_wins += 1
+            if self._probe_wins >= self.probe_successes:
+                self._close()
+            return
+        self._outcomes.append(True)
+
+    def record_failure(self) -> None:
+        if self.state == HALF_OPEN:
+            self._open()
+            return
+        self._outcomes.append(False)
+        if self.state == CLOSED and self._recent_failures() >= self.failure_threshold:
+            self._open()
+
+    # ------------------------------------------------------------------
+    def _recent_failures(self) -> int:
+        return sum(1 for ok in self._outcomes if not ok)
+
+    def _open(self) -> None:
+        self.state = OPEN
+        self.opened_count += 1
+        self._opened_at = self.clock()
+        self._outcomes.clear()
+        self._probes_in_flight = 0
+        self._probe_wins = 0
+
+    def _close(self) -> None:
+        self.state = CLOSED
+        self._outcomes.clear()
+        self._probes_in_flight = 0
+        self._probe_wins = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker(state={self.state!r}, "
+            f"recent_failures={self._recent_failures()}, "
+            f"opened_count={self.opened_count})"
+        )

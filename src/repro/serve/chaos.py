@@ -1,0 +1,260 @@
+"""Deterministic chaos testing for the analysis daemon.
+
+:func:`run_chaos` drives an :class:`~repro.serve.daemon.AnalysisDaemon`
+through a seeded fault schedule — worker aborts, hangs past the
+deadline, corrupt replies (dealt by
+:class:`~repro.runtime.faultinject.ProcessFaultPlan`), malformed
+requests, a persistent poison request, and a concurrent burst against
+the bounded queue — and holds every reply to the service contract:
+
+* well-formed (:func:`~repro.serve.protocol.check_reply`): a success
+  payload, a *degraded* success, or a structured error with a known
+  code — never a raw traceback, never a hang, never a dead daemon;
+* **correct**: a non-degraded success payload must equal the golden
+  in-process result for the same (task, file, options), timings aside
+  — retries, cache hits and pool respawns must not change answers;
+* **bounded**: each reply lands within the request deadline plus a
+  fixed supervision grace (the time to detect a hang, kill the worker
+  and answer), so no request can wedge past its deadline.
+
+Violations are collected, not raised, so one report shows everything a
+schedule shook loose; the same seed always produces the same schedule.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.parallel.corpus import TASKS
+from repro.runtime.faultinject import ProcessFaultPlan
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.daemon import AnalysisDaemon
+from repro.serve.protocol import ProtocolError, check_reply
+from repro.serve.retry import RetryPolicy
+
+#: seconds of supervision overhead allowed on top of a request deadline
+#: (hang detection + worker kill + respawn + structured reply)
+GRACE_SECONDS = 3.0
+
+
+#: payload keys that legitimately vary between runs of the same
+#: analysis: wall-clock timings, and table-space bytes (warm memo
+#: caches change object sizes without changing any answer)
+VOLATILE_KEYS = frozenset({"timings", "table_space"})
+
+
+def strip_volatile(value):
+    """``value`` with every volatile entry removed (deep copy)."""
+    if isinstance(value, dict):
+        return {k: strip_volatile(v) for k, v in value.items()
+                if k not in VOLATILE_KEYS}
+    if isinstance(value, list):
+        return [strip_volatile(v) for v in value]
+    return value
+
+
+class ChaosReport:
+    """Outcome tally plus contract violations for one chaos run."""
+
+    def __init__(self, seed: int):
+        self.seed = seed
+        self.outcomes: dict[str, int] = {}
+        self.error_codes: dict[str, int] = {}
+        self.violations: list[str] = []
+        self.requests = 0
+        self.cache_hits = 0
+        self.drain_clean = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and self.drain_clean
+
+    def tally(self, outcome: str, reply: dict) -> None:
+        self.requests += 1
+        self.outcomes[outcome] = self.outcomes.get(outcome, 0) + 1
+        if outcome == "error":
+            code = reply["error"]["code"]
+            self.error_codes[code] = self.error_codes.get(code, 0) + 1
+        if reply.get("cached"):
+            self.cache_hits += 1
+
+    def violation(self, message: str) -> None:
+        self.violations.append(message)
+
+    def summary(self) -> str:
+        lines = [
+            f"chaos seed={self.seed}: {self.requests} requests, "
+            f"outcomes={dict(sorted(self.outcomes.items()))}, "
+            f"error_codes={dict(sorted(self.error_codes.items()))}, "
+            f"cache_hits={self.cache_hits}, drain_clean={self.drain_clean}",
+        ]
+        for violation in self.violations:
+            lines.append(f"VIOLATION: {violation}")
+        lines.append("PASS" if self.ok else "FAIL")
+        return "\n".join(lines)
+
+
+class _Golden:
+    """Memoized in-process reference results (fault-free, unbudgeted)."""
+
+    def __init__(self):
+        self._results: dict = {}
+
+    def payload(self, task: str, path: str, options: dict):
+        key = (task, path, tuple(sorted(options.items())))
+        if key not in self._results:
+            try:
+                self._results[key] = strip_volatile(TASKS[task](path, dict(options)))
+            except Exception as exc:  # noqa: BLE001 — golden may legitimately fail
+                self._results[key] = f"error:{type(exc).__name__}"
+        return self._results[key]
+
+
+def run_chaos(
+    seed: int,
+    paths: list[str],
+    requests: int = 24,
+    tasks: tuple = ("lint", "groundness", "depthk"),
+    deadline: float = 2.0,
+    burst: int = 6,
+    rates: dict | None = None,
+) -> ChaosReport:
+    """Drive one daemon through a seeded fault schedule; return the report."""
+    report = ChaosReport(seed)
+    plan = ProcessFaultPlan(seed, rates=rates, hang_seconds=600.0)
+    golden = _Golden()
+    daemon = AnalysisDaemon(
+        pool_size=2,
+        queue_limit=2,
+        default_deadline=deadline,
+        retry=RetryPolicy(max_attempts=3, base=0.02, max_delay=0.2),
+        breaker=CircuitBreaker(failure_threshold=4, window=8,
+                               reset_seconds=0.5),
+        poison_threshold=2,
+    )
+    lint_options = {"failcheck": False, "modes": False}
+    try:
+        for index in range(requests):
+            task = tasks[index % len(tasks)]
+            path = paths[index % len(paths)]
+            options = lint_options if task == "lint" else {}
+            data = {"id": index, "task": task, "path": path,
+                    "options": options, "deadline": deadline}
+            kind = None
+            if index and index % 11 == 0:
+                # malformed request: bogus task name
+                data["task"] = "no-such-task"
+            elif index and index % 7 == 0:
+                # the poison request: one logical request (one key) that
+                # kills every fresh worker it reaches; resubmissions must
+                # hit the quarantine entry, not fresh workers
+                data["task"] = "groundness"
+                data["path"] = paths[0]
+                data["options"] = {"chaos": "poison"}
+                data["inject"] = {"kind": "abort", "every": True}
+                kind = "poison"
+            else:
+                spec = plan.deal(index)
+                if spec is not None:
+                    data["inject"] = spec
+                    kind = spec["kind"]
+            _fire(daemon, data, kind, golden, report, deadline)
+        _burst(daemon, paths, burst, deadline, report)
+    finally:
+        report.drain_clean = daemon.drain(timeout=15.0)
+    # post-drain: intake must refuse cleanly, not crash
+    reply = daemon.handle({"id": "late", "task": "lint", "path": paths[0],
+                           "options": lint_options, "deadline": deadline})
+    if reply["ok"] or reply["error"]["code"] != "shutting-down":
+        report.violation(f"post-drain request not refused cleanly: {reply!r}")
+    return report
+
+
+def _fire(daemon, data, fault_kind, golden, report, deadline) -> None:
+    started = time.monotonic()
+    reply = daemon.handle(dict(data))
+    elapsed = time.monotonic() - started
+    _check(reply, data, fault_kind, golden, report)
+    if elapsed > deadline + GRACE_SECONDS:
+        report.violation(
+            f"request {data.get('id')} took {elapsed:.2f}s, past its "
+            f"{deadline:.2f}s deadline plus {GRACE_SECONDS:.1f}s grace"
+        )
+
+
+def _check(reply, data, fault_kind, golden, report) -> None:
+    try:
+        outcome = check_reply(reply)
+    except ProtocolError as exc:
+        report.tally("malformed", {"error": {"code": "?"}, "cached": False})
+        report.violation(f"request {data.get('id')}: ill-formed reply: {exc}")
+        return
+    report.tally(outcome, reply)
+    if data.get("task") not in TASKS:
+        if outcome != "error" or reply["error"]["code"] != "unknown-task":
+            report.violation(
+                f"request {data.get('id')}: bogus task must be refused "
+                f"with unknown-task, got {reply!r}"
+            )
+        return
+    if fault_kind == "poison":
+        # a poison request must end quarantined, not retried forever;
+        # "degraded" is also within contract — it means the breaker was
+        # already open, so the request went to the in-process ladder
+        # where the modeled *worker* fault has nothing to kill
+        if outcome == "degraded":
+            return
+        if outcome != "error" or reply["error"]["code"] not in (
+                "poisoned", "worker-crash"):
+            report.violation(
+                f"request {data.get('id')}: poison request must yield "
+                f"poisoned/worker-crash (or degraded under an open "
+                f"breaker), got {reply!r}"
+            )
+        return
+    if outcome == "ok":
+        expected = golden.payload(data["task"], data["path"],
+                                  data.get("options") or {})
+        if strip_volatile(reply["payload"]) != expected:
+            report.violation(
+                f"request {data.get('id')}: non-degraded payload differs "
+                f"from the golden in-process result"
+            )
+
+
+def _burst(daemon, paths, burst, deadline, report) -> None:
+    """Concurrent fire at a tiny queue: sheds must be clean, rest correct."""
+    if burst <= 0:
+        return
+    replies = [None] * burst
+    lint_options = {"failcheck": False, "modes": False}
+
+    def one(slot):
+        replies[slot] = daemon.handle({
+            "id": f"burst-{slot}", "task": "lint",
+            "path": paths[slot % len(paths)], "options": lint_options,
+            "deadline": deadline,
+        })
+
+    threads = [threading.Thread(target=one, args=(slot,)) for slot in range(burst)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=deadline + GRACE_SECONDS + 5.0)
+        if thread.is_alive():
+            report.violation("burst request hung past deadline + grace")
+    for slot, reply in enumerate(replies):
+        if reply is None:
+            continue
+        try:
+            outcome = check_reply(reply)
+        except ProtocolError as exc:
+            report.violation(f"burst-{slot}: ill-formed reply: {exc}")
+            continue
+        report.tally(outcome, reply)
+        if outcome == "error" and reply["error"]["code"] not in (
+                "overloaded", "deadline"):
+            report.violation(
+                f"burst-{slot}: unexpected error code {reply['error']['code']}"
+            )

@@ -1,0 +1,126 @@
+"""Command line front end: ``python -m repro.serve``.
+
+Three modes:
+
+* ``--stdin`` (default): serve JSONL requests from stdin, one reply
+  per line on stdout, drain on EOF or SIGTERM — the batch/pipe mode CI
+  smokes;
+* ``--tcp HOST:PORT``: serve the same protocol over a socket
+  (``PORT`` 0 binds an ephemeral port, printed on stderr);
+* ``--chaos``: run the seeded chaos harness against a fresh daemon and
+  exit 0 iff every reply honoured the service contract.
+
+Exit codes: 0 clean (chaos passed / drain clean), 1 chaos violations
+or unclean drain, 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.daemon import AnalysisDaemon
+from repro.serve.frontends import install_signal_handlers, serve_stdin, serve_tcp
+from repro.serve.protocol import DEFAULT_DEADLINE
+from repro.serve.retry import RetryPolicy
+
+EXIT_OK = 0
+EXIT_FAIL = 1
+EXIT_USAGE = 2
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Long-lived fault-isolated analysis daemon: "
+        "lint/modecheck/groundness/depthk/failcheck requests as JSONL, "
+        "served from a supervised worker pool with retry, poison "
+        "quarantine, a circuit breaker and a warm result cache.",
+    )
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument("--stdin", action="store_true",
+                      help="serve JSONL from stdin (the default mode)")
+    mode.add_argument("--tcp", metavar="HOST:PORT",
+                      help="serve over TCP (PORT 0 = ephemeral, printed "
+                      "on stderr)")
+    mode.add_argument("--chaos", action="store_true",
+                      help="run the seeded chaos harness and exit "
+                      "nonzero on any contract violation")
+    parser.add_argument("--workers", type=int, default=2, metavar="N",
+                        help="worker pool size (default 2)")
+    parser.add_argument("--queue-limit", type=int, default=8, metavar="N",
+                        help="max in-flight requests before load shedding")
+    parser.add_argument("--deadline", type=float, default=DEFAULT_DEADLINE,
+                        metavar="SECONDS",
+                        help="default per-request deadline")
+    parser.add_argument("--retries", type=int, default=3, metavar="N",
+                        help="max total attempts per request (1 = no retry)")
+    parser.add_argument("--poison-threshold", type=int, default=2, metavar="N",
+                        help="fresh-worker kills before a request is "
+                        "quarantined")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="chaos schedule seed (with --chaos)")
+    parser.add_argument("--chaos-requests", type=int, default=24, metavar="N",
+                        help="scheduled requests in the chaos run")
+    parser.add_argument("--files", nargs="*", metavar="FILE",
+                        help="corpus files for --chaos (default: the "
+                        "bundled benchmark programs)")
+    return parser
+
+
+def _build_daemon(args) -> AnalysisDaemon:
+    return AnalysisDaemon(
+        pool_size=args.workers,
+        queue_limit=args.queue_limit,
+        default_deadline=args.deadline,
+        retry=RetryPolicy(max_attempts=max(1, args.retries)),
+        breaker=CircuitBreaker(),
+        poison_threshold=args.poison_threshold,
+    )
+
+
+def _chaos_paths(args) -> list[str]:
+    if args.files:
+        return list(args.files)
+    from pathlib import Path
+
+    import repro.benchdata as benchdata
+
+    corpus = Path(benchdata.__file__).parent / "prolog"
+    return sorted(str(p) for p in corpus.glob("*.pl"))
+
+
+def main(argv: list[str] | None = None, out=None, err=None) -> int:
+    out = out if out is not None else sys.stdout
+    err = err if err is not None else sys.stderr
+    args = build_arg_parser().parse_args(argv)
+    if args.workers < 1 or args.queue_limit < 1:
+        print("--workers and --queue-limit must be >= 1", file=err)
+        return EXIT_USAGE
+
+    if args.chaos:
+        from repro.serve.chaos import run_chaos
+
+        report = run_chaos(args.seed, _chaos_paths(args),
+                           requests=args.chaos_requests)
+        print(report.summary(), file=out)
+        return EXIT_OK if report.ok else EXIT_FAIL
+
+    stop = threading.Event()
+    install_signal_handlers(stop)
+    daemon = _build_daemon(args)
+    if args.tcp:
+        host, _, port_text = args.tcp.rpartition(":")
+        try:
+            port = int(port_text)
+        except ValueError:
+            print(f"--tcp expects HOST:PORT, got {args.tcp!r}", file=err)
+            return EXIT_USAGE
+        serve_tcp(daemon, host or "127.0.0.1", port, stop=stop,
+                  ready=lambda addr: print(f"listening on {addr[0]}:{addr[1]}",
+                                           file=err, flush=True))
+        return EXIT_OK
+    serve_stdin(daemon, stop=stop)
+    return EXIT_OK

@@ -1,0 +1,367 @@
+"""The analysis daemon: supervised dispatch with a degrade-don't-crash path.
+
+:class:`AnalysisDaemon` owns the full request path the ISSUE's chaos
+suite exercises::
+
+    request -> validate -> quarantine check -> warm cache probe
+            -> [breaker closed]  pool dispatch with deadline,
+                                 bounded retry + backoff on worker faults
+               [breaker open]    in-process degraded serving
+            -> reply (ok | degraded | structured error)
+
+Every hazard has one owner:
+
+* a **bad request** is answered with ``bad-request``/``unknown-task``
+  before it touches any state;
+* a **worker fault** (crash / hang / corrupt reply) is retried with
+  exponential backoff while the request's deadline allows — each fault
+  already cost one worker, killed and respawned by the pool;
+* a **poison request** — one that keeps killing fresh workers — is
+  quarantined after ``poison_threshold`` kills and answered
+  ``poisoned`` forever after, so it can never grind the pool down;
+* a **flapping pool** trips the circuit breaker, and requests are
+  served *in-process degraded*: the analysis runs under a tight
+  :class:`~repro.runtime.budget.Budget` and the
+  :mod:`repro.runtime.degrade` ladder, so the answer is still a sound
+  over-approximation, just less precise — degraded, never wrong;
+* **overload** is shed at the door (``overloaded``) by a bounded
+  in-flight limit, and **shutdown** drains: in-flight requests finish,
+  new ones get ``shutting-down``, the pool exits cleanly.
+
+Latency, cache, retry and breaker health are all exported through the
+:mod:`repro.obs` metrics registry (``serve.*`` instruments).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+from repro.obs import Observer
+from repro.parallel.corpus import TASKS
+from repro.serve.breaker import STATE_GAUGE, CircuitBreaker
+from repro.serve.cache import ResultCache
+from repro.serve.pool import WorkerFailure, WorkerPool
+from repro.serve.protocol import (
+    DEFAULT_DEADLINE,
+    ProtocolError,
+    Request,
+    error_reply,
+    ok_reply,
+    parse_request,
+    parse_request_line,
+)
+from repro.serve.retry import RetryPolicy
+
+#: budget applied to in-process degraded serving (cooperative; the
+#: degradation ladder inside the analyses turns trips into ⊤-ward
+#: precision loss rather than failures)
+DEGRADED_BUDGET = {"deadline": 2.0, "tasks": 20000}
+
+
+class AnalysisDaemon:
+    """A long-lived, fault-isolated analysis service."""
+
+    def __init__(
+        self,
+        pool_size: int = 2,
+        queue_limit: int = 8,
+        default_deadline: float = DEFAULT_DEADLINE,
+        retry: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        cache: ResultCache | None = None,
+        poison_threshold: int = 2,
+        observer: Observer | None = None,
+        clock=time.monotonic,
+        sleep=time.sleep,
+    ):
+        self.observer = observer if observer is not None else Observer()
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.cache = cache if cache is not None else ResultCache()
+        self.default_deadline = default_deadline
+        self.poison_threshold = poison_threshold
+        self.clock = clock
+        self.sleep = sleep
+        self.pool = WorkerPool(size=pool_size, observer=self.observer)
+        self._quarantine: dict = {}        # request key -> reason
+        self._worker_kills: dict = {}      # request key -> fresh workers killed
+        self._seq = 0
+        self._lock = threading.Lock()      # breaker + quarantine transitions
+        self._inflight = threading.BoundedSemaphore(queue_limit)
+        self._inflight_count = 0
+        self._draining = threading.Event()
+        self._drained = threading.Event()
+
+    # ------------------------------------------------------------------
+    # metrics helpers
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        self.observer.registry.counter(name).inc(amount)
+
+    def _gauges(self) -> None:
+        registry = self.observer.registry
+        registry.gauge("serve.breaker.state").set(STATE_GAUGE[self.breaker.state])
+        registry.gauge("serve.inflight").set(self._inflight_count)
+        registry.gauge("serve.quarantine.size").set(len(self._quarantine))
+
+    # ------------------------------------------------------------------
+    # entry points
+
+    def handle_line(self, line: str) -> dict:
+        """One JSONL request line -> one reply dict."""
+        try:
+            request = parse_request_line(line, TASKS)
+        except ProtocolError as exc:
+            self._count("serve.replies.error")
+            # salvage the id if the line was at least JSON, so the
+            # client can correlate the error with its request
+            request_id = None
+            try:
+                data = json.loads(line)
+                if isinstance(data, dict):
+                    request_id = data.get("id")
+            except (json.JSONDecodeError, TypeError):
+                pass
+            return error_reply(request_id, exc.code, str(exc))
+        return self.handle(request)
+
+    def handle(self, request: Request | dict) -> dict:
+        """Serve one request end to end (thread-safe)."""
+        if isinstance(request, dict):
+            try:
+                request = parse_request(request, TASKS)
+            except ProtocolError as exc:
+                self._count("serve.replies.error")
+                return error_reply(request.get("id"), exc.code, str(exc))
+        if self._draining.is_set():
+            self._count("serve.replies.shed")
+            return error_reply(request.id, "shutting-down",
+                              "daemon is draining; no new requests accepted")
+        if not self._inflight.acquire(blocking=False):
+            self._count("serve.replies.shed")
+            return error_reply(request.id, "overloaded",
+                              "request queue is full; retry later")
+        with self._lock:
+            self._inflight_count += 1
+        started = self.clock()
+        try:
+            reply = self._serve(request, started)
+        except Exception as exc:  # noqa: BLE001 — supervisor must not leak raw errors
+            reply = error_reply(request.id, "internal",
+                                f"{type(exc).__name__}: {exc}")
+        finally:
+            with self._lock:
+                self._inflight_count -= 1
+            self._inflight.release()
+        reply["seconds"] = round(self.clock() - started, 6)
+        self._count("serve.requests")
+        if reply["ok"]:
+            self._count("serve.replies.degraded" if reply["degraded"]
+                        else "serve.replies.ok")
+        else:
+            self._count("serve.replies.error")
+        self.observer.registry.timer("serve.request_seconds").observe(
+            reply["seconds"])
+        self._gauges()
+        return reply
+
+    # ------------------------------------------------------------------
+    # the dispatch path
+
+    def _serve(self, request: Request, started: float) -> dict:
+        key = request.key
+        with self._lock:
+            reason = self._quarantine.get(key)
+        if reason is not None:
+            self._count("serve.replies.poisoned")
+            return error_reply(request.id, "poisoned", reason)
+
+        # a request carrying an injected fault must actually reach a
+        # worker — chaos schedules are only deterministic if the cache
+        # cannot absorb them
+        probe = None if request.inject is not None else self._probe_cache(request)
+        if probe is not None and probe.hit:
+            self._count("serve.cache.hits")
+            return ok_reply(request.id, probe.payload, cached=True)
+        self._count("serve.cache.misses")
+        if probe is not None and probe.partial:
+            self._count("serve.cache.partial_misses")
+            self._count("serve.cache.invalidated_components", len(probe.dirty))
+
+        with self._lock:
+            pool_allowed = self.breaker.allow()
+        if not pool_allowed:
+            self._count("serve.replies.degraded_served")
+            return self._serve_degraded(request)
+
+        reply = self._dispatch_with_retry(request, started)
+        if reply["ok"] and not reply["degraded"] and probe is not None:
+            self.cache.store(request.key, probe, reply["payload"])
+        return reply
+
+    def _probe_cache(self, request: Request):
+        """Parse the file and probe the warm cache (None = uncacheable)."""
+        try:
+            from repro.prolog.program import load_program
+
+            with open(request.path, encoding="utf-8") as handle:
+                program = load_program(handle.read())
+        except Exception:  # noqa: BLE001 — unreadable/unparsable: worker decides
+            return None
+        try:
+            return self.cache.probe(request.key, program)
+        except Exception:  # noqa: BLE001 — cache trouble must not fail requests
+            return None
+
+    def _dispatch_with_retry(self, request: Request, started: float) -> dict:
+        """Pool dispatch under the retry session and the breaker."""
+        with self._lock:
+            self._seq += 1
+            seq = self._seq
+        session = self.retry.session(
+            budget_seconds=request.deadline, seed=seq,
+            clock=self.clock, sleep=self.sleep,
+        )
+        last_failure: WorkerFailure | None = None
+        while True:
+            remaining = session.remaining()
+            if remaining is not None and remaining <= 0:
+                break
+            # an injected fault models a transient worker fault and fires
+            # once per request, so retry recovers — unless the spec says
+            # {"every": true}, which models a poison request that kills
+            # every fresh worker it reaches
+            inject = request.inject
+            if inject is not None and session.attempt > 1 and not inject.get("every"):
+                inject = None
+            try:
+                record = self.pool.submit(
+                    seq, request.task, request.path, dict(request.options),
+                    remaining if remaining is not None else request.deadline,
+                    inject,
+                )
+            except WorkerFailure as failure:
+                last_failure = failure
+                self._record_worker_failure(request, failure)
+                if self._poisoned(request):
+                    self._count("serve.replies.poisoned")
+                    return error_reply(
+                        request.id, "poisoned",
+                        f"request killed {self.poison_threshold} fresh "
+                        f"worker(s) and was quarantined ({failure.kind})",
+                        attempts=session.attempt,
+                    )
+                self._count("serve.retries")
+                if not session.backoff():
+                    break
+                continue
+            with self._lock:
+                self.breaker.record_success()
+                # the request completed, so it is demonstrably not poison:
+                # forget its worker kills, or transient crashes on a
+                # popular key would accumulate into a false quarantine
+                self._worker_kills.pop(request.key, None)
+            self.observer.registry.merge_snapshot(record.get("metrics", {}))
+            if record["error"] is not None:
+                # deterministic analysis failure: structured, not retried
+                return error_reply(request.id, "analysis-error",
+                                   record["error"], attempts=session.attempt)
+            return ok_reply(request.id, record["payload"],
+                            attempts=session.attempt)
+        # retries exhausted (attempts or deadline)
+        if last_failure is None:
+            return error_reply(request.id, "deadline",
+                               "request deadline exhausted before dispatch",
+                               attempts=session.attempt)
+        code = {
+            "hang": "deadline",
+            "crash": "worker-crash",
+            "corrupt": "worker-corrupt",
+        }.get(last_failure.kind, "worker-crash")
+        return error_reply(
+            request.id, code,
+            f"gave up after {session.attempt} attempt(s): {last_failure}",
+            attempts=session.attempt, fault=last_failure.kind,
+        )
+
+    def _record_worker_failure(self, request: Request, failure: WorkerFailure) -> None:
+        self._count(f"serve.pool.faults.{failure.kind}")
+        with self._lock:
+            self.breaker.record_failure()
+            if failure.kind in ("crash", "hang"):
+                count = self._worker_kills.get(request.key, 0) + 1
+                self._worker_kills[request.key] = count
+                if count >= self.poison_threshold:
+                    self._quarantine[request.key] = (
+                        f"quarantined: killed {count} fresh worker(s) "
+                        f"(last fault: {failure.kind})"
+                    )
+
+    def _poisoned(self, request: Request) -> bool:
+        with self._lock:
+            return request.key in self._quarantine
+
+    # ------------------------------------------------------------------
+    # degraded serving (breaker open)
+
+    def _serve_degraded(self, request: Request) -> dict:
+        """In-process, tightly budgeted, ladder-degraded serving.
+
+        Only reachable for requests that are *not* quarantined, so a
+        known worker-killer can never run inside the daemon process.
+        Injected process faults are deliberately ignored here: they
+        model worker-side faults, and this path has no worker.
+        """
+        options = dict(request.options)
+        options["deadline"] = min(
+            DEGRADED_BUDGET["deadline"],
+            options.get("deadline") or request.deadline,
+        )
+        started = time.perf_counter()
+        try:
+            payload = TASKS[request.task](request.path, options)
+        except Exception as exc:  # noqa: BLE001 — structured, not raised
+            return error_reply(request.id, "analysis-error",
+                               f"{type(exc).__name__}: {exc} (degraded mode)")
+        reply = ok_reply(request.id, payload, degraded=True)
+        reply["seconds"] = time.perf_counter() - started
+        return reply
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Stop intake, wait for in-flight work, stop the pool.
+
+        Returns True on a clean drain within ``timeout``.
+        """
+        self._draining.set()
+        deadline_at = time.monotonic() + timeout
+        clean = True
+        while True:
+            with self._lock:
+                if self._inflight_count == 0:
+                    break
+            if time.monotonic() >= deadline_at:
+                clean = False
+                break
+            time.sleep(0.01)
+        self.pool.close()
+        self._drained.set()
+        return clean
+
+    def close(self) -> None:
+        if not self._drained.is_set():
+            self.drain()
+
+    def __enter__(self) -> "AnalysisDaemon":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

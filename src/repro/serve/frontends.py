@@ -1,0 +1,96 @@
+"""Daemon frontends: stdin-JSONL and TCP-socket framing.
+
+Both frontends are thin: read one JSON request per line, write one
+JSON reply per line, delegate everything else to
+:meth:`~repro.serve.daemon.AnalysisDaemon.handle_line`.  Shutdown is
+cooperative — :func:`install_signal_handlers` arranges for SIGTERM and
+SIGINT to set the stop event, after which the stdin loop finishes the
+current request and drains, and the TCP server stops accepting and
+drains (in-flight connections get their replies first).
+"""
+
+from __future__ import annotations
+
+import signal
+import socketserver
+import sys
+import threading
+
+from repro.serve.protocol import dump_reply
+
+
+def install_signal_handlers(stop: threading.Event, signals=(signal.SIGTERM,
+                                                            signal.SIGINT)):
+    """Route ``signals`` to ``stop.set()``; returns the previous handlers."""
+    previous = {}
+    for signum in signals:
+        previous[signum] = signal.signal(signum, lambda *_: stop.set())
+    return previous
+
+
+def serve_stdin(daemon, in_stream=None, out_stream=None,
+                stop: threading.Event | None = None) -> int:
+    """Serve JSONL requests from ``in_stream`` until EOF or ``stop``.
+
+    Returns the number of requests served.  The daemon is drained on
+    the way out (clean SIGTERM semantics: the reply for the in-flight
+    request is written before exit).
+    """
+    in_stream = in_stream if in_stream is not None else sys.stdin
+    out_stream = out_stream if out_stream is not None else sys.stdout
+    served = 0
+    try:
+        for line in in_stream:
+            if stop is not None and stop.is_set():
+                break
+            if not line.strip():
+                continue
+            reply = daemon.handle_line(line)
+            out_stream.write(dump_reply(reply) + "\n")
+            out_stream.flush()
+            served += 1
+    finally:
+        daemon.drain()
+    return served
+
+
+class _RequestHandler(socketserver.StreamRequestHandler):
+    def handle(self):
+        for raw in self.rfile:
+            line = raw.decode("utf-8", errors="replace")
+            if not line.strip():
+                continue
+            reply = self.server.daemon.handle_line(line)
+            self.wfile.write((dump_reply(reply) + "\n").encode("utf-8"))
+            self.wfile.flush()
+
+
+class _Server(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+def serve_tcp(daemon, host: str = "127.0.0.1", port: int = 0,
+              stop: threading.Event | None = None,
+              ready=None) -> None:
+    """Serve JSONL requests over TCP until ``stop`` is set.
+
+    ``port=0`` binds an ephemeral port; ``ready`` (a callable) receives
+    the bound ``(host, port)`` once listening — used by tests and by
+    the CLI to print the address.  Blocks until stopped, then drains.
+    """
+    stop = stop if stop is not None else threading.Event()
+    with _Server((host, port), _RequestHandler) as server:
+        server.daemon = daemon
+        if ready is not None:
+            ready(server.server_address)
+        waiter = threading.Thread(target=lambda: (stop.wait(),
+                                                  server.shutdown()),
+                                  daemon=True)
+        waiter.start()
+        try:
+            server.serve_forever(poll_interval=0.05)
+        finally:
+            stop.set()
+            waiter.join(timeout=1.0)
+            daemon.drain()

@@ -1,0 +1,204 @@
+"""The daemon's wire protocol: JSONL requests, structured replies.
+
+One request per line, one reply per line, both JSON objects — the same
+shape over stdin and over a TCP socket, and the same dicts the
+in-process :meth:`~repro.serve.daemon.AnalysisDaemon.handle` path
+accepts and returns, so everything above the framing layer is testable
+without any I/O.
+
+A request names a corpus task (:data:`repro.parallel.corpus.TASKS`)
+and a file path::
+
+    {"id": 7, "task": "lint", "path": "prog.pl",
+     "options": {"query": "main(X)"}, "deadline": 5.0}
+
+A reply always carries the request ``id``, an ``ok`` flag, and exactly
+one of ``payload`` (success) or ``error`` (a structured object with a
+``code`` from :data:`ERROR_CODES` — never a bare traceback)::
+
+    {"id": 7, "ok": true, "payload": {...}, "degraded": false,
+     "cached": true, "attempts": 1, "seconds": 0.002}
+
+The failure contract the chaos suite enforces is expressed here:
+:func:`check_reply` accepts exactly three outcomes — a well-formed
+success payload, a well-formed *degraded* success (the analysis ran
+down the :mod:`repro.runtime.degrade` ladder, still sound), or a
+structured error with a known code.  Anything else is a protocol bug.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+#: every error code a reply may carry (the client-visible taxonomy)
+ERROR_CODES = (
+    "bad-request",      # malformed JSON / missing or ill-typed fields
+    "unknown-task",     # task name outside repro.parallel.corpus.TASKS
+    "analysis-error",   # the analysis itself raised (syntax error, bad file)
+    "deadline",         # request deadline exhausted (including by retries)
+    "worker-crash",     # worker died and bounded retry did not recover
+    "worker-corrupt",   # worker replied garbage and retry did not recover
+    "poisoned",         # request quarantined: it kills fresh workers
+    "overloaded",       # load shed: bounded request queue is full
+    "shutting-down",    # daemon is draining; resubmit elsewhere
+    "internal",         # supervisor-side bug guard (never expected)
+)
+
+#: request deadline applied when the client does not send one
+DEFAULT_DEADLINE = 30.0
+
+
+class ProtocolError(ValueError):
+    """A request line that cannot be turned into a :class:`Request`.
+
+    ``code`` is the structured error code the reply should carry
+    (``bad-request`` for shape problems, ``unknown-task`` for a task
+    name outside the registry).
+    """
+
+    def __init__(self, message: str, code: str = "bad-request"):
+        super().__init__(message)
+        self.code = code
+
+
+@dataclass
+class Request:
+    """One validated analysis request."""
+
+    id: object
+    task: str
+    path: str
+    options: dict = field(default_factory=dict)
+    deadline: float = DEFAULT_DEADLINE
+    #: process-fault spec forwarded to the worker (chaos testing only)
+    inject: dict | None = None
+
+    @property
+    def key(self) -> tuple:
+        """Identity for quarantine/caching: task + path + options.
+
+        The ``id`` and the injected fault are excluded on purpose: the
+        same logical request resubmitted under a new id must hit the
+        same quarantine entry and the same cache slot.
+        """
+        return (self.task, self.path, _freeze(self.options))
+
+
+def _freeze(value):
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+def parse_request(data, known_tasks) -> Request:
+    """Validate one decoded request object (raises :class:`ProtocolError`)."""
+    if not isinstance(data, dict):
+        raise ProtocolError(f"request must be a JSON object, got {type(data).__name__}")
+    task = data.get("task")
+    if not isinstance(task, str):
+        raise ProtocolError("request needs a string 'task' field")
+    if task not in known_tasks:
+        raise ProtocolError(
+            f"unknown task {task!r}; have {sorted(known_tasks)}",
+            code="unknown-task",
+        )
+    path = data.get("path")
+    if not isinstance(path, str) or not path:
+        raise ProtocolError("request needs a non-empty string 'path' field")
+    options = data.get("options", {})
+    if options is None:
+        options = {}
+    if not isinstance(options, dict):
+        raise ProtocolError("'options' must be a JSON object")
+    deadline = data.get("deadline", DEFAULT_DEADLINE)
+    if not isinstance(deadline, (int, float)) or isinstance(deadline, bool) \
+            or deadline <= 0:
+        raise ProtocolError("'deadline' must be a positive number of seconds")
+    inject = data.get("inject")
+    if inject is not None and not isinstance(inject, dict):
+        raise ProtocolError("'inject' must be a JSON object when present")
+    return Request(
+        id=data.get("id"),
+        task=task,
+        path=path,
+        options=options,
+        deadline=float(deadline),
+        inject=inject,
+    )
+
+
+def parse_request_line(line: str, known_tasks) -> Request:
+    """Decode and validate one JSONL request line."""
+    try:
+        data = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"request is not valid JSON: {exc}") from None
+    return parse_request(data, known_tasks)
+
+
+# ----------------------------------------------------------------------
+# Replies
+
+
+def ok_reply(request_id, payload: dict, *, degraded: bool = False,
+             cached: bool = False, attempts: int = 1,
+             seconds: float = 0.0) -> dict:
+    """A success (possibly degraded) reply."""
+    return {
+        "id": request_id,
+        "ok": True,
+        "payload": payload,
+        "degraded": degraded,
+        "cached": cached,
+        "attempts": attempts,
+        "seconds": seconds,
+    }
+
+
+def error_reply(request_id, code: str, message: str, *, attempts: int = 0,
+                seconds: float = 0.0, **detail) -> dict:
+    """A structured failure reply; ``code`` must be in :data:`ERROR_CODES`."""
+    assert code in ERROR_CODES, f"unknown error code {code!r}"
+    error = {"code": code, "message": message}
+    if detail:
+        error.update(detail)
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": error,
+        "degraded": False,
+        "cached": False,
+        "attempts": attempts,
+        "seconds": seconds,
+    }
+
+
+def check_reply(reply) -> str:
+    """Classify a reply as ``"ok"``, ``"degraded"`` or ``"error"``.
+
+    Raises :class:`ProtocolError` for anything outside the contract —
+    this is the single predicate the chaos suite holds every reply to.
+    """
+    if not isinstance(reply, dict):
+        raise ProtocolError(f"reply must be a dict, got {type(reply).__name__}")
+    missing = {"id", "ok", "degraded", "cached", "attempts", "seconds"} - set(reply)
+    if missing:
+        raise ProtocolError(f"reply missing fields {sorted(missing)}")
+    if reply["ok"]:
+        if not isinstance(reply.get("payload"), dict):
+            raise ProtocolError("ok reply must carry a dict payload")
+        return "degraded" if reply["degraded"] else "ok"
+    error = reply.get("error")
+    if not isinstance(error, dict) or error.get("code") not in ERROR_CODES:
+        raise ProtocolError(f"error reply must carry a known code, got {error!r}")
+    if not isinstance(error.get("message"), str):
+        raise ProtocolError("error reply must carry a string message")
+    return "error"
+
+
+def dump_reply(reply: dict) -> str:
+    """One JSONL line for ``reply`` (stable key order)."""
+    return json.dumps(reply, sort_keys=True, default=str)

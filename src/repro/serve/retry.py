@@ -1,0 +1,115 @@
+"""Bounded retry with exponential backoff and deterministic jitter.
+
+The policy is a pure state machine over an injected clock and sleeper:
+``delay(attempt)`` is a function of the policy parameters and the
+attempt number alone (jitter comes from a PRNG seeded per
+:meth:`RetryPolicy.session`, not from wall time), so unit tests run
+with a fake clock and zero real sleeping, and two daemons configured
+alike back off identically.
+
+Budget awareness is the part that matters for a serving path: a retry
+*session* is opened with the request's remaining deadline, and
+:meth:`~RetrySession.backoff` refuses to sleep past it — a request
+never blows its deadline inside the retry loop, it gets a structured
+``deadline`` error instead (the over-approximation stance: a bounded,
+honest failure beats an unbounded wait).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+
+class RetryPolicy:
+    """Parameters for bounded retry: attempts, backoff curve, jitter.
+
+    ``max_attempts`` counts *total* tries (1 = no retry).  The delay
+    before retry ``n`` (1-based) is ``base * multiplier**(n-1)``,
+    capped at ``max_delay``, then stretched by up to ``jitter``
+    fraction using the session's seeded PRNG.
+    """
+
+    def __init__(self, max_attempts: int = 3, base: float = 0.05,
+                 multiplier: float = 2.0, max_delay: float = 2.0,
+                 jitter: float = 0.25):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.max_attempts = max_attempts
+        self.base = base
+        self.multiplier = multiplier
+        self.max_delay = max_delay
+        self.jitter = jitter
+
+    def delay(self, attempt: int, rng: random.Random | None = None) -> float:
+        """Backoff before retry ``attempt`` (1-based, pre-jitter if no rng)."""
+        delay = min(self.max_delay, self.base * self.multiplier ** (attempt - 1))
+        if rng is not None and self.jitter:
+            delay *= 1.0 + self.jitter * rng.random()
+        return delay
+
+    def session(self, budget_seconds: float | None = None, seed: int = 0,
+                clock=time.monotonic, sleep=time.sleep) -> "RetrySession":
+        """A per-request session over this policy (deterministic in seed)."""
+        return RetrySession(self, budget_seconds, seed, clock, sleep)
+
+    def __repr__(self) -> str:
+        return (
+            f"RetryPolicy(max_attempts={self.max_attempts}, base={self.base}, "
+            f"multiplier={self.multiplier}, max_delay={self.max_delay}, "
+            f"jitter={self.jitter})"
+        )
+
+
+class RetrySession:
+    """Retry bookkeeping for one request.
+
+    The driving loop is::
+
+        while True:
+            try:
+                return do_work(timeout=session.remaining())
+            except TransientError:
+                if not session.backoff():
+                    break   # attempts or deadline exhausted
+    """
+
+    def __init__(self, policy: RetryPolicy, budget_seconds, seed, clock, sleep):
+        self.policy = policy
+        self.clock = clock
+        self.sleep = sleep
+        self.attempt = 1
+        self.slept = 0.0
+        self._rng = random.Random(seed)
+        self._started = clock()
+        self._deadline_at = (
+            None if budget_seconds is None else self._started + budget_seconds
+        )
+
+    def remaining(self) -> float | None:
+        """Seconds left in the request budget (None = unbudgeted)."""
+        if self._deadline_at is None:
+            return None
+        return max(0.0, self._deadline_at - self.clock())
+
+    def backoff(self) -> bool:
+        """Sleep before the next try; False when retry must stop.
+
+        Stops when attempts are exhausted or when the backoff delay
+        would not fit in the remaining request budget (sleeping and
+        then failing on a dead deadline helps nobody).
+        """
+        if self.attempt >= self.policy.max_attempts:
+            return False
+        delay = self.policy.delay(self.attempt, self._rng)
+        remaining = self.remaining()
+        if remaining is not None and delay >= remaining:
+            return False
+        self.attempt += 1
+        self.slept += delay
+        if delay > 0:
+            self.sleep(delay)
+        return True
+
+    def __repr__(self) -> str:
+        return f"RetrySession(attempt={self.attempt}, slept={self.slept:.3f}s)"

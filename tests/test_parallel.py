@@ -403,6 +403,86 @@ def test_resolve_jobs():
         resolve_jobs(-1)
 
 
+def test_resolve_jobs_clamps_to_corpus_size():
+    assert resolve_jobs(8, limit=2) == 2
+    assert resolve_jobs(None, limit=1) == 1
+    assert resolve_jobs(0, limit=3) <= 3
+    assert resolve_jobs(2, limit=0) == 1  # empty corpus still gets a worker
+    assert resolve_jobs(2, limit=5) == 2  # a small request is not inflated
+
+
+@pytest.mark.parametrize("bad", [2.5, "2", True, [2]])
+def test_resolve_jobs_rejects_non_integers(bad):
+    with pytest.raises(ValueError, match="integer process count"):
+        resolve_jobs(bad)
+
+
+def test_map_corpus_survives_hard_worker_death(tmp_path):
+    """A worker dying mid-sweep (os._exit / OOM kill) must not sink it.
+
+    The killer file is reported as its own per-file error; the innocent
+    bystanders that shared the broken pool are retried and succeed.
+    """
+    paths = []
+    for name in ("a.pl", "killer.pl", "b.pl", "c.pl"):
+        path = tmp_path / name
+        path.write_text("p(1).\nq(X) :- p(X).\n")
+        paths.append(str(path))
+    options = {"inject": {paths[1]: {"kind": "abort"}}}
+
+    results = map_corpus(paths, task="groundness", jobs=2, options=options)
+
+    assert [r.path for r in results] == paths  # order preserved
+    assert [r.ok for r in results] == [True, False, True, True]
+    assert "WorkerCrashed" in results[1].error
+    clean = map_corpus([paths[0]], task="groundness", jobs=1)
+    assert strip_timings(results[0].payload) == strip_timings(clean[0].payload)
+
+
+def test_map_corpus_hard_death_counts_pool_breaks(tmp_path):
+    path = tmp_path / "boom.pl"
+    path.write_text("p(1).\n")
+    bystander = tmp_path / "fine.pl"
+    bystander.write_text("p(1).\n")
+    observer = Observer()
+    map_corpus(
+        [str(path), str(bystander)],
+        task="groundness",
+        jobs=2,
+        options={"inject": {str(path): {"kind": "abort"}}},
+        observer=observer,
+    )
+    counters = {n: c.value for n, c in observer.registry.counters.items()}
+    assert counters["parallel.corpus.pool_breaks"] >= 1
+    assert counters["parallel.corpus.retried_files"] >= 1
+    assert counters["parallel.corpus.errors"] == 1
+
+
+def test_cli_jobs_rejects_non_integer_with_clear_message(tmp_path, capsys):
+    path = tmp_path / "p.pl"
+    path.write_text("p(1).\n")
+    with pytest.raises(SystemExit) as excinfo:
+        lint_main([str(path), "--jobs", "two"])
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert "expected an integer process count, got 'two'" in err
+    with pytest.raises(SystemExit):
+        lint_main([str(path), "--jobs", "-3"])
+    assert "process count" in capsys.readouterr().err
+
+
+def test_cli_jobs_over_corpus_size_matches_serial(tmp_path):
+    import io
+
+    paths = corpus_paths(tmp_path)[:2]
+    outputs = {}
+    for jobs in ("1", "64"):  # 64 workers for 2 files: clamped, identical
+        out = io.StringIO()
+        code = lint_main(paths + ["--summary", "--jobs", jobs], out=out)
+        outputs[jobs] = (code, out.getvalue())
+    assert outputs["1"] == outputs["64"]
+
+
 def test_map_corpus_rejects_unknown_task(tmp_path):
     with pytest.raises(ValueError, match="unknown corpus task"):
         map_corpus([], task="frobnicate")

@@ -19,6 +19,9 @@ PACKAGES = [
     "repro.benchdata",
     "repro.harness",
     "repro.obs",
+    "repro.parallel",
+    "repro.runtime",
+    "repro.serve",
 ]
 
 

@@ -1,0 +1,68 @@
+"""The chaos harness itself: seeded schedules, end-to-end contract.
+
+One real end-to-end chaos run (worker processes, seeded faults, a
+burst, a drain) plus fast determinism checks on the fault plan.  The
+heavyweight multi-seed sweep lives in CI (``python -m repro.serve
+--chaos``), not here.
+"""
+
+import pytest
+
+from repro.runtime.faultinject import (
+    ABORT_EXIT_STATUS,
+    CORRUPT_REPLY,
+    ProcessFaultPlan,
+    apply_process_fault,
+)
+from repro.serve import run_chaos
+from repro.serve.chaos import strip_volatile
+
+CORPUS = [
+    "src/repro/benchdata/prolog/qsort.pl",
+    "src/repro/benchdata/prolog/queens.pl",
+]
+
+
+def test_process_fault_plan_is_deterministic_per_seed():
+    one = [ProcessFaultPlan(42).deal(i) for i in range(50)]
+    two = [ProcessFaultPlan(42).deal(i) for i in range(50)]
+    assert one == two
+    other = [ProcessFaultPlan(43).deal(i) for i in range(50)]
+    assert other != one
+    # the nominal ~40% combined rate must actually deal faults
+    assert any(one) and not all(one)
+    kinds = {spec["kind"] for spec in one if spec}
+    assert kinds <= {"abort", "hang", "corrupt"}
+
+
+def test_process_fault_plan_rejects_unknown_kind():
+    with pytest.raises(ValueError):
+        ProcessFaultPlan(1, rates={"meltdown": 1.0})
+
+
+def test_apply_process_fault_pure_kinds():
+    assert apply_process_fault(None) is None
+    assert apply_process_fault({}) is None
+    assert apply_process_fault({"kind": "corrupt"}) == CORRUPT_REPLY
+    assert apply_process_fault({"kind": "hang", "seconds": 0.0}) is None
+    with pytest.raises(ValueError):
+        apply_process_fault({"kind": "meltdown"})
+    assert ABORT_EXIT_STATUS == 43  # distinctive on purpose; tests grep for it
+
+
+def test_strip_volatile_removes_timings_recursively():
+    value = {"timings": {"a": 1}, "nested": [{"table_space": 9, "keep": 1}],
+             "keep": 2}
+    assert strip_volatile(value) == {"nested": [{"keep": 1}], "keep": 2}
+
+
+def test_chaos_run_holds_the_service_contract():
+    report = run_chaos(seed=42, paths=CORPUS, requests=16, burst=4,
+                       deadline=2.0)
+    assert report.ok, report.summary()
+    assert report.requests >= 16
+    # the seeded schedule must actually have exercised the fault paths
+    assert sum(report.outcomes.values()) == report.requests
+    assert report.outcomes.get("ok", 0) > 0
+    assert report.error_codes.get("unknown-task", 0) >= 1
+    assert report.drain_clean

@@ -1,0 +1,206 @@
+"""Retry/backoff and circuit-breaker state machines as pure units.
+
+No real sleeping and no wall clocks anywhere in this file: the retry
+session takes an injected clock and sleeper, the breaker an injected
+clock, so every transition is exercised deterministically — the same
+discipline the FaultInjector brought to the budget ladder.
+"""
+
+import pytest
+
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, STATE_GAUGE, CircuitBreaker
+from repro.serve.retry import RetryPolicy
+
+
+class FakeClock:
+    """A manually advanced monotonic clock plus a sleep that records."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.sleeps = []
+
+    def __call__(self):
+        return self.now
+
+    def sleep(self, seconds):
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy / RetrySession
+
+
+def test_backoff_curve_is_exponential_and_capped():
+    policy = RetryPolicy(max_attempts=6, base=0.1, multiplier=2.0,
+                         max_delay=0.5, jitter=0.0)
+    delays = [policy.delay(n) for n in range(1, 6)]
+    assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+
+def test_jitter_is_bounded_and_deterministic_per_seed():
+    policy = RetryPolicy(max_attempts=4, base=0.1, jitter=0.5)
+    clock = FakeClock()
+
+    def run(seed):
+        session = policy.session(seed=seed, clock=clock, sleep=clock.sleep)
+        sleeps = []
+        while session.backoff():
+            sleeps.append(clock.sleeps[-1])
+        return sleeps
+
+    first, again = run(7), run(7)
+    assert first == again  # same seed, same schedule
+    assert run(8) != first  # different seed, different jitter
+    for n, slept in enumerate(first, start=1):
+        base = policy.delay(n)
+        assert base <= slept <= base * 1.5
+
+
+def test_session_stops_at_max_attempts():
+    policy = RetryPolicy(max_attempts=3, base=0.01, jitter=0.0)
+    clock = FakeClock()
+    session = policy.session(seed=1, clock=clock, sleep=clock.sleep)
+    assert session.backoff()   # -> attempt 2
+    assert session.backoff()   # -> attempt 3
+    assert not session.backoff()  # attempts exhausted
+    assert session.attempt == 3
+    assert len(clock.sleeps) == 2
+
+
+def test_session_never_sleeps_past_the_request_deadline():
+    policy = RetryPolicy(max_attempts=10, base=1.0, multiplier=1.0, jitter=0.0)
+    clock = FakeClock()
+    session = policy.session(budget_seconds=2.5, seed=1, clock=clock,
+                             sleep=clock.sleep)
+    assert session.backoff()
+    assert session.backoff()
+    # third backoff would sleep to t=3.0 > deadline at 2.5: refused
+    assert not session.backoff()
+    assert clock.now == pytest.approx(2.0)
+    assert session.remaining() == pytest.approx(0.5)
+
+
+def test_session_remaining_tracks_work_time_too():
+    policy = RetryPolicy(max_attempts=5, base=0.1, jitter=0.0)
+    clock = FakeClock()
+    session = policy.session(budget_seconds=1.0, seed=1, clock=clock,
+                             sleep=clock.sleep)
+    clock.advance(0.9)  # work, not backoff, ate the budget
+    assert session.remaining() == pytest.approx(0.1)
+    assert not session.backoff()  # 0.1 backoff would land exactly on the edge
+
+
+def test_unbudgeted_session_has_no_deadline():
+    policy = RetryPolicy(max_attempts=2, base=0.1, jitter=0.0)
+    clock = FakeClock()
+    session = policy.session(seed=1, clock=clock, sleep=clock.sleep)
+    assert session.remaining() is None
+    assert session.backoff()
+    assert not session.backoff()
+
+
+def test_policy_rejects_zero_attempts():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+
+
+# ----------------------------------------------------------------------
+# CircuitBreaker
+
+
+def _breaker(clock, **kw):
+    defaults = dict(failure_threshold=3, window=5, reset_seconds=10.0,
+                    probe_successes=2, probe_limit=1, clock=clock)
+    defaults.update(kw)
+    return CircuitBreaker(**defaults)
+
+
+def test_breaker_opens_at_failure_threshold():
+    clock = FakeClock()
+    breaker = _breaker(clock)
+    for _ in range(2):
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    assert not breaker.allow()
+    assert breaker.opened_count == 1
+
+
+def test_breaker_window_slides_old_failures_out():
+    clock = FakeClock()
+    breaker = _breaker(clock, failure_threshold=3, window=3)
+    breaker.record_failure()
+    breaker.record_failure()
+    # two successes push the failures toward the window edge
+    breaker.record_success()
+    breaker.record_success()
+    breaker.record_failure()  # window now holds S,S,F -> 1 failure
+    assert breaker.state == CLOSED
+
+
+def test_breaker_half_open_probe_success_closes():
+    clock = FakeClock()
+    breaker = _breaker(clock)
+    for _ in range(3):
+        breaker.record_failure()
+    assert breaker.state == OPEN
+    clock.advance(10.0)
+    assert breaker.allow()  # cooldown elapsed: half-open, probe admitted
+    assert breaker.state == HALF_OPEN
+    assert not breaker.allow()  # probe_limit=1: second probe refused
+    breaker.record_success()
+    assert breaker.state == HALF_OPEN  # needs probe_successes=2
+    assert breaker.allow()
+    breaker.record_success()
+    assert breaker.state == CLOSED
+    assert breaker.allow()
+
+
+def test_breaker_half_open_probe_failure_reopens():
+    clock = FakeClock()
+    breaker = _breaker(clock)
+    for _ in range(3):
+        breaker.record_failure()
+    clock.advance(10.0)
+    assert breaker.allow()
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    assert breaker.opened_count == 2
+    assert not breaker.allow()  # cooldown restarted
+    clock.advance(5.0)
+    assert not breaker.allow()
+    clock.advance(5.0)
+    assert breaker.allow()
+
+
+def test_breaker_reopen_needs_threshold_again_after_close():
+    clock = FakeClock()
+    breaker = _breaker(clock)
+    for _ in range(3):
+        breaker.record_failure()
+    clock.advance(10.0)
+    assert breaker.allow()
+    breaker.record_success()
+    assert breaker.allow()
+    breaker.record_success()
+    assert breaker.state == CLOSED
+    # the old failures were cleared on close: one new failure stays closed
+    breaker.record_failure()
+    assert breaker.state == CLOSED
+
+
+def test_breaker_state_gauge_encoding():
+    assert STATE_GAUGE == {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+
+def test_breaker_parameter_validation():
+    with pytest.raises(ValueError):
+        CircuitBreaker(failure_threshold=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(failure_threshold=5, window=3)
