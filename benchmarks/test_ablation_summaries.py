@@ -1,0 +1,229 @@
+"""E14 — the summary store: modular reanalysis of a shared-library corpus.
+
+The scenario the summary store exists for: N driver files sharing one
+library.  Whole-program analysis re-derives the library fixpoint once
+per file; with a ``--summaries`` store the library's components are
+derived once and every other derivation is an instantiation of the
+stored open summaries.  This table records what that buys:
+
+* **corpus_cold** — first lint sweep against an empty store (the
+  store is being *populated*; later files already reuse earlier files'
+  library components);
+* **corpus_warm** — the same sweep against the populated store: every
+  component hits, analysis cost collapses to parse + abstraction +
+  instantiation.  The acceptance bar is warm >= 1.5x faster than cold
+  with byte-identical diagnostics;
+* **soundness** — per-file lint with the store vs. without: the
+  diagnostic rows must be identical (``mismatches`` is asserted and
+  recorded as 0).
+
+Rows land in ``BENCH_tablesummary.json`` and diff in the same
+``repro.obs report`` gate as the other tables.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis.cli import lint_payload
+from repro.parallel.corpus import map_corpus
+
+#: the shared library every driver file includes — enough mutually
+#: recursive list/Peano machinery that the abstract fixpoints (Prop
+#: groundness + depth-k shapes) dominate parse time
+LIBRARY = """\
+app([], Ys, Ys).
+app([X|Xs], Ys, [X|Zs]) :- app(Xs, Ys, Zs).
+
+nrev([], []).
+nrev([X|Xs], R) :- nrev(Xs, T), app(T, [X], R).
+
+len([], 0).
+len([_|Xs], s(N)) :- len(Xs, N).
+
+le(0, _).
+le(s(X), s(Y)) :- le(X, Y).
+
+gt(s(_), 0).
+gt(s(X), s(Y)) :- gt(X, Y).
+
+part([], _, [], []).
+part([X|Xs], P, [X|L], H) :- le(X, P), part(Xs, P, L, H).
+part([X|Xs], P, L, [X|H]) :- gt(X, P), part(Xs, P, L, H).
+
+qs([], []).
+qs([X|Xs], S) :- part(Xs, X, L, H), qs(L, SL), qs(H, SH),
+                 app(SL, [X|SH], S).
+
+sel(X, [X|Xs], Xs).
+sel(X, [Y|Ys], [Y|Zs]) :- sel(X, Ys, Zs).
+
+perm([], []).
+perm(Xs, [X|Ys]) :- sel(X, Xs, Zs), perm(Zs, Ys).
+
+mem(X, [X|_]).
+mem(X, [_|Xs]) :- mem(X, Xs).
+
+ins(X, [], [X]).
+ins(X, [Y|Ys], [X,Y|Ys]) :- le(X, Y).
+ins(X, [Y|Ys], [Y|Zs]) :- gt(X, Y), ins(X, Ys, Zs).
+
+isort([], []).
+isort([X|Xs], S) :- isort(Xs, T), ins(X, T, S).
+
+tins(X, leaf, node(leaf, X, leaf)).
+tins(X, node(L, Y, R), node(L2, Y, R)) :- le(X, Y), tins(X, L, L2).
+tins(X, node(L, Y, R), node(L, Y, R2)) :- gt(X, Y), tins(X, R, R2).
+
+tlist(leaf, []).
+tlist(node(L, X, R), Out) :-
+    tlist(L, LL), tlist(R, RL), app(LL, [X|RL], Out).
+
+build([], T, T).
+build([X|Xs], T0, T) :- tins(X, T0, T1), build(Xs, T1, T).
+
+tsort(Xs, S) :- build(Xs, leaf, T), tlist(T, S).
+"""
+
+#: per-file drivers: unique predicates so each file contributes one
+#: fresh component on top of the shared (warm-across-files) library
+DRIVERS = [
+    ("d_qs", "d_qs(Xs, Ys) :- qs(Xs, S), nrev(S, Ys)."),
+    ("d_isort", "d_isort(Xs, Ys) :- isort(Xs, S), app(S, [], Ys)."),
+    ("d_tsort", "d_tsort(Xs, Ys) :- tsort(Xs, S), nrev(S, Ys)."),
+    ("d_perm", "d_perm(Xs, Ys) :- perm(Xs, Ys), len(Ys, _)."),
+    ("d_mix", "d_mix(Xs, Ys) :- qs(Xs, S), tsort(S, Ys)."),
+    ("d_rev", "d_rev(Xs, Ys) :- nrev(Xs, S), isort(S, Ys)."),
+]
+
+
+def _write_corpus(root):
+    paths = []
+    for name, clause in DRIVERS:
+        path = root / f"{name}.pl"
+        path.write_text(
+            f":- entry_point({name}(g, any)).\n{LIBRARY}\n{clause}\n"
+        )
+        paths.append(str(path))
+    return paths
+
+
+def _lines(paths):
+    total = 0
+    for path in paths:
+        with open(path, encoding="utf-8") as handle:
+            total += len(handle.read().splitlines())
+    return total
+
+
+def _sweep(paths, store_dir):
+    started = time.perf_counter()
+    results = map_corpus(
+        paths, task="lint", jobs=1, options={"summaries": store_dir}
+    )
+    elapsed = time.perf_counter() - started
+    assert all(r.ok for r in results)
+    stats = {"hits": 0, "misses": 0, "stores": 0, "invalidated": 0}
+    for result in results:
+        for key, value in result.payload.get("summaries", {}).items():
+            stats[key] = stats.get(key, 0) + value
+    texts = [tuple(r.payload["texts"]) for r in results]
+    errors = [r.payload["errors"] for r in results]
+    return elapsed, stats, texts, errors
+
+
+def _row(name, lines, seconds, extra):
+    return {
+        "name": name,
+        "lines": lines,
+        "preprocess": 0.0,
+        "analysis": seconds,
+        "collection": 0.0,
+        "total": seconds,
+        "table_space": 0,
+        "extra": extra,
+    }
+
+
+@pytest.mark.table("summary")
+def test_summary_store_cold_vs_warm(benchmark, bench_record, tmp_path):
+    """Populate-then-reuse over the shared-library corpus."""
+    paths = _write_corpus(tmp_path)
+    lines = _lines(paths)
+    store_dir = str(tmp_path / "store")
+
+    cold_s, cold_stats, cold_texts, cold_errors = _sweep(paths, store_dir)
+
+    def warm_sweep():
+        return _sweep(paths, store_dir)
+
+    warm_s, warm_stats, warm_texts, warm_errors = benchmark.pedantic(
+        warm_sweep, rounds=1, iterations=1
+    )
+
+    # identical diagnostics and exit behaviour, cold vs warm
+    assert warm_texts == cold_texts
+    assert warm_errors == cold_errors
+
+    looked_up = warm_stats["hits"] + warm_stats["misses"]
+    warm_hit_rate = warm_stats["hits"] / looked_up if looked_up else 0.0
+    speedup = cold_s / warm_s if warm_s else float("inf")
+    benchmark.extra_info.update({
+        "cold_s": round(cold_s, 3),
+        "warm_s": round(warm_s, 3),
+        "speedup": round(speedup, 2),
+        "warm_hit_rate": round(warm_hit_rate, 3),
+    })
+    bench_record("summary", _row(
+        "corpus_cold", lines, cold_s,
+        {"files": len(paths), **cold_stats},
+    ))
+    bench_record("summary", _row(
+        "corpus_warm", lines, warm_s,
+        {"files": len(paths), **warm_stats,
+         "hit_rate": round(warm_hit_rate, 3),
+         "speedup": round(speedup, 2),
+         "per_file_cold_s": round(cold_s / len(paths), 4),
+         "per_file_warm_s": round(warm_s / len(paths), 4)},
+    ))
+
+    # the acceptance bar: reuse must actually pay
+    assert warm_stats["misses"] == 0 and warm_stats["stores"] == 0
+    assert warm_hit_rate == 1.0
+    assert speedup >= 1.5, f"warm only {speedup:.2f}x faster than cold"
+
+
+@pytest.mark.table("summary")
+def test_summary_soundness_sweep(benchmark, bench_record, tmp_path):
+    """Store-backed lint vs whole-program lint: zero diagnostic drift.
+
+    Three drivers suffice here — the whole-program reference lint is
+    ~5s/file and the full-corpus parity property is already pinned by
+    ``tests/test_summaries.py`` over the real benchmark programs.
+    """
+    paths = _write_corpus(tmp_path)[:3]
+    lines = _lines(paths)
+    store_dir = str(tmp_path / "store")
+
+    def sweep():
+        mismatches = 0
+        checked = 0
+        for path in paths:
+            plain = lint_payload(path, None)
+            backed = lint_payload(path, None, summaries=store_dir)
+            checked += 1
+            if (plain["texts"], plain["rows"], plain["errors"]) != (
+                backed["texts"], backed["rows"], backed["errors"]
+            ):
+                mismatches += 1
+        return mismatches, checked
+
+    started = time.perf_counter()
+    mismatches, checked = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    elapsed = time.perf_counter() - started
+    benchmark.extra_info.update({"mismatches": mismatches, "files": checked})
+    bench_record("summary", _row(
+        "soundness_sweep", lines, elapsed,
+        {"files": checked, "mismatches": mismatches},
+    ))
+    assert mismatches == 0

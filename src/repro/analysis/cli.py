@@ -93,6 +93,16 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "clamped to the number of files); diagnostics, output order "
         "and exit codes are identical to a serial run",
     )
+    parser.add_argument(
+        "--summaries",
+        metavar="DIR",
+        help="persistent summary-store directory: groundness and "
+        "failcheck reuse per-component analysis summaries across "
+        "files and runs (content-addressed by clause fingerprints; "
+        "stale entries invalidate automatically). A hit/miss line is "
+        "printed to stderr; diagnostics are identical with or "
+        "without the store",
+    )
     return parser
 
 
@@ -117,6 +127,7 @@ def lint_file(
     modes: bool = True,
     deadline: float | None = None,
     failcheck: bool = True,
+    summaries: str | None = None,
 ) -> tuple[LintReport, str | None]:
     """Lint one file; returns (report, fatal-message-or-None)."""
     try:
@@ -135,9 +146,14 @@ def lint_file(
         except PrologSyntaxError as exc:
             return LintReport(), f"--query: cannot parse {query_text!r}: {exc}"
     budget = Budget(deadline=deadline) if deadline is not None else None
+    store = None
+    if summaries is not None:
+        from repro.analysis.summaries import store_for
+
+        store = store_for(summaries)
     report = lint_program(
         program, query=query, filename=path, modes=modes, budget=budget,
-        failcheck=failcheck,
+        failcheck=failcheck, summaries=store,
     )
     return report, None
 
@@ -148,20 +164,33 @@ def lint_payload(
     modes: bool = True,
     deadline: float | None = None,
     failcheck: bool = True,
+    summaries: str | None = None,
 ) -> dict:
     """Lint one file into a JSON-able payload (the corpus-task shape).
 
     The same dict whether produced in-process or by a
     :func:`repro.parallel.map_corpus` worker, so serial and ``--jobs N``
-    runs emit identical output.
+    runs emit identical output.  With a ``summaries`` store directory
+    the payload carries a ``"summaries"`` stats-delta row (hits/misses
+    this file contributed) — stderr-only reporting, never part of the
+    diagnostic stream.
     """
+    delta = None
+    if summaries is not None:
+        from repro.analysis.summaries import store_for
+
+        before = store_for(summaries).stats()
     report, fatal = lint_file(
-        path, query_text, modes=modes, deadline=deadline, failcheck=failcheck
+        path, query_text, modes=modes, deadline=deadline, failcheck=failcheck,
+        summaries=summaries,
     )
+    if summaries is not None:
+        after = store_for(summaries).stats()
+        delta = {key: after[key] - before.get(key, 0) for key in after}
     if fatal is not None:
         return {"fatal": fatal}
     ordered = report.sorted()
-    return {
+    payload = {
         "fatal": None,
         "rows": [d.to_dict() for d in ordered],
         "texts": [d.format() for d in ordered],
@@ -169,6 +198,9 @@ def lint_payload(
         "warnings": len(report.warnings()),
         "timings": dict(report.timings),
     }
+    if delta is not None:
+        payload["summaries"] = delta
+    return payload
 
 
 def main(argv: list[str] | None = None, out=None) -> int:
@@ -188,6 +220,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
                 "modes": modes,
                 "deadline": args.deadline,
                 "failcheck": failcheck,
+                "summaries": args.summaries,
             },
         )
         payloads = (
@@ -198,11 +231,15 @@ def main(argv: list[str] | None = None, out=None) -> int:
         payloads = (
             (
                 path,
-                lint_payload(path, args.query, modes, args.deadline, failcheck),
+                lint_payload(
+                    path, args.query, modes, args.deadline, failcheck,
+                    summaries=args.summaries,
+                ),
             )
             for path in args.files
         )
     exit_code = EXIT_OK
+    totals: dict[str, int] = {}
     for path, payload in payloads:
         if payload["fatal"] is not None:
             print(payload["fatal"], file=out)
@@ -233,4 +270,18 @@ def main(argv: list[str] | None = None, out=None) -> int:
             exit_code = EXIT_ERRORS
         elif args.strict and payload["warnings"]:
             exit_code = EXIT_ERRORS
+        for key, value in payload.get("summaries", {}).items():
+            totals[key] = totals.get(key, 0) + value
+    if args.summaries is not None:
+        # store accounting goes to stderr so stdout stays byte-identical
+        # with and without (or cold vs. warm) a summary store
+        print(
+            "summaries: "
+            f"hits={totals.get('hits', 0)} "
+            f"misses={totals.get('misses', 0)} "
+            f"stores={totals.get('stores', 0)} "
+            f"invalidated={totals.get('invalidated', 0)} "
+            f"dir={args.summaries}",
+            file=sys.stderr,
+        )
     return exit_code

@@ -30,13 +30,18 @@ Two cooperating passes, cheapest first:
    domain guarantees termination.  A live predicate whose abstract
    success set is **empty** — no answers, all tables complete — is
    certified dead: the abstraction over-approximates the concrete
-   success set, so emptiness transfers down.  The pass runs under a
-   deterministic task budget (default ``tasks=30000``; pass ``budget``
-   to override): if the abstract evaluation trips it, the pass simply
-   keeps the reduce-only claims (``completeness`` records the skip)
-   instead of walking the widening ladder — so every abstract claim
-   comes from an *exact, completed* run, never a degraded one, and
-   lint latency on large corpus files stays bounded.
+   success set, so emptiness transfers down.  The evaluation is
+   *modular* (:func:`repro.analysis.summaries.depthk_via_summaries`):
+   each SCC component is solved bottom-up against its callees'
+   summaries under its **own** deterministic task budget (default
+   ``tasks=30000`` per component; pass ``budget``/``component_tasks``
+   to override), so one expensive component forfeits abstract claims
+   only for itself and its transitive callers instead of the whole
+   file.  Tripped components are skipped, never widened — every
+   abstract claim comes from an *exact, completed* evaluation, and
+   lint latency on large corpus files stays bounded.  Passing a
+   persistent ``summaries`` store reuses component fixpoints across
+   files sharing a library.
 
 For a concrete **query**, :func:`prove_query_failure` additionally
 directs the abstraction with the magic rewrite (:mod:`repro.magic`):
@@ -252,6 +257,10 @@ class FailcheckReport:
     abstract_shapes: dict = field(default_factory=dict)
     #: per-predicate abstract-table completeness (claim eligibility)
     abstract_complete: dict = field(default_factory=dict)
+    #: SCC components of the reduced program the abstract pass finished
+    components_done: int = 0
+    #: total SCC components of the reduced program
+    components_total: int = 0
 
     def is_dead(self, indicator: Indicator) -> bool:
         return indicator in self.dead
@@ -262,16 +271,25 @@ def failcheck_program(
     depth: int = 2,
     budget=None,
     abstract: bool = True,
+    summaries=None,
+    component_tasks: int | None = None,
 ) -> FailcheckReport:
     """Run both failure-proving passes; diagnostics are lint-ready.
 
     ``abstract=False`` stops after the reduce fixpoint (the cheap
     syntactic pass) — the ablation mode the benchmark measures.  The
-    abstract pass runs with ``degrade=False`` under ``budget``
-    (default: a deterministic ``Budget(tasks=30000)``): a budget trip
-    skips the abstract claims entirely rather than degrading, so every
-    ``"abstract"`` claim comes from an exact completed evaluation and
-    the pass's cost is bounded on arbitrarily large inputs.
+    abstract pass charges its budget **per SCC component** of the
+    reduced program (:func:`repro.analysis.summaries.depthk_via_summaries`):
+    each component is evaluated bottom-up against its callees' depth-k
+    summaries under a fresh deterministic task budget
+    (``component_tasks``, default ``30000``; or ``budget``'s limits
+    re-armed per component), so one expensive component forfeits
+    claims only for itself and its condensation-upstream callers, not
+    for the whole file.  Claims stay exact-only: a tripped component
+    is simply skipped — never widened — so every ``"abstract"`` claim
+    comes from an exact completed evaluation.  ``summaries`` is an
+    optional :class:`~repro.analysis.summaries.SummaryStore` for
+    cross-file reuse of component fixpoints.
     """
     from repro.obs.observer import get_observer
 
@@ -288,33 +306,35 @@ def failcheck_program(
     report.timings["reduce"] = clock() - t0
 
     if abstract and live:
-        from repro.core.depthk import analyze_depthk
-        from repro.runtime.budget import Budget, ResourceExhausted
+        from repro.analysis.summaries import depthk_via_summaries
 
-        if budget is None:
-            budget = Budget(tasks=DEFAULT_TASK_BUDGET)
         t0 = clock()
         reduced = reduced_program(program, live, culprits)
-        try:
-            result = analyze_depthk(
-                reduced, depth=depth, budget=budget, degrade=False
-            )
-        except ResourceExhausted as exc:
-            # no degradation ladder here: a tripped abstract pass keeps
-            # the reduce-only claims so claims never rest on a widened
-            # or truncated domain and lint latency stays bounded
-            report.completeness = f"reduce-only({exc.kind})"
+        result = depthk_via_summaries(
+            reduced,
+            store=summaries,
+            depth=depth,
+            component_tasks=component_tasks,
+            budget=budget,
+        )
+        report.components_done = result.components_done
+        report.components_total = result.components_total
+        if result.components_total and not result.components_done:
+            # every component tripped its budget: keep the reduce-only
+            # claims (the historical whole-program-trip outcome)
+            kind = result.trip_kinds[0] if result.trip_kinds else "tasks"
+            report.completeness = f"reduce-only({kind})"
         else:
             report.completeness = result.completeness
-            for indicator in reduced.predicates():
-                shapes = result.predicates[indicator]
-                complete = bool(result.table_completeness.get(indicator))
-                report.abstract_shapes[indicator] = shapes.shapes()
-                report.abstract_complete[indicator] = complete
-                if complete and not shapes.answers:
-                    # the abstraction over-approximates the success set:
-                    # empty and complete means no concrete answer exists
-                    report.dead[indicator] = "abstract"
+        for indicator in reduced.predicates():
+            shapes = result.predicates[indicator]
+            complete = bool(result.table_completeness.get(indicator))
+            report.abstract_shapes[indicator] = shapes.shapes()
+            report.abstract_complete[indicator] = complete
+            if complete and not shapes.answers:
+                # the abstraction over-approximates the success set:
+                # empty and complete means no concrete answer exists
+                report.dead[indicator] = "abstract"
         report.timings["abstract"] = clock() - t0
 
     report.diagnostics = _diagnostics(program, report)

@@ -82,6 +82,7 @@ def lint_program(
     modes: bool = True,
     budget=None,
     failcheck: bool = True,
+    summaries=None,
 ) -> LintReport:
     """Run all lint rules; diagnostics carry ``filename`` when given.
 
@@ -89,7 +90,10 @@ def lint_program(
     failure-proving pass (``dead-predicate`` / ``unreachable-clause``);
     ``budget`` (a :class:`~repro.runtime.budget.Budget`) bounds those
     passes — on exhaustion they degrade per their ladders instead of
-    failing the lint.
+    failing the lint.  ``summaries`` is an optional
+    :class:`~repro.analysis.summaries.SummaryStore` shared by the
+    groundness and failcheck backends, so files sharing a library
+    re-derive each component fixpoint only once.
     """
     import time
 
@@ -104,7 +108,9 @@ def lint_program(
     mode_report: ModeReport | None = None
     if modes:
         t0 = clock()
-        mode_report = check_modes(program, query=query, budget=budget)
+        mode_report = check_modes(
+            program, query=query, budget=budget, summaries=summaries
+        )
         report.extend(mode_report.diagnostics)
         report.timings["modecheck"] = clock() - t0
         for pass_name, seconds in mode_report.timings.items():
@@ -125,7 +131,7 @@ def lint_program(
         from repro.analysis.failcheck import failcheck_program
 
         t0 = clock()
-        fc_report = failcheck_program(program, budget=budget)
+        fc_report = failcheck_program(program, budget=budget, summaries=summaries)
         report.extend(fc_report.diagnostics)
         report.timings["failcheck"] = clock() - t0
     if filename:
@@ -236,23 +242,81 @@ def _entangled_condensation(
         for ind in entangled
         for clause in program.clauses_for(ind)[:1]
     ]
+    message = (
+        f"{len(entangled)} of {len(defined)} defined predicates share "
+        "one strongly connected component; the dependency "
+        "condensation has no layering, so SCC-guided evaluation "
+        "degrades to the flat loop and the parallel component "
+        "scheduler finds no independent work (guard predicates of "
+        "the supplementary-magic rewrite commonly entangle answers "
+        "this way; splitting guards from answers recovers the "
+        "structure)"
+    )
+    guards = _collapsing_guards(graph, largest)
+    if guards:
+        names = ", ".join(f"{name}/{arity}" for name, arity in guards)
+        message += (
+            f"; guard predicate(s) {names} collapse the condensation — "
+            "removing any one of them splits the component back into "
+            "layers"
+        )
     return [
         Diagnostic(
             "scc-entangled",
             Severity.INFO,
-            f"{len(entangled)} of {len(defined)} defined predicates share "
-            "one strongly connected component; the dependency "
-            "condensation has no layering, so SCC-guided evaluation "
-            "degrades to the flat loop and the parallel component "
-            "scheduler finds no independent work (guard predicates of "
-            "the supplementary-magic rewrite commonly entangle answers "
-            "this way; splitting guards from answers recovers the "
-            "structure)",
+            message,
             None,
             None,
             min(lines, default=0),
         )
     ]
+
+
+#: cap on exact guard probing: one Tarjan pass per candidate is cheap,
+#: but a pathological component should not make the lint quadratic
+_MAX_GUARD_CANDIDATES = 32
+
+
+def _collapsing_guards(
+    graph: DependencyGraph, component: list[Indicator]
+) -> list[Indicator]:
+    """Predicates whose removal de-entangles ``component``.
+
+    A *guard* here is a cut vertex of the entangled SCC: dropping it
+    (and its edges) from the component's induced call graph leaves no
+    strongly connected component spanning the remaining predicates.
+    Supplementary-magic guard predicates (``m_*``/``sup*`` names, the
+    adorned-magic idiom) are probed first; when no such names occur,
+    every member is a candidate, capped at
+    :data:`_MAX_GUARD_CANDIDATES`.
+    """
+    from repro.analysis.depgraph import _tarjan
+
+    if len(component) < 3:
+        return []
+    members = set(component)
+    candidates = [
+        ind
+        for ind in component
+        if ind[0].startswith("m_") or ind[0].startswith("sup")
+    ]
+    if not candidates:
+        candidates = list(component)
+    guards: list[Indicator] = []
+    for candidate in sorted(candidates)[:_MAX_GUARD_CANDIDATES]:
+        nodes = sorted(members - {candidate})
+        succ = {
+            node: {
+                target
+                for target in graph.successors(node)
+                if target in members and target != candidate
+            }
+            for node in nodes
+        }
+        remaining = _tarjan(nodes, succ)
+        if max((len(c) for c in remaining), default=0) < len(members) - 1:
+            guards.append(candidate)
+    return guards
 
 
 def _clause_checks(

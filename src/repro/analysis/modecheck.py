@@ -138,6 +138,7 @@ def check_modes(
     fault=None,
     use_groundness: bool = True,
     groundness=None,
+    summaries=None,
 ) -> ModeReport:
     """Run the groundness-flow mode check; see the module docstring.
 
@@ -145,6 +146,14 @@ def check_modes(
     :class:`~repro.core.groundness.GroundnessResult` (it must stem from
     the same program); otherwise the backend runs here, sharing this
     pass's governor so one budget covers the whole check.
+
+    ``summaries`` is an optional
+    :class:`~repro.analysis.summaries.SummaryStore`: the groundness
+    backend is then computed modularly, reusing per-component
+    summaries across files.  The escalation ladder is *summary →
+    whole-program → adorn-only*: any failure of the modular backend
+    (budget trip, store error) falls back to the exact whole-program
+    analysis, never to an unsound claim.
     """
     import time
 
@@ -165,6 +174,21 @@ def check_modes(
         return report
 
     t0 = time.perf_counter()
+    if use_groundness and groundness is None and summaries is not None:
+        try:
+            from repro.analysis.summaries import groundness_via_summaries
+
+            groundness = groundness_via_summaries(
+                program, store=summaries, governor=gov
+            )
+        except ResourceExhausted:
+            # modular backend tripped the shared governor: re-arm it
+            # and escalate to the whole-program analysis below
+            gov = None if gov is None else gov.restarted()
+            groundness = None
+        except Exception:  # noqa: BLE001 — a broken store must never
+            # block the check; escalate to the whole-program backend
+            groundness = None
     if use_groundness and groundness is None:
         try:
             from repro.core.groundness import analyze_groundness

@@ -363,10 +363,16 @@ class PredicateGroundness:
     success: PropFunction
     call_patterns: list[tuple]
     answer_count: int
-    #: per-call-pattern view: one ``(pattern, success)`` pair per table,
-    #: the pattern as in :attr:`call_patterns` and the success function
-    #: restricted to that call's answers
+    #: per-table view: one ``(pattern, success)`` pair per recorded
+    #: table (demanded calls plus the synthetic open call), the success
+    #: function restricted to that call's answers
     tables: list[tuple[tuple, PropFunction]] = field(default_factory=list)
+    #: parallel to :attr:`tables`: the table's *claim pattern* — ``True``
+    #: /``None`` per argument when the call subsumes every concrete call
+    #: at least that bound (``true`` constants + distinct free
+    #: variables), ``None`` for a constrained call (``false`` argument,
+    #: aliased variables) that may not answer pattern queries
+    claims: list | None = None
 
     @property
     def ground_on_success(self) -> tuple:
@@ -377,25 +383,37 @@ class PredicateGroundness:
         """Output groundness specialised to one call pattern.
 
         ``pattern`` is argument-wise ``True`` (known ground at call) or
-        anything else (unknown).  A recorded table is *applicable* when
-        its call is no more bound than ``pattern`` — its success set
-        then over-approximates the concrete success set of any call
-        matching ``pattern``, so its definite conclusions are sound.
-        The result combines every applicable table (an argument is
-        reported ground when some applicable table proves it); with no
-        applicable table nothing is claimed.
+        anything else (unknown).  A recorded table may answer the query
+        only when its call *subsumes* every concrete call matching
+        ``pattern``: its arguments are ``true`` at positions the query
+        knows ground and **distinct free variables** elsewhere
+        (:func:`_claim_pattern`).  A call constrained in any other way
+        — a ``false`` argument, a repeated (aliased) variable — covers
+        only a slice of the query's concrete calls, and conditioning
+        that slice can over-claim, so such tables are skipped.  Each
+        applicable table is then *instantiated* at the query: its rows
+        are conditioned on the pattern's ground arguments
+        (:meth:`~repro.core.propdom.PropFunction.assume`), exactly the
+        summary-instantiation step of the polymorphic (Lu-style)
+        reading.  Because an applicable table's rows are the abstract
+        ground success set restricted to its (weaker) call constraint,
+        every applicable table yields the *same* conditioned set — so
+        the whole-program and summary backends agree wherever both
+        have an applicable table.  With no applicable table nothing is
+        claimed.
         """
-        if not self.tables:
+        if not self.tables or self.claims is None:
             return tuple(False for _ in range(self.arity))
         ground = [False] * self.arity
         query = tuple(value is True for value in pattern)
-        for table_pattern, success in self.tables:
-            boundness = tuple(value is True for value in table_pattern)
-            if len(boundness) != len(query):
+        for (_, success), claim in zip(self.tables, self.claims):
+            if claim is None or len(claim) != len(query):
                 continue
+            boundness = tuple(value is True for value in claim)
             if any(t and not q for t, q in zip(boundness, query)):
                 continue  # table call more bound than the query: skip
-            for index, definite in enumerate(success.definitely_true()):
+            instantiated = success.assume(query)
+            for index, definite in enumerate(instantiated.definitely_true()):
                 if definite:
                     ground[index] = True
         return tuple(ground)
@@ -522,7 +540,7 @@ def analyze_groundness(
     events: list = []
     try:
         with obs.maybe_span("analysis.groundness.stage", stage="exact"):
-            engine = _evaluate(db, info, goals, scheduling, gov)
+            engine, demanded = _evaluate(db, info, goals, scheduling, gov)
     except ResourceExhausted as exc:
         if not degrade:
             raise
@@ -531,7 +549,7 @@ def analyze_groundness(
         notify_degradation(event)
         try:
             with obs.maybe_span("analysis.groundness.stage", stage="widened"):
-                engine = _evaluate(
+                engine, demanded = _evaluate(
                     db,
                     info,
                     goals,
@@ -548,6 +566,7 @@ def analyze_groundness(
             events.append(event)
             notify_degradation(event)
             engine = None
+            demanded = {}
             completeness = "top"
     t2 = time.perf_counter()
 
@@ -562,7 +581,9 @@ def analyze_groundness(
                 )
                 table_completeness[indicator] = False
             else:
-                predicates[indicator] = _collect(engine, indicator)
+                predicates[indicator] = _collect(
+                    engine, indicator, demanded.get(indicator)
+                )
                 table_completeness[indicator] = all(
                     t.complete for t in _tables_for(engine, indicator)
                 )
@@ -595,7 +616,13 @@ def analyze_groundness(
 
 
 def _evaluate(db, info, goals, scheduling, governor, answer_join=None):
-    """One evaluation attempt (one ladder stage) over a fresh engine."""
+    """One evaluation attempt (one ladder stage) over a fresh engine.
+
+    Returns ``(engine, demanded)`` where ``demanded`` maps each
+    indicator with at least one goal-directed table to the ids of those
+    tables — so collection can report *call* patterns from the demand
+    evaluation only, excluding the synthetic open tables added below.
+    """
     engine = TabledEngine(
         db,
         scheduling=scheduling,
@@ -606,11 +633,20 @@ def _evaluate(db, info, goals, scheduling, governor, answer_join=None):
     )
     for goal in goals:
         engine.solve(goal)
-    # ensure every predicate has at least an output-groundness table
+    demanded: dict[Indicator, set[int]] = {}
     for indicator in info.predicates:
-        if not _tables_for(engine, indicator):
-            engine.solve(_open_goal(indicator))
-    return engine
+        demanded[indicator] = {
+            id(table) for table in _tables_for(engine, indicator)
+        }
+    # Every predicate also gets its *open* (goal-independent) table:
+    # :meth:`PredicateGroundness.ground_on_success_for` instantiates it
+    # at arbitrary call patterns, and the summary backend
+    # (:mod:`repro.analysis.summaries`) computes exactly this table —
+    # sharing it makes the two backends agree by construction.  Open
+    # calls already solved (or variant-subsumed) cost nothing extra.
+    for indicator in info.predicates:
+        engine.solve(_open_goal(indicator))
+    return engine, demanded
 
 
 def _open_goal(indicator: Indicator) -> Term:
@@ -625,21 +661,41 @@ def _tables_for(engine: TabledEngine, indicator: Indicator):
     return engine.tables_by_pred.get((gp_name(name), arity), [])
 
 
-def _collect(engine: TabledEngine, indicator: Indicator) -> PredicateGroundness:
+def _collect(
+    engine: TabledEngine,
+    indicator: Indicator,
+    demanded_ids: set[int] | None = None,
+) -> PredicateGroundness:
+    """Combine a predicate's table answers into a result record.
+
+    ``demanded_ids`` names the tables created by the goal-directed
+    evaluation; only those contribute *call* patterns (input modes) and
+    the aggregate success/answer-count view, so entry-directed results
+    reflect the demanded computation, not the synthetic open calls.
+    ``None`` means every table was demanded (entry-less analysis).  All
+    tables — including the synthetic open one — contribute per-table
+    pattern-query claims.
+    """
     name, arity = indicator
     rows: set[tuple] = set()
     calls: list[tuple] = []
     tables: list[tuple[tuple, PropFunction]] = []
+    claims: list = []
     answer_count = 0
     for table in _tables_for(engine, indicator):
         pattern = _pattern(table.call, arity)
-        calls.append(pattern)
+        demanded = demanded_ids is None or id(table) in demanded_ids
+        if demanded:
+            calls.append(pattern)
+        claims.append(_claim_pattern(table.call, arity))
         table_rows: set[tuple] = set()
         for answer in table.answers:
-            answer_count += 1
+            if demanded:
+                answer_count += 1
             table_rows.update(_expand(answer, arity))
         tables.append((pattern, PropFunction(arity, table_rows)))
-        rows.update(table_rows)
+        if demanded:
+            rows.update(table_rows)
     return PredicateGroundness(
         name=name,
         arity=arity,
@@ -647,7 +703,37 @@ def _collect(engine: TabledEngine, indicator: Indicator) -> PredicateGroundness:
         call_patterns=calls,
         answer_count=answer_count,
         tables=tables,
+        claims=claims,
     )
+
+
+def _claim_pattern(call: Term, arity: int) -> tuple | None:
+    """The claim pattern of a table call, or ``None`` if constrained.
+
+    A call may answer per-pattern groundness queries only when it
+    subsumes every concrete call at least as bound: each argument is
+    the constant ``true`` (known ground) or a free variable distinct
+    from every other argument.  A ``false`` argument or an aliased
+    variable constrains the call to a *slice* of the matching concrete
+    calls, so its table must not be instantiated at other call sites.
+    """
+    if arity == 0:
+        return ()
+    if not isinstance(call, Struct):
+        return None
+    out = []
+    seen: set[int] = set()
+    for arg in call.args:
+        if arg == "true":
+            out.append(True)
+        elif isinstance(arg, Var):
+            if arg.id in seen:
+                return None
+            seen.add(arg.id)
+            out.append(None)
+        else:
+            return None
+    return tuple(out)
 
 
 def _pattern(call: Term, arity: int) -> tuple:

@@ -181,6 +181,25 @@ class PropFunction:
         rows = {tuple(row[i] for i in indexes) for row in self.rows}
         return PropFunction(len(indexes), rows)
 
+    def assume(self, pattern: tuple) -> "PropFunction":
+        """Condition the truth set on a call pattern (same arity).
+
+        Keeps only the rows that are ``True`` at every position where
+        ``pattern`` is ``True`` — in groundness terms: the successes
+        still possible once the pattern's arguments are known ground.
+        This is the instantiation step of a polymorphic summary: the
+        open (most general) success set specialised to one call site.
+        """
+        ground = tuple(value is True for value in pattern)
+        if not any(ground):
+            return self
+        rows = [
+            row
+            for row in self.rows
+            if all(row[i] for i, g in enumerate(ground) if g)
+        ]
+        return PropFunction(self.arity, rows)
+
     def definitely_true(self) -> tuple:
         """Per-argument "true in every satisfying row" flags.
 

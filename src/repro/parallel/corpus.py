@@ -227,6 +227,7 @@ def _task_lint(path: str, options: dict) -> dict:
         modes=options.get("modes", True),
         deadline=options.get("deadline"),
         failcheck=options.get("failcheck", True),
+        summaries=options.get("summaries"),
     )
 
 
@@ -289,10 +290,16 @@ def _task_failcheck(path: str, options: dict) -> dict:
     from repro.runtime.budget import Budget
 
     deadline = options.get("deadline")
+    store = None
+    if options.get("summaries") is not None:
+        from repro.analysis.summaries import store_for
+
+        store = store_for(options["summaries"])
     report = failcheck_program(
         _load(path),
         depth=options.get("depth", 2),
         budget=Budget(deadline=deadline) if deadline is not None else None,
+        summaries=store,
     )
     ordered = sorted(report.diagnostics, key=lambda d: (d.line, d.rule, d.message))
     return {

@@ -60,6 +60,11 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument("--poison-threshold", type=int, default=2, metavar="N",
                         help="fresh-worker kills before a request is "
                         "quarantined")
+    parser.add_argument("--summaries", metavar="DIR",
+                        help="persistent summary-store directory shared "
+                        "by the worker pool: lint/failcheck requests "
+                        "reuse per-component analysis summaries across "
+                        "files and resubmissions")
     parser.add_argument("--seed", type=int, default=7,
                         help="chaos schedule seed (with --chaos)")
     parser.add_argument("--chaos-requests", type=int, default=24, metavar="N",
@@ -78,6 +83,7 @@ def _build_daemon(args) -> AnalysisDaemon:
         retry=RetryPolicy(max_attempts=max(1, args.retries)),
         breaker=CircuitBreaker(),
         poison_threshold=args.poison_threshold,
+        summaries_dir=args.summaries,
     )
 
 

@@ -75,6 +75,7 @@ class AnalysisDaemon:
         observer: Observer | None = None,
         clock=time.monotonic,
         sleep=time.sleep,
+        summaries_dir: str | None = None,
     ):
         self.observer = observer if observer is not None else Observer()
         self.retry = retry if retry is not None else RetryPolicy()
@@ -82,6 +83,7 @@ class AnalysisDaemon:
         self.cache = cache if cache is not None else ResultCache()
         self.default_deadline = default_deadline
         self.poison_threshold = poison_threshold
+        self.summaries_dir = summaries_dir
         self.clock = clock
         self.sleep = sleep
         self.pool = WorkerPool(size=pool_size, observer=self.observer)
@@ -189,6 +191,13 @@ class AnalysisDaemon:
         if probe is not None and probe.partial:
             self._count("serve.cache.partial_misses")
             self._count("serve.cache.invalidated_components", len(probe.dirty))
+            if self.summaries_dir is not None and probe.fingerprint is not None:
+                # with a summary store attached, the clean components of
+                # a partial miss are exactly the ones the worker's lint
+                # will splice from stored summaries instead of re-deriving
+                reusable = len(probe.fingerprint.components) - len(probe.dirty)
+                if reusable > 0:
+                    self._count("serve.summaries.reusable_components", reusable)
 
         with self._lock:
             pool_allowed = self.breaker.allow()
@@ -200,6 +209,26 @@ class AnalysisDaemon:
         if reply["ok"] and not reply["degraded"] and probe is not None:
             self.cache.store(request.key, probe, reply["payload"])
         return reply
+
+    #: tasks whose corpus implementations accept a summary store
+    _SUMMARY_TASKS = ("lint", "failcheck")
+
+    def _task_options(self, request: Request) -> dict:
+        """The request's options, plus the daemon's summary store.
+
+        The store directory is merged at dispatch time only — never
+        into ``request.key`` — so caching and quarantine behave
+        identically with and without a store, and a client-supplied
+        ``summaries`` option still wins.
+        """
+        options = dict(request.options)
+        if (
+            self.summaries_dir is not None
+            and request.task in self._SUMMARY_TASKS
+            and "summaries" not in options
+        ):
+            options["summaries"] = self.summaries_dir
+        return options
 
     def _probe_cache(self, request: Request):
         """Parse the file and probe the warm cache (None = uncacheable)."""
@@ -238,7 +267,7 @@ class AnalysisDaemon:
                 inject = None
             try:
                 record = self.pool.submit(
-                    seq, request.task, request.path, dict(request.options),
+                    seq, request.task, request.path, self._task_options(request),
                     remaining if remaining is not None else request.deadline,
                     inject,
                 )
@@ -314,7 +343,7 @@ class AnalysisDaemon:
         Injected process faults are deliberately ignored here: they
         model worker-side faults, and this path has no worker.
         """
-        options = dict(request.options)
+        options = self._task_options(request)
         options["deadline"] = min(
             DEGRADED_BUDGET["deadline"],
             options.get("deadline") or request.deadline,

@@ -208,3 +208,62 @@ def test_diagnostics_carry_lines():
     report = lint(src)
     (diag,) = report.by_rule("undefined-call")
     assert diag.line == 3
+
+
+QSORT_SRC = """
+qsort([], []).
+qsort([X|Xs], S) :-
+    part(X, Xs, L, G), qsort(L, SL), qsort(G, SG), app(SL, [X|SG], S).
+part(_, [], [], []).
+part(P, [X|Xs], [X|L], G) :- X =< P, part(P, Xs, L, G).
+part(P, [X|Xs], L, [X|G]) :- X > P, part(P, Xs, L, G).
+app([], Ys, Ys).
+app([X|Xs], Ys, [X|Zs]) :- app(Xs, Ys, Zs).
+"""
+
+
+def test_scc_entangled_names_collapsing_guards():
+    # the supplementary-magic rewrite of qsort entangles every
+    # predicate into one SCC; the lint note must name the guard
+    # predicates (cut vertices) whose removal restores the layering
+    from repro.magic import supplementary_transform
+    from repro.prolog import load_program as load
+
+    program = load(QSORT_SRC)
+    magic, _goal = supplementary_transform(program, parse_term("qsort([2,1],S)"))
+    report = lint_program(magic, modes=False, failcheck=False)
+    (diag,) = report.by_rule("scc-entangled")
+    assert "guard predicate(s)" in diag.message
+    # the magic guards of the rewrite are among the named cut vertices
+    assert "m_qsort__bf/1" in diag.message
+    assert "m_part__bbff/2" in diag.message
+
+
+def test_scc_entangled_silent_on_layered_program():
+    report = lint(QSORT_SRC)
+    assert not report.by_rule("scc-entangled")
+
+
+def test_collapsing_guards_are_cut_vertices():
+    from repro.analysis.depgraph import DependencyGraph, _tarjan
+    from repro.analysis.lint import _collapsing_guards
+    from repro.magic import supplementary_transform
+    from repro.prolog import load_program as load
+
+    program = load(QSORT_SRC)
+    magic, _goal = supplementary_transform(program, parse_term("qsort([2,1],S)"))
+    graph = DependencyGraph(magic)
+    component = max(graph.sccs(), key=len)
+    members = set(component)
+    guards = _collapsing_guards(graph, component)
+    assert guards
+    for guard in guards:
+        nodes = sorted(members - {guard})
+        succ = {
+            node: {
+                t for t in graph.successors(node) if t in members and t != guard
+            }
+            for node in nodes
+        }
+        largest = max((len(c) for c in _tarjan(nodes, succ)), default=0)
+        assert largest < len(members) - 1

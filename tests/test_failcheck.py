@@ -98,12 +98,30 @@ def test_reduce_only_mode_skips_abstract_claims(bugs_program):
     assert report.abstract_shapes == {}
 
 
-def test_budget_trip_keeps_reduce_claims_only(bugs_program):
+def test_budget_trip_keeps_per_component_exact_claims(bugs_program):
     from repro.runtime.budget import Budget
 
+    # the budget is charged per SCC component: a starved budget trips
+    # on every non-trivial component, completeness records the partial
+    # coverage, and abstract claims only ever come from components
+    # whose evaluation completed exactly
     report = failcheck_program(bugs_program, budget=Budget(tasks=3))
-    assert report.completeness.startswith("reduce-only(")
-    assert all(method == "reduce" for method in report.dead.values())
+    assert report.completeness.startswith(("partial(", "reduce-only("))
+    assert report.components_done < report.components_total
+    for indicator, method in report.dead.items():
+        if method == "abstract":
+            assert report.abstract_complete[indicator]
+
+
+def test_zero_component_completion_reports_reduce_only(bugs_program):
+    from repro.runtime.budget import Budget
+
+    # a budget too small for even the cheapest component reproduces
+    # the historical whole-program-trip outcome: reduce-only claims
+    report = failcheck_program(bugs_program, budget=Budget(tasks=1))
+    if report.components_done == 0:
+        assert report.completeness.startswith("reduce-only(")
+        assert all(method == "reduce" for method in report.dead.values())
 
 
 def test_unreachable_clause_on_live_predicate():
