@@ -22,6 +22,7 @@ any span or provenance work, and their per-run counters live on bound
 :class:`~repro.obs.registry.Counter` objects either way.
 """
 
+from repro.obs.distributed import TraceContext, new_trace_id, remap_spans
 from repro.obs.observer import (
     NULL_OBSERVER,
     Observer,
@@ -30,21 +31,31 @@ from repro.obs.observer import (
     use_observer,
 )
 from repro.obs.provenance import DerivationNode, explain, render_derivation
-from repro.obs.registry import Counter, Gauge, MetricsRegistry, Timer
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+)
 from repro.obs.trace import Span, Tracer
 
 __all__ = [
     "Counter",
     "DerivationNode",
     "Gauge",
+    "Histogram",
     "MetricsRegistry",
     "NULL_OBSERVER",
     "Observer",
     "Span",
     "Timer",
+    "TraceContext",
     "Tracer",
     "explain",
     "get_observer",
+    "new_trace_id",
+    "remap_spans",
     "render_derivation",
     "resolve_observer",
     "use_observer",

@@ -126,7 +126,8 @@ def _validate(payload, origin: str) -> None:
 
 
 def diff_benches(old: dict, new: dict, threshold_pct: float = 25.0,
-                 space_threshold_pct: float | None = None) -> dict:
+                 space_threshold_pct: float | None = None,
+                 p95_threshold_pct: float | None = None) -> dict:
     """Compare two bench payloads row-by-row.
 
     A row *regresses* when its total time grows more than
@@ -134,6 +135,12 @@ def diff_benches(old: dict, new: dict, threshold_pct: float = 25.0,
     when its table space grows past ``space_threshold_pct``, which
     defaults to the same threshold).  Rows present on only one side are
     reported but are not regressions (benchmarks come and go).
+
+    When both payloads carry metrics *histograms* (latency shapes from
+    :class:`~repro.obs.registry.Histogram`), their p50/p95/p99 are
+    compared too; with ``p95_threshold_pct`` set, a histogram whose p95
+    grew past it counts as a regression — the tail-latency gate behind
+    ``python -m repro.obs report --p95-threshold``.
     """
     if space_threshold_pct is None:
         space_threshold_pct = threshold_pct
@@ -163,16 +170,47 @@ def diff_benches(old: dict, new: dict, threshold_pct: float = 25.0,
             regressions.append(entry)
         elif entry["time_pct"] is not None and entry["time_pct"] < -threshold_pct:
             improvements.append(entry)
+    histograms = _diff_histograms(old, new, p95_threshold_pct)
+    regressions.extend(h for h in histograms if h["p95_regressed"])
     return {
         "table": new.get("table"),
         "threshold_pct": threshold_pct,
         "space_threshold_pct": space_threshold_pct,
+        "p95_threshold_pct": p95_threshold_pct,
         "compared": compared,
+        "histograms": histograms,
         "regressions": regressions,
         "improvements": improvements,
         "only_old": sorted(old_rows.keys() - new_rows.keys()),
         "only_new": sorted(new_rows.keys() - old_rows.keys()),
     }
+
+
+def _diff_histograms(old: dict, new: dict,
+                     p95_threshold_pct: float | None) -> list[dict]:
+    """Percentile rows for histograms present in both metrics snapshots."""
+    old_hists = (old.get("metrics") or {}).get("histograms") or {}
+    new_hists = (new.get("metrics") or {}).get("histograms") or {}
+    entries = []
+    for name in sorted(old_hists.keys() & new_hists.keys()):
+        o, n = old_hists[name], new_hists[name]
+        entry = {
+            "name": name,
+            "kind": "histogram",
+            "old_count": o.get("count"),
+            "new_count": n.get("count"),
+        }
+        for q in ("p50", "p95", "p99"):
+            entry[f"old_{q}"] = o.get(q)
+            entry[f"new_{q}"] = n.get(q)
+            entry[f"{q}_pct"] = _pct(o.get(q), n.get(q))
+        entry["p95_regressed"] = (
+            p95_threshold_pct is not None
+            and entry["p95_pct"] is not None
+            and entry["p95_pct"] > p95_threshold_pct
+        )
+        entries.append(entry)
+    return entries
 
 
 def _pct(old, new):
@@ -216,4 +254,31 @@ def format_report(diff: dict) -> str:
         out.append(f"  {name:12s} removed (present only in old file)")
     for name in diff["only_new"]:
         out.append(f"  {name:12s} added (present only in new file)")
+    histograms = diff.get("histograms") or []
+    if histograms:
+        gate = diff.get("p95_threshold_pct")
+        out.append(
+            "  latency histograms (ms): "
+            + (f"p95 gate {gate:g}%" if gate is not None else "p95 gate off")
+        )
+        out.append(
+            f"  {'histogram':32s} {'old p50':>8s} {'new p50':>8s} "
+            f"{'old p95':>8s} {'new p95':>8s} {'p95%':>8s}  flags"
+        )
+        for entry in histograms:
+            p95_pct = entry["p95_pct"]
+            pct_text = (
+                f"{p95_pct:+7.1f}%" if p95_pct is not None else f"{'n/a':>8s}"
+            )
+            out.append(
+                f"  {entry['name']:32s} "
+                f"{_ms(entry['old_p50']):>8s} {_ms(entry['new_p50']):>8s} "
+                f"{_ms(entry['old_p95']):>8s} {_ms(entry['new_p95']):>8s} "
+                f"{pct_text}"
+                f"{'  P95-REGRESSION' if entry['p95_regressed'] else ''}"
+            )
     return "\n".join(out)
+
+
+def _ms(seconds) -> str:
+    return "n/a" if seconds is None else f"{seconds * 1000:.2f}"

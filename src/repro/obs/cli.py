@@ -1,6 +1,6 @@
 """``python -m repro.obs`` — the observability command line.
 
-Two subcommands:
+Four subcommands:
 
 ``explain FILE GOAL``
     Evaluate ``GOAL`` over ``FILE`` on a provenance-recording tabled
@@ -17,8 +17,20 @@ Two subcommands:
 
 ``report OLD.json NEW.json``
     Diff two bench-emitter files; exit 1 when any row regressed past
-    ``--threshold`` percent (time) / ``--space-threshold`` (bytes),
-    2 on malformed input.
+    ``--threshold`` percent (time) / ``--space-threshold`` (bytes) —
+    or, with ``--p95-threshold``, when a latency histogram's p95 grew
+    past it — 2 on malformed input.
+
+``top HOST:PORT``
+    One live snapshot of a running analysis daemon (a ``stats`` admin
+    request over TCP): pool/breaker/in-flight state, request outcome
+    tallies, latency percentiles, recent requests.  ``--watch N``
+    refreshes every N seconds.
+
+``tail LOG.jsonl``
+    Pretty-print the daemon's structured access log, newest last;
+    filter with ``--trace-id`` / ``--outcome``, raw lines with
+    ``--json``.
 """
 
 from __future__ import annotations
@@ -104,10 +116,44 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="table-space growth threshold (default: same as --threshold)",
     )
     report.add_argument(
+        "--p95-threshold",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="flag latency histograms whose p95 grew more than PCT%% "
+        "(default: off)",
+    )
+    report.add_argument(
         "--json",
         action="store_true",
         help="emit the diff as JSON instead of a table",
     )
+
+    top = sub.add_parser(
+        "top", help="live snapshot of a running analysis daemon"
+    )
+    top.add_argument("address", metavar="HOST:PORT",
+                     help="TCP address of a running repro.serve daemon")
+    top.add_argument("--watch", type=float, default=None, metavar="SECONDS",
+                     help="refresh every SECONDS (default: one snapshot)")
+    top.add_argument("--recent", type=int, default=5, metavar="N",
+                     help="show the N most recent requests (default 5)")
+    top.add_argument("--json", action="store_true",
+                     help="emit the raw stats payload as JSON")
+
+    tail = sub.add_parser(
+        "tail", help="pretty-print and filter a daemon access log"
+    )
+    tail.add_argument("log", metavar="LOG.jsonl",
+                      help="the --access-log file a daemon is writing")
+    tail.add_argument("--trace-id", metavar="ID",
+                      help="show only the line(s) for this trace id")
+    tail.add_argument("--outcome", choices=("ok", "degraded", "error"),
+                      help="show only lines with this outcome")
+    tail.add_argument("--limit", type=int, default=None, metavar="N",
+                      help="show at most the last N matching lines")
+    tail.add_argument("--json", action="store_true",
+                      help="emit matching lines as raw JSONL")
     return parser
 
 
@@ -285,6 +331,7 @@ def run_report(args, out) -> int:
     diff = diff_benches(
         old, new, threshold_pct=args.threshold,
         space_threshold_pct=args.space_threshold,
+        p95_threshold_pct=args.p95_threshold,
     )
     if args.json:
         print(json_module.dumps(diff, indent=2, sort_keys=True), file=out)
@@ -293,9 +340,184 @@ def run_report(args, out) -> int:
     return EXIT_REGRESSIONS if diff["regressions"] else EXIT_OK
 
 
+# ----------------------------------------------------------------------
+# top / tail — live daemon telemetry
+
+
+def daemon_request(host: str, port: int, data: dict,
+                   timeout: float = 10.0) -> dict:
+    """One JSONL request/reply round trip against a daemon TCP frontend."""
+    import json as json_module
+    import socket
+
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        stream = sock.makefile("rw", encoding="utf-8", newline="\n")
+        stream.write(json_module.dumps(data) + "\n")
+        stream.flush()
+        line = stream.readline()
+    if not line:
+        raise OSError("daemon closed the connection without a reply")
+    return json_module.loads(line)
+
+
+def _parse_address(text: str):
+    host, _, port_text = text.rpartition(":")
+    try:
+        return host or "127.0.0.1", int(port_text)
+    except ValueError:
+        return None
+
+
+def format_stats(stats: dict, recent: int = 5) -> str:
+    """Human-readable daemon snapshot (the ``top`` display)."""
+    metrics = stats.get("metrics") or {}
+    counters = metrics.get("counters") or {}
+    lines = [
+        f"pool: size={stats.get('pool', {}).get('size')} "
+        f"respawns={stats.get('pool', {}).get('respawns')}  "
+        f"breaker: {stats.get('breaker')}  "
+        f"inflight: {stats.get('inflight')}  "
+        f"quarantined: {stats.get('quarantined')}  "
+        f"tracing: {'on' if stats.get('tracing') else 'off'}",
+        f"requests: {counters.get('serve.requests', 0)} "
+        f"(ok={counters.get('serve.replies.ok', 0)} "
+        f"degraded={counters.get('serve.replies.degraded', 0)} "
+        f"error={counters.get('serve.replies.error', 0)} "
+        f"shed={counters.get('serve.replies.shed', 0)})  "
+        f"cache hits: {counters.get('serve.cache.hits', 0)}  "
+        f"retries: {counters.get('serve.retries', 0)}",
+        f"traces stored: {stats.get('traces', {}).get('stored')} "
+        f"(evicted {stats.get('traces', {}).get('evicted')})  "
+        f"access log: {stats.get('access_log', {}).get('logged')} line(s), "
+        f"outcomes={stats.get('access_log', {}).get('outcomes')}",
+    ]
+    histogram = (metrics.get("histograms") or {}).get(
+        "serve.request_latency_seconds")
+    if histogram:
+        lines.append(
+            "latency: "
+            + "  ".join(
+                f"{q}={_latency_ms(histogram.get(q))}"
+                for q in ("p50", "p95", "p99")
+            )
+            + f"  mean={_latency_ms(histogram.get('mean'))}"
+            + f"  n={histogram.get('count')}"
+        )
+    entries = (stats.get("recent") or [])[-recent:]
+    if entries:
+        lines.append(f"last {len(entries)} request(s):")
+        lines.extend("  " + format_access_entry(entry) for entry in entries)
+    return "\n".join(lines)
+
+
+def _latency_ms(seconds) -> str:
+    return "n/a" if seconds is None else f"{seconds * 1000:.2f}ms"
+
+
+def format_access_entry(entry: dict) -> str:
+    """One access-log line, human-readable."""
+    outcome = entry.get("outcome", "?")
+    code = entry.get("code")
+    phases = entry.get("phases") or {}
+    phase_text = " ".join(
+        f"{name}={seconds * 1000:.1f}ms"
+        for name, seconds in sorted(phases.items()) if seconds
+    )
+    parts = [
+        f"{entry.get('trace_id', '?'):32s}",
+        f"{str(entry.get('task')):10s}",
+        f"{outcome}{f'[{code}]' if code else ''}",
+        f"{(entry.get('seconds') or 0) * 1000:8.1f}ms",
+    ]
+    if entry.get("cached"):
+        parts.append("cached")
+    if entry.get("attempts", 0) > 1:
+        parts.append(f"attempts={entry['attempts']}")
+    if phase_text:
+        parts.append(phase_text)
+    return " ".join(parts)
+
+
+def run_top(args, out) -> int:
+    import time as time_module
+
+    address = _parse_address(args.address)
+    if address is None:
+        print(f"top expects HOST:PORT, got {args.address!r}", file=sys.stderr)
+        return EXIT_USAGE
+    host, port = address
+    while True:
+        try:
+            reply = daemon_request(host, port, {
+                "id": "obs-top", "task": "stats",
+                "options": {"recent": max(args.recent, 0)},
+            })
+        except OSError as exc:
+            print(f"top: cannot reach daemon at {host}:{port}: {exc}",
+                  file=sys.stderr)
+            return EXIT_USAGE
+        if not reply.get("ok"):
+            print(f"top: daemon refused stats: {reply.get('error')}",
+                  file=sys.stderr)
+            return EXIT_REGRESSIONS
+        if args.json:
+            import json as json_module
+
+            print(json_module.dumps(reply["payload"], indent=2,
+                                    sort_keys=True, default=str), file=out)
+        else:
+            print(format_stats(reply["payload"], recent=args.recent),
+                  file=out)
+        if args.watch is None:
+            return EXIT_OK
+        out.flush()
+        time_module.sleep(max(args.watch, 0.1))
+        print(file=out)
+
+
+def run_tail(args, out) -> int:
+    import json as json_module
+
+    try:
+        with open(args.log, encoding="utf-8") as handle:
+            raw_lines = handle.readlines()
+    except OSError as exc:
+        print(f"tail: cannot read {args.log}: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    matched = []
+    for number, line in enumerate(raw_lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json_module.loads(line)
+        except json_module.JSONDecodeError:
+            print(f"tail: {args.log}:{number}: not valid JSON, skipped",
+                  file=sys.stderr)
+            continue
+        if args.trace_id and entry.get("trace_id") != args.trace_id:
+            continue
+        if args.outcome and entry.get("outcome") != args.outcome:
+            continue
+        matched.append(entry)
+    if args.limit is not None:
+        matched = matched[-max(args.limit, 0):]
+    for entry in matched:
+        if args.json:
+            print(json_module.dumps(entry, sort_keys=True, default=str),
+                  file=out)
+        else:
+            print(format_access_entry(entry), file=out)
+    return EXIT_OK
+
+
 def main(argv: list[str] | None = None, out=None) -> int:
     out = out if out is not None else sys.stdout
     args = build_arg_parser().parse_args(argv)
     if args.command == "explain":
         return run_explain(args, out)
+    if args.command == "top":
+        return run_top(args, out)
+    if args.command == "tail":
+        return run_tail(args, out)
     return run_report(args, out)

@@ -1,0 +1,159 @@
+"""Cross-process distributed tracing: context propagation and stitching.
+
+One analysis request to the daemon touches at least two processes: the
+supervisor (validate, cache probe, breaker, retry) and a worker (the
+actual engine run).  This module is the glue that makes those pieces
+*one trace*:
+
+* a :class:`TraceContext` — ``trace_id`` plus the parent ``span_id`` —
+  travels with the task payload across the worker pipe (it is a plain
+  dict on the wire, so it survives pickling and JSON alike);
+* the worker's :class:`~repro.obs.trace.Tracer` adopts the context's
+  ``trace_id`` and records spans with its own *local* ids;
+* the supervisor stitches the worker's exported span dicts back under
+  its dispatch span with :func:`remap_spans` — ids are rewritten into
+  the supervisor tracer's id space (:meth:`Tracer.allocate_ids`), and
+  worker roots are reparented under the dispatch span, so the final
+  trace is a single well-formed tree.
+
+Span ``start``/``end`` values are monotonic-clock readings *local to
+the recording process* — durations are meaningful everywhere, absolute
+positions only within one process.  Stitched spans carry a
+``process`` attribute so consumers know which clock they are on.
+
+When a worker dies before it can ship spans (a crash, a deadline kill,
+a corrupt reply), :func:`partial_worker_span` fabricates the marked
+partial span — ``"partial": True`` plus the fault kind — so the trace
+for a killed request is still complete and self-describing (the same
+stance as the budget-trip crash flush: a trace you only get when
+nothing went wrong is not observability).
+"""
+
+from __future__ import annotations
+
+import os
+import uuid
+
+#: attribute key marking a span fabricated for a worker that never
+#: reported back (killed, crashed, or replied garbage)
+PARTIAL_ATTR = "partial"
+
+
+def new_trace_id() -> str:
+    """A fresh 32-hex-digit trace id (uuid4, collision-safe per host)."""
+    return uuid.uuid4().hex
+
+
+class TraceContext:
+    """The propagated identity of one distributed trace.
+
+    ``trace_id`` names the whole request trace; ``span_id`` is the id
+    of the span on the *sending* side under which remote work should be
+    stitched (the daemon's dispatch span).  Wire form is a plain dict
+    so it crosses pickle and JSON boundaries unchanged.
+    """
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: str, span_id: int | None = None):
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+    def to_wire(self) -> dict:
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+    @classmethod
+    def from_wire(cls, data) -> "TraceContext | None":
+        if not isinstance(data, dict):
+            return None
+        trace_id = data.get("trace_id")
+        if not isinstance(trace_id, str) or not trace_id:
+            return None
+        span_id = data.get("span_id")
+        return cls(trace_id, span_id if isinstance(span_id, int) else None)
+
+    def __repr__(self) -> str:
+        return f"TraceContext(trace_id={self.trace_id!r}, span_id={self.span_id})"
+
+
+def remap_spans(spans, id_base: int, parent_id: int | None = None,
+                trace_id: str | None = None,
+                extra_attrs: dict | None = None) -> list[dict]:
+    """Rewrite remote span dicts into a new id space (pure, order-kept).
+
+    Every span id becomes ``id_base + position``; parent links *within*
+    the remapped set follow, and spans whose parent is outside the set
+    (the remote roots) are reparented under ``parent_id``.  ``trace_id``
+    and ``extra_attrs`` are stamped on when given.  Returns new dicts —
+    the inputs are not mutated.
+    """
+    spans = list(spans)
+    mapping = {}
+    for span in spans:
+        span_id = span.get("span_id")
+        if span_id not in mapping:
+            mapping[span_id] = id_base + len(mapping)
+    remapped = []
+    for span in spans:
+        out = dict(span)
+        out["span_id"] = mapping[out.get("span_id")]
+        out["parent_id"] = mapping.get(span.get("parent_id"), parent_id)
+        if trace_id is not None:
+            out["trace_id"] = trace_id
+        if extra_attrs:
+            out["attrs"] = {**(out.get("attrs") or {}), **extra_attrs}
+        remapped.append(out)
+    return remapped
+
+
+def partial_worker_span(span_id: int, parent_id: int | None,
+                        trace_id: str | None, fault_kind: str,
+                        start: float | None = None,
+                        end: float | None = None,
+                        **attrs) -> dict:
+    """A fabricated span for a worker that never reported back.
+
+    Marked ``partial`` (and ``status: "killed"``) so trace consumers can
+    tell "the worker's side of this trace is missing because the worker
+    was lost" from "the worker did nothing".
+    """
+    span = {
+        "name": "worker.task",
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "start": start,
+        "end": end,
+        "duration": (end - start) if start is not None and end is not None
+        else None,
+        "status": "killed",
+        "attrs": {PARTIAL_ATTR: True, "fault": fault_kind,
+                  "process": "worker", **attrs},
+        "events": [{"name": "worker_lost", "fault": fault_kind}],
+    }
+    if trace_id is not None:
+        span["trace_id"] = trace_id
+    return span
+
+
+def span_tree_is_wellformed(spans) -> bool:
+    """True when ``spans`` form one forest: unique ids, parents present.
+
+    The stitching invariant the tests (and the chaos harness) hold
+    every stored trace to: no id collisions after remapping, and every
+    non-root parent link resolves inside the trace.
+    """
+    spans = list(spans)
+    ids = [span.get("span_id") for span in spans]
+    if len(ids) != len(set(ids)):
+        return False
+    known = set(ids)
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent is not None and parent not in known:
+            return False
+    return True
+
+
+def process_label() -> str:
+    """A short label for the recording process (stamped on spans)."""
+    return f"pid-{os.getpid()}"

@@ -43,6 +43,11 @@ class Observer:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer()
         self.provenance = provenance
+        if self.tracer.drop_counter is None:
+            # ring-buffer truncation is observable, not silent: every
+            # dropped span ticks a counter in this run's registry
+            self.tracer.drop_counter = self.registry.counter(
+                "obs.trace.dropped_spans")
 
     # convenience pass-throughs -----------------------------------------
     def span(self, name: str, **attrs):

@@ -1,4 +1,4 @@
-"""The metrics registry: counters, gauges and timing histograms.
+"""The metrics registry: counters, gauges, timers and latency histograms.
 
 Instruments are named with hierarchical dotted keys
 (``engine.tabled.calls``, ``magic.rewrite.rules``,
@@ -19,6 +19,7 @@ registry's name lookup.
 
 from __future__ import annotations
 
+import bisect
 import threading
 import time
 from contextlib import contextmanager
@@ -93,6 +94,103 @@ class Timer:
         return f"Timer({self.name}: n={self.count}, total={self.total:.6f}s)"
 
 
+#: default latency bucket upper bounds (seconds) — roughly log-spaced
+#: from half a millisecond to ten seconds; observations past the last
+#: bound land in an implicit +inf overflow bucket
+DEFAULT_LATENCY_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Histogram:
+    """A fixed-bucket duration histogram with percentile estimation.
+
+    Unlike :class:`Timer` (count/total/min/max only), a histogram keeps
+    per-bucket counts, so snapshots can report p50/p95/p99.  Buckets
+    are fixed at creation (``bounds`` are upper edges; one implicit
+    overflow bucket past the last), which keeps observation O(log B)
+    and merging across processes a per-bucket add.  Percentiles are
+    estimated by linear interpolation inside the target bucket, clamped
+    to the observed min/max, so they are exact at the bucket edges and
+    never invent values outside the observed range.
+    """
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total",
+                 "min", "max")
+
+    def __init__(self, name: str, bounds=DEFAULT_LATENCY_BUCKETS):
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be a sorted, non-empty "
+                             "sequence of upper edges")
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+    def observe(self, seconds: float) -> None:
+        self.bucket_counts[bisect.bisect_left(self.bounds, seconds)] += 1
+        self.count += 1
+        self.total += seconds
+        if self.min is None or seconds < self.min:
+            self.min = seconds
+        if self.max is None or seconds > self.max:
+            self.max = seconds
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float | None:
+        """Estimated value at quantile ``q`` in [0, 1] (None when empty)."""
+        if not self.count:
+            return None
+        target = q * self.count
+        cumulative = 0
+        lower = 0.0
+        for index, upper in enumerate(self.bounds):
+            in_bucket = self.bucket_counts[index]
+            if cumulative + in_bucket >= target and in_bucket:
+                fraction = (target - cumulative) / in_bucket
+                estimate = lower + fraction * (upper - lower)
+                return min(self.max, max(self.min, estimate))
+            cumulative += in_bucket
+            lower = upper
+        # overflow bucket: everything we know is "past the last edge"
+        return self.max
+
+    def as_dict(self) -> dict:
+        return {
+            "bounds": list(self.bounds),
+            "bucket_counts": list(self.bucket_counts),
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram({self.name}: n={self.count}, "
+            f"p50={self.percentile(0.5)}, p95={self.percentile(0.95)})"
+        )
+
+
+def _merge_extremes(instrument, low, high) -> None:
+    """Fold another instrument's min/max into ``instrument``."""
+    if low is not None and (instrument.min is None or low < instrument.min):
+        instrument.min = low
+    if high is not None and (instrument.max is None or high > instrument.max):
+        instrument.max = high
+
+
 class MetricsRegistry:
     """Named instruments plus a bounded structured-event list.
 
@@ -108,13 +206,14 @@ class MetricsRegistry:
     :meth:`merge_snapshot`) or keep each instrument single-writer.
     """
 
-    __slots__ = ("counters", "gauges", "timers", "events", "max_events",
-                 "dropped_events", "clock", "_lock")
+    __slots__ = ("counters", "gauges", "timers", "histograms", "events",
+                 "max_events", "dropped_events", "clock", "_lock")
 
     def __init__(self, max_events: int = 1024, clock=time.perf_counter):
         self.counters: dict[str, Counter] = {}
         self.gauges: dict[str, Gauge] = {}
         self.timers: dict[str, Timer] = {}
+        self.histograms: dict[str, Histogram] = {}
         self.events: list[dict] = []
         self.max_events = max_events
         self.dropped_events = 0
@@ -152,6 +251,19 @@ class MetricsRegistry:
                     self.timers[name] = instrument
         return instrument
 
+    def histogram(self, name: str, bounds=None) -> Histogram:
+        instrument = self.histograms.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self.histograms.get(name)
+                if instrument is None:
+                    instrument = Histogram(
+                        name,
+                        bounds if bounds is not None else DEFAULT_LATENCY_BUCKETS,
+                    )
+                    self.histograms[name] = instrument
+        return instrument
+
     @contextmanager
     def time(self, name: str):
         """Context manager observing the block's duration under ``name``."""
@@ -183,6 +295,9 @@ class MetricsRegistry:
             "counters": {n: c.value for n, c in sorted(self.counters.items())},
             "gauges": {n: g.value for n, g in sorted(self.gauges.items())},
             "timers": {n: t.as_dict() for n, t in sorted(self.timers.items())},
+            "histograms": {
+                n: h.as_dict() for n, h in sorted(self.histograms.items())
+            },
             "events": list(self.events),
             "dropped_events": self.dropped_events,
         }
@@ -219,6 +334,21 @@ class MetricsRegistry:
                 ):
                     merged.max = timer.max
                 state[key] = (timer.count, timer.total)
+        for name, histogram in self.histograms.items():
+            key = ("h", name)
+            last = state.get(key)
+            if last is None:
+                last = ((0,) * len(histogram.bucket_counts), 0.0)
+            last_counts, last_total = last
+            if tuple(histogram.bucket_counts) != last_counts:
+                merged = target.histogram(name, histogram.bounds)
+                for index, value in enumerate(histogram.bucket_counts):
+                    delta = value - last_counts[index]
+                    merged.bucket_counts[index] += delta
+                    merged.count += delta
+                merged.total += histogram.total - last_total
+                _merge_extremes(merged, histogram.min, histogram.max)
+                state[key] = (tuple(histogram.bucket_counts), histogram.total)
 
     def merge_snapshot(self, snapshot: dict) -> None:
         """Fold another registry's :meth:`snapshot` dump into this one.
@@ -249,6 +379,24 @@ class MetricsRegistry:
                 merged.max is None or data["max"] > merged.max
             ):
                 merged.max = data["max"]
+        for name, data in snapshot.get("histograms", {}).items():
+            if not data.get("count"):
+                continue
+            merged = self.histogram(name, data.get("bounds"))
+            if list(merged.bounds) == list(data.get("bounds", ())):
+                for index, value in enumerate(data["bucket_counts"]):
+                    merged.bucket_counts[index] += value
+                merged.count += data["count"]
+                merged.total += data["total"]
+                _merge_extremes(merged, data.get("min"), data.get("max"))
+            else:
+                # bucket shapes differ (histogram reconfigured between
+                # producer and consumer): fold each bucket as one
+                # observation at its upper edge rather than dropping it
+                edges = list(data.get("bounds", ())) + [data.get("max") or 0.0]
+                for index, value in enumerate(data.get("bucket_counts", ())):
+                    for _ in range(value):
+                        merged.observe(edges[min(index, len(edges) - 1)])
         for event in snapshot.get("events", ()):
             event = dict(event)
             self.record_event(event.pop("kind", "event"), **event)
@@ -258,5 +406,5 @@ class MetricsRegistry:
         return (
             f"MetricsRegistry({len(self.counters)} counters, "
             f"{len(self.gauges)} gauges, {len(self.timers)} timers, "
-            f"{len(self.events)} events)"
+            f"{len(self.histograms)} histograms, {len(self.events)} events)"
         )

@@ -85,13 +85,19 @@ class Tracer:
     evaluation they trace is strictly nested single-threaded work.
     """
 
-    def __init__(self, capacity: int = 4096, clock=time.perf_counter):
+    def __init__(self, capacity: int = 4096, clock=time.perf_counter,
+                 trace_id: str | None = None):
         self.capacity = capacity
         self.clock = clock
+        self.trace_id = trace_id
         self.finished: deque[Span] = deque(maxlen=capacity)
         self._stack: list[Span] = []
         self._next_id = 1
         self.dropped = 0
+        #: optional bound :class:`~repro.obs.registry.Counter` ticked on
+        #: every ring-buffer drop, so truncation is visible in metrics
+        #: (wired by :class:`~repro.obs.observer.Observer`)
+        self.drop_counter = None
 
     # ------------------------------------------------------------------
     @property
@@ -142,8 +148,13 @@ class Tracer:
                 except ValueError:
                     pass
             if len(self.finished) == self.capacity:
-                self.dropped += 1
+                self._record_drop()
             self.finished.append(span)
+
+    def _record_drop(self) -> None:
+        self.dropped += 1
+        if self.drop_counter is not None:
+            self.drop_counter.inc()
 
     def event(self, name: str, **attrs) -> None:
         """Attach a point event to the innermost open span (else drop)."""
@@ -158,19 +169,93 @@ class Tracer:
         self.finished.clear()
         self.dropped = 0
 
+    def allocate_ids(self, count: int) -> int:
+        """Reserve ``count`` span ids; returns the first of the block.
+
+        Used when grafting spans recorded by another tracer (a worker
+        process) into this tracer's id space, so stitched traces never
+        reuse an id.
+        """
+        base = self._next_id
+        self._next_id += max(0, count)
+        return base
+
+    def export_spans(self, limit: int | None = None) -> list[dict]:
+        """Finished spans as JSON-ready dicts (most recent ``limit``).
+
+        Each dict carries this tracer's ``trace_id`` when one is set —
+        the form shipped across process boundaries for stitching.
+        """
+        spans = list(self.finished)
+        if limit is not None and len(spans) > limit:
+            spans = spans[-limit:]
+        dicts = [span.to_dict() for span in spans]
+        if self.trace_id is not None:
+            for span_dict in dicts:
+                span_dict["trace_id"] = self.trace_id
+        return dicts
+
+    def export_meta(self) -> dict:
+        """Export metadata: totals that make truncation detectable."""
+        return {
+            "finished": len(self.finished),
+            "dropped_spans": self.dropped,
+            "capacity": self.capacity,
+            "trace_id": self.trace_id,
+        }
+
+    def graft(self, span_dicts, parent_id: int | None = None,
+              extra_attrs: dict | None = None) -> int:
+        """Adopt spans recorded by another tracer (as dicts).
+
+        Ids are remapped into this tracer's id space; spans whose
+        parent is not in the grafted set are reparented under
+        ``parent_id`` (default: the innermost open span, else roots).
+        Returns the number of spans grafted.
+        """
+        from repro.obs.distributed import remap_spans
+
+        span_dicts = list(span_dicts or ())
+        if not span_dicts:
+            return 0
+        if parent_id is None and self._stack:
+            parent_id = self._stack[-1].span_id
+        base = self.allocate_ids(len(span_dicts))
+        for span_dict in remap_spans(span_dicts, base, parent_id=parent_id,
+                                     trace_id=self.trace_id,
+                                     extra_attrs=extra_attrs):
+            span = Span(span_dict["name"], span_dict["span_id"],
+                        span_dict.get("parent_id"), span_dict.get("start"),
+                        dict(span_dict.get("attrs") or {}))
+            span.end = span_dict.get("end")
+            span.status = span_dict.get("status", "ok")
+            span.events = list(span_dict.get("events") or ())
+            if len(self.finished) == self.capacity:
+                self._record_drop()
+            self.finished.append(span)
+        return len(span_dicts)
+
     def export_jsonl(self, destination) -> int:
         """Write finished spans as JSONL; returns the span count.
 
-        ``destination`` is a path or a writable text file object.
+        ``destination`` is a path or a writable text file object.  When
+        spans were dropped from the ring buffer, one trailing metadata
+        line (``{"meta": {...}}``) records how many, so a truncated
+        trace is detectable from the file alone.
         """
         if isinstance(destination, (str, bytes)) or hasattr(destination, "__fspath__"):
             with open(destination, "w", encoding="utf-8") as handle:
                 return self.export_jsonl(handle)
         count = 0
-        for span in self.finished:
-            destination.write(json.dumps(span.to_dict(), sort_keys=True))
+        for span_dict in self.export_spans():
+            destination.write(json.dumps(span_dict, sort_keys=True))
             destination.write("\n")
             count += 1
+        if self.dropped:
+            destination.write(
+                json.dumps({"meta": self.export_meta()}, sort_keys=True)
+            )
+            destination.write("\n")
         return count
 
     def export_jsonl_str(self) -> str:

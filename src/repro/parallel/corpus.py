@@ -10,11 +10,14 @@ and returns per-file results *in input order*, so output and exit
 codes are identical whatever the worker count.
 
 Each worker process runs its task under a private
-:class:`~repro.obs.Observer` and ships the registry snapshot back with
-the result; the parent folds every snapshot into the session observer
-(:meth:`~repro.obs.registry.MetricsRegistry.merge_snapshot`), so the
-merged counters/timers/events equal a serial run's — observability
-stays intact under parallelism.
+:class:`~repro.obs.Observer` and ships the registry snapshot (plus its
+most recent trace spans) back with the result; the parent folds every
+snapshot into the session observer
+(:meth:`~repro.obs.registry.MetricsRegistry.merge_snapshot`) and grafts
+the worker spans into the session tracer
+(:meth:`~repro.obs.trace.Tracer.graft`), so the merged
+counters/timers/events equal a serial run's and traces keep covering
+the work — observability stays intact under parallelism.
 
 Task payloads are plain JSON-able dicts (they cross the pickle
 boundary), and a worker exception becomes the result's ``error`` field
@@ -40,6 +43,9 @@ class CorpusResult:
     error: str | None
     seconds: float
     metrics: dict = field(default_factory=dict)
+    #: the worker's most recent trace spans (grafted into the session
+    #: tracer by the parent, ``process: worker`` stamped on)
+    spans: list = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -147,6 +153,7 @@ def _retry_isolated(item) -> dict:
             "while analyzing this file",
             "seconds": time.perf_counter() - started,
             "metrics": {},
+            "spans": [],
         }
 
 
@@ -166,12 +173,17 @@ def _fold_metrics(results: list[CorpusResult], observer) -> None:
     if not getattr(obs, "enabled", False):
         return
     registry = obs.registry
+    tracer = getattr(obs, "tracer", None)
     for result in results:
         registry.merge_snapshot(result.metrics)
         registry.counter("parallel.corpus.files").inc()
         if result.error is not None:
             registry.counter("parallel.corpus.errors").inc()
         registry.timer("parallel.corpus.file_seconds").observe(result.seconds)
+        if result.spans and tracer is not None:
+            tracer.graft(result.spans,
+                         extra_attrs={"process": "worker",
+                                      "path": result.path})
 
 
 def _corpus_worker(item) -> dict:
@@ -202,6 +214,8 @@ def _corpus_worker(item) -> dict:
         "error": error,
         "seconds": time.perf_counter() - started,
         "metrics": observer.registry.snapshot(),
+        # a bounded tail of the worker's trace, for parent-side grafting
+        "spans": observer.tracer.export_spans(limit=64),
     }
 
 

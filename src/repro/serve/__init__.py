@@ -16,6 +16,9 @@ The pieces, each independently testable:
 * :mod:`~repro.serve.cache` — warm results keyed by clause-set variant
   hashes with SCC-condensation-aware invalidation;
 * :mod:`~repro.serve.daemon` — the dispatch path tying them together;
+* :mod:`~repro.serve.telemetry` — live telemetry: the structured
+  access log, the stitched-trace store, per-request tracing plumbing
+  and the Prometheus text exposition;
 * :mod:`~repro.serve.chaos` — the seeded chaos harness enforcing the
   service contract end to end.
 """
@@ -32,6 +35,7 @@ from repro.serve.pool import (
     WorkerPool,
 )
 from repro.serve.protocol import (
+    ADMIN_TASKS,
     ERROR_CODES,
     ProtocolError,
     Request,
@@ -42,17 +46,27 @@ from repro.serve.protocol import (
     parse_request_line,
 )
 from repro.serve.retry import RetryPolicy, RetrySession
+from repro.serve.telemetry import (
+    AccessLog,
+    RequestTelemetry,
+    TraceStore,
+    render_prometheus,
+)
 
 __all__ = [
+    "ADMIN_TASKS",
+    "AccessLog",
     "AnalysisDaemon",
     "ChaosReport",
     "CircuitBreaker",
     "ERROR_CODES",
     "ProtocolError",
     "Request",
+    "RequestTelemetry",
     "ResultCache",
     "RetryPolicy",
     "RetrySession",
+    "TraceStore",
     "WorkerCorrupt",
     "WorkerCrashed",
     "WorkerFailure",
@@ -64,5 +78,6 @@ __all__ = [
     "ok_reply",
     "parse_request",
     "parse_request_line",
+    "render_prometheus",
     "run_chaos",
 ]

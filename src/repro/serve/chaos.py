@@ -15,7 +15,12 @@ the bounded queue — and holds every reply to the service contract:
   — retries, cache hits and pool respawns must not change answers;
 * **bounded**: each reply lands within the request deadline plus a
   fixed supervision grace (the time to detect a hang, kill the worker
-  and answer), so no request can wedge past its deadline.
+  and answer), so no request can wedge past its deadline;
+* **observable**: every reply carries a ``trace_id``; when the daemon
+  stored a stitched trace for it, that trace must be one well-formed
+  tree under the reply's id (kills included — fabricated partial
+  worker spans and all), and every ``trace_id`` must map to exactly
+  one access-log line.
 
 Violations are collected, not raised, so one report shows everything a
 schedule shook loose; the same seed always produces the same schedule.
@@ -26,6 +31,7 @@ from __future__ import annotations
 import threading
 import time
 
+from repro.obs.distributed import span_tree_is_wellformed
 from repro.parallel.corpus import TASKS
 from repro.runtime.faultinject import ProcessFaultPlan
 from repro.serve.breaker import CircuitBreaker
@@ -65,6 +71,8 @@ class ChaosReport:
         self.requests = 0
         self.cache_hits = 0
         self.drain_clean = False
+        self.trace_ids: list[str] = []
+        self.stitched_traces = 0
 
     @property
     def ok(self) -> bool:
@@ -87,7 +95,9 @@ class ChaosReport:
             f"chaos seed={self.seed}: {self.requests} requests, "
             f"outcomes={dict(sorted(self.outcomes.items()))}, "
             f"error_codes={dict(sorted(self.error_codes.items()))}, "
-            f"cache_hits={self.cache_hits}, drain_clean={self.drain_clean}",
+            f"cache_hits={self.cache_hits}, "
+            f"stitched_traces={self.stitched_traces}, "
+            f"drain_clean={self.drain_clean}",
         ]
         for violation in self.violations:
             lines.append(f"VIOLATION: {violation}")
@@ -163,6 +173,7 @@ def run_chaos(
         _burst(daemon, paths, burst, deadline, report)
     finally:
         report.drain_clean = daemon.drain(timeout=15.0)
+    _check_access_log(daemon, report)
     # post-drain: intake must refuse cleanly, not crash
     reply = daemon.handle({"id": "late", "task": "lint", "path": paths[0],
                            "options": lint_options, "deadline": deadline})
@@ -176,6 +187,7 @@ def _fire(daemon, data, fault_kind, golden, report, deadline) -> None:
     reply = daemon.handle(dict(data))
     elapsed = time.monotonic() - started
     _check(reply, data, fault_kind, golden, report)
+    _check_trace(daemon, reply, data.get("id"), report)
     if elapsed > deadline + GRACE_SECONDS:
         report.violation(
             f"request {data.get('id')} took {elapsed:.2f}s, past its "
@@ -223,6 +235,42 @@ def _check(reply, data, fault_kind, golden, report) -> None:
             )
 
 
+def _check_trace(daemon, reply, request_id, report) -> None:
+    """Hold one reply to the observability contract."""
+    trace_id = reply.get("trace_id")
+    if not isinstance(trace_id, str) or not trace_id:
+        report.violation(f"request {request_id}: reply carries no trace_id")
+        return
+    report.trace_ids.append(trace_id)
+    spans = daemon.traces.get(trace_id)
+    if spans is None:
+        # pre-dispatch rejection (or tracing off): no stored trace owed
+        return
+    report.stitched_traces += 1
+    if not span_tree_is_wellformed(spans):
+        report.violation(
+            f"request {request_id}: stitched trace {trace_id} is not a "
+            f"well-formed span tree")
+    foreign = [s for s in spans if s.get("trace_id") != trace_id]
+    if foreign:
+        report.violation(
+            f"request {request_id}: trace {trace_id} contains spans from "
+            f"{len(foreign)} other trace(s)")
+
+
+def _check_access_log(daemon, report) -> None:
+    """Every reply's trace_id must map to exactly one access-log line."""
+    counts: dict = {}
+    for entry in daemon.access_log.recent():
+        counts[entry.get("trace_id")] = counts.get(entry.get("trace_id"), 0) + 1
+    for trace_id in report.trace_ids:
+        lines = counts.get(trace_id, 0)
+        if lines != 1:
+            report.violation(
+                f"trace {trace_id} has {lines} access-log line(s), want "
+                f"exactly one")
+
+
 def _burst(daemon, paths, burst, deadline, report) -> None:
     """Concurrent fire at a tiny queue: sheds must be clean, rest correct."""
     if burst <= 0:
@@ -253,6 +301,7 @@ def _burst(daemon, paths, burst, deadline, report) -> None:
             report.violation(f"burst-{slot}: ill-formed reply: {exc}")
             continue
         report.tally(outcome, reply)
+        _check_trace(daemon, reply, f"burst-{slot}", report)
         if outcome == "error" and reply["error"]["code"] not in (
                 "overloaded", "deadline"):
             report.violation(

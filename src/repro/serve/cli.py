@@ -65,6 +65,15 @@ def build_arg_parser() -> argparse.ArgumentParser:
                         "by the worker pool: lint/failcheck requests "
                         "reuse per-component analysis summaries across "
                         "files and resubmissions")
+    parser.add_argument("--access-log", metavar="FILE",
+                        help="append one structured JSONL line per "
+                        "request (trace id, outcome, per-phase latency)")
+    parser.add_argument("--metrics", metavar="HOST:PORT",
+                        help="expose Prometheus text metrics over HTTP "
+                        "(PORT 0 = ephemeral, printed on stderr)")
+    parser.add_argument("--no-tracing", action="store_true",
+                        help="disable per-request distributed tracing "
+                        "(access log and counters stay on)")
     parser.add_argument("--seed", type=int, default=7,
                         help="chaos schedule seed (with --chaos)")
     parser.add_argument("--chaos-requests", type=int, default=24, metavar="N",
@@ -84,7 +93,18 @@ def _build_daemon(args) -> AnalysisDaemon:
         breaker=CircuitBreaker(),
         poison_threshold=args.poison_threshold,
         summaries_dir=args.summaries,
+        access_log=args.access_log,
+        tracing=not args.no_tracing,
     )
+
+
+def _parse_hostport(text: str, err) -> tuple[str, int] | None:
+    host, _, port_text = text.rpartition(":")
+    try:
+        return host or "127.0.0.1", int(port_text)
+    except ValueError:
+        print(f"expected HOST:PORT, got {text!r}", file=err)
+        return None
 
 
 def _chaos_paths(args) -> list[str]:
@@ -117,16 +137,29 @@ def main(argv: list[str] | None = None, out=None, err=None) -> int:
     stop = threading.Event()
     install_signal_handlers(stop)
     daemon = _build_daemon(args)
-    if args.tcp:
-        host, _, port_text = args.tcp.rpartition(":")
-        try:
-            port = int(port_text)
-        except ValueError:
-            print(f"--tcp expects HOST:PORT, got {args.tcp!r}", file=err)
+    metrics_server = None
+    if args.metrics:
+        from repro.serve.frontends import start_metrics_server
+
+        address = _parse_hostport(args.metrics, err)
+        if address is None:
             return EXIT_USAGE
-        serve_tcp(daemon, host or "127.0.0.1", port, stop=stop,
-                  ready=lambda addr: print(f"listening on {addr[0]}:{addr[1]}",
-                                           file=err, flush=True))
+        metrics_server = start_metrics_server(daemon, *address)
+        bound = metrics_server.server_address
+        print(f"metrics on http://{bound[0]}:{bound[1]}/metrics",
+              file=err, flush=True)
+    try:
+        if args.tcp:
+            address = _parse_hostport(args.tcp, err)
+            if address is None:
+                return EXIT_USAGE
+            serve_tcp(daemon, *address, stop=stop,
+                      ready=lambda addr: print(
+                          f"listening on {addr[0]}:{addr[1]}",
+                          file=err, flush=True))
+            return EXIT_OK
+        serve_stdin(daemon, stop=stop)
         return EXIT_OK
-    serve_stdin(daemon, stop=stop)
-    return EXIT_OK
+    finally:
+        if metrics_server is not None:
+            metrics_server.shutdown()

@@ -29,7 +29,24 @@ Every hazard has one owner:
   new ones get ``shutting-down``, the pool exits cleanly.
 
 Latency, cache, retry and breaker health are all exported through the
-:mod:`repro.obs` metrics registry (``serve.*`` instruments).
+:mod:`repro.obs` metrics registry (``serve.*`` instruments), and every
+request is covered end to end by observability plumbing:
+
+* a **distributed trace**: the request gets a ``trace_id`` (adopted
+  from the client's ``trace`` field when sent), the supervisor's spans
+  (request, cache probe, dispatch attempts) and the worker's spans are
+  stitched into one tree (:mod:`repro.obs.distributed`), kills
+  included — a deadline-killed worker leaves a marked *partial* span,
+  and the :class:`~repro.serve.pool.WorkerFailure` unwinding through
+  the dispatch span reuses the budget-trip flush machinery to mark it
+  ``exhausted``;
+* an **access log** line (:class:`~repro.serve.telemetry.AccessLog`):
+  trace id, outcome, cache/breaker/retry disposition and the per-phase
+  latency breakdown (queue / cache / dispatch / worker / retry-sleep);
+* a **latency histogram** (``serve.request_latency_seconds``) with
+  p50/p95/p99 in every snapshot, and ``stats`` / ``trace`` /
+  ``metrics`` admin requests served supervisor-side for live
+  inspection (``python -m repro.obs top``).
 """
 
 from __future__ import annotations
@@ -39,6 +56,7 @@ import threading
 import time
 
 from repro.obs import Observer
+from repro.obs.distributed import process_label
 from repro.parallel.corpus import TASKS
 from repro.serve.breaker import STATE_GAUGE, CircuitBreaker
 from repro.serve.cache import ResultCache
@@ -53,6 +71,13 @@ from repro.serve.protocol import (
     parse_request_line,
 )
 from repro.serve.retry import RetryPolicy
+from repro.serve.telemetry import (
+    PROMETHEUS_CONTENT_TYPE,
+    AccessLog,
+    RequestTelemetry,
+    TraceStore,
+    render_prometheus,
+)
 
 #: budget applied to in-process degraded serving (cooperative; the
 #: degradation ladder inside the analyses turns trips into ⊤-ward
@@ -76,6 +101,9 @@ class AnalysisDaemon:
         clock=time.monotonic,
         sleep=time.sleep,
         summaries_dir: str | None = None,
+        tracing: bool = True,
+        access_log: AccessLog | str | None = None,
+        trace_capacity: int = 256,
     ):
         self.observer = observer if observer is not None else Observer()
         self.retry = retry if retry is not None else RetryPolicy()
@@ -86,6 +114,14 @@ class AnalysisDaemon:
         self.summaries_dir = summaries_dir
         self.clock = clock
         self.sleep = sleep
+        #: per-request distributed tracing + trace storage switch; the
+        #: access log and counters stay on either way
+        self.tracing = tracing
+        self.access_log = (
+            access_log if isinstance(access_log, AccessLog)
+            else AccessLog(access_log)
+        )
+        self.traces = TraceStore(capacity=trace_capacity)
         self.pool = WorkerPool(size=pool_size, observer=self.observer)
         self._quarantine: dict = {}        # request key -> reason
         self._worker_kills: dict = {}      # request key -> fresh workers killed
@@ -116,17 +152,17 @@ class AnalysisDaemon:
         try:
             request = parse_request_line(line, TASKS)
         except ProtocolError as exc:
-            self._count("serve.replies.error")
-            # salvage the id if the line was at least JSON, so the
-            # client can correlate the error with its request
-            request_id = None
+            # salvage the id (and any trace context) if the line was at
+            # least JSON, so the client can correlate the error
+            request_id, trace = None, None
             try:
                 data = json.loads(line)
                 if isinstance(data, dict):
                     request_id = data.get("id")
+                    trace = data.get("trace")
             except (json.JSONDecodeError, TypeError):
                 pass
-            return error_reply(request_id, exc.code, str(exc))
+            return self._reject(request_id, exc.code, str(exc), trace=trace)
         return self.handle(request)
 
     def handle(self, request: Request | dict) -> dict:
@@ -135,57 +171,187 @@ class AnalysisDaemon:
             try:
                 request = parse_request(request, TASKS)
             except ProtocolError as exc:
-                self._count("serve.replies.error")
-                return error_reply(request.get("id"), exc.code, str(exc))
+                return self._reject(request.get("id"), exc.code, str(exc),
+                                    trace=request.get("trace")
+                                    if isinstance(request.get("trace"), dict)
+                                    else None)
+        if request.is_admin:
+            return self._handle_admin(request)
         if self._draining.is_set():
             self._count("serve.replies.shed")
-            return error_reply(request.id, "shutting-down",
-                              "daemon is draining; no new requests accepted")
+            reply = error_reply(request.id, "shutting-down",
+                                "daemon is draining; no new requests accepted")
+            return self._finish_unserved(request, reply)
         if not self._inflight.acquire(blocking=False):
             self._count("serve.replies.shed")
-            return error_reply(request.id, "overloaded",
-                              "request queue is full; retry later")
+            reply = error_reply(request.id, "overloaded",
+                                "request queue is full; retry later")
+            return self._finish_unserved(request, reply)
         with self._lock:
             self._inflight_count += 1
         started = self.clock()
+        telemetry = RequestTelemetry(enabled=self.tracing,
+                                     trace=request.trace)
+        root_attrs = {"task": request.task, "path": request.path,
+                      "id": request.id, "process": process_label()}
+        if telemetry.parent_span_id is not None:
+            # the client's span under which it will stitch this trace
+            root_attrs["remote_parent"] = telemetry.parent_span_id
         try:
-            reply = self._serve(request, started)
-        except Exception as exc:  # noqa: BLE001 — supervisor must not leak raw errors
-            reply = error_reply(request.id, "internal",
-                                f"{type(exc).__name__}: {exc}")
+            try:
+                with telemetry.span("serve.request", **root_attrs):
+                    reply = self._serve(request, started, telemetry)
+            except Exception as exc:  # noqa: BLE001 — supervisor must not leak raw errors
+                reply = error_reply(request.id, "internal",
+                                    f"{type(exc).__name__}: {exc}")
         finally:
             with self._lock:
                 self._inflight_count -= 1
             self._inflight.release()
         reply["seconds"] = round(self.clock() - started, 6)
+        reply["trace_id"] = telemetry.trace_id
         self._count("serve.requests")
         if reply["ok"]:
             self._count("serve.replies.degraded" if reply["degraded"]
                         else "serve.replies.ok")
         else:
             self._count("serve.replies.error")
-        self.observer.registry.timer("serve.request_seconds").observe(
+        registry = self.observer.registry
+        registry.timer("serve.request_seconds").observe(reply["seconds"])
+        registry.histogram("serve.request_latency_seconds").observe(
             reply["seconds"])
+        if telemetry.enabled:
+            spans = telemetry.stitched_spans()
+            if spans:
+                self.traces.put(telemetry.trace_id, spans)
+        self._log_access(request, reply, telemetry)
         self._gauges()
         return reply
 
     # ------------------------------------------------------------------
+    # telemetry plumbing
+
+    def _reject(self, request_id, code: str, message: str,
+                trace: dict | None = None) -> dict:
+        """A pre-dispatch rejection: still traced, still logged."""
+        self._count("serve.replies.error")
+        telemetry = RequestTelemetry(enabled=False, trace=trace)
+        reply = error_reply(request_id, code, message)
+        reply["trace_id"] = telemetry.trace_id
+        self.access_log.log({
+            "trace_id": telemetry.trace_id,
+            "id": request_id,
+            "task": None,
+            "path": None,
+            "outcome": "error",
+            "code": code,
+            "cached": False,
+            "degraded": False,
+            "attempts": 0,
+            "seconds": 0.0,
+            "breaker": self.breaker.state,
+            "phases": {},
+        })
+        return reply
+
+    def _finish_unserved(self, request: Request, reply: dict) -> dict:
+        """Stamp + log a shed reply (drain / overload): no dispatch ran."""
+        telemetry = RequestTelemetry(enabled=False, trace=request.trace)
+        reply["trace_id"] = telemetry.trace_id
+        self._log_access(request, reply, telemetry)
+        return reply
+
+    def _log_access(self, request: Request, reply: dict,
+                    telemetry: RequestTelemetry) -> None:
+        error = reply.get("error") or {}
+        self.access_log.log({
+            "trace_id": telemetry.trace_id,
+            "id": request.id,
+            "task": request.task,
+            "path": request.path,
+            "outcome": ("degraded" if reply.get("degraded") else "ok")
+            if reply.get("ok") else "error",
+            "code": error.get("code"),
+            "fault": error.get("fault"),
+            "cached": reply.get("cached", False),
+            "degraded": reply.get("degraded", False),
+            "attempts": reply.get("attempts", 0),
+            "seconds": reply.get("seconds", 0.0),
+            "breaker": self.breaker.state,
+            "phases": telemetry.rounded_phases(),
+        })
+
+    # ------------------------------------------------------------------
+    # admin requests (supervisor-side; no pool, cache or quarantine)
+
+    def _handle_admin(self, request: Request) -> dict:
+        telemetry = RequestTelemetry(enabled=False, trace=request.trace)
+        self._count("serve.admin.requests")
+        self._gauges()
+        if request.task == "stats":
+            reply = ok_reply(request.id, self.stats(
+                recent=int(request.options.get("recent", 10) or 0)))
+        elif request.task == "metrics":
+            snapshot = self.observer.registry.snapshot()
+            reply = ok_reply(request.id, {
+                "content_type": PROMETHEUS_CONTENT_TYPE,
+                "text": render_prometheus(snapshot),
+            })
+        else:  # "trace"
+            trace_id = request.options.get("trace_id") or request.path
+            spans = self.traces.get(trace_id) if trace_id else None
+            if spans is None:
+                reply = error_reply(
+                    request.id, "not-found",
+                    f"no stored trace with id {trace_id!r}")
+            else:
+                reply = ok_reply(request.id,
+                                 {"trace_id": trace_id, "spans": spans})
+        reply["trace_id"] = telemetry.trace_id
+        self._log_access(request, reply, telemetry)
+        return reply
+
+    def stats(self, recent: int = 10) -> dict:
+        """The live snapshot behind the ``stats`` admin request."""
+        with self._lock:
+            inflight = self._inflight_count
+            quarantined = len(self._quarantine)
+        return {
+            "pool": {"size": self.pool.size, "respawns": self.pool.respawns},
+            "breaker": self.breaker.state,
+            "inflight": inflight,
+            "quarantined": quarantined,
+            "tracing": self.tracing,
+            "traces": {"stored": len(self.traces),
+                       "evicted": self.traces.evicted},
+            "access_log": self.access_log.stats(),
+            "recent": self.access_log.recent(limit=recent) if recent else [],
+            "metrics": self.observer.registry.snapshot(),
+        }
+
+    # ------------------------------------------------------------------
     # the dispatch path
 
-    def _serve(self, request: Request, started: float) -> dict:
+    def _serve(self, request: Request, started: float,
+               telemetry: RequestTelemetry) -> dict:
         key = request.key
         with self._lock:
             reason = self._quarantine.get(key)
         if reason is not None:
             self._count("serve.replies.poisoned")
+            telemetry.event("quarantine.hit")
             return error_reply(request.id, "poisoned", reason)
 
         # a request carrying an injected fault must actually reach a
         # worker — chaos schedules are only deterministic if the cache
         # cannot absorb them
-        probe = None if request.inject is not None else self._probe_cache(request)
+        probe = None
+        if request.inject is None:
+            with telemetry.phase("cache", span_name="serve.cache.probe"):
+                probe = self._probe_cache(request)
         if probe is not None and probe.hit:
             self._count("serve.cache.hits")
+            telemetry.event("cache.hit")
             return ok_reply(request.id, probe.payload, cached=True)
         self._count("serve.cache.misses")
         if probe is not None and probe.partial:
@@ -203,9 +369,11 @@ class AnalysisDaemon:
             pool_allowed = self.breaker.allow()
         if not pool_allowed:
             self._count("serve.replies.degraded_served")
-            return self._serve_degraded(request)
+            telemetry.event("breaker.open")
+            with telemetry.span("serve.degraded", task=request.task):
+                return self._serve_degraded(request)
 
-        reply = self._dispatch_with_retry(request, started)
+        reply = self._dispatch_with_retry(request, started, telemetry)
         if reply["ok"] and not reply["degraded"] and probe is not None:
             self.cache.store(request.key, probe, reply["payload"])
         return reply
@@ -244,14 +412,28 @@ class AnalysisDaemon:
         except Exception:  # noqa: BLE001 — cache trouble must not fail requests
             return None
 
-    def _dispatch_with_retry(self, request: Request, started: float) -> dict:
+    def _dispatch_with_retry(self, request: Request, started: float,
+                             telemetry: RequestTelemetry) -> dict:
         """Pool dispatch under the retry session and the breaker."""
         with self._lock:
             self._seq += 1
             seq = self._seq
+
+        def traced_sleep(seconds: float) -> None:
+            # satellite instrumentation: every backoff sleep becomes a
+            # timing sample and an explicit event on the request span
+            sleep_started = time.perf_counter()
+            self.sleep(seconds)
+            slept = time.perf_counter() - sleep_started
+            self.observer.registry.timer(
+                "serve.retry.sleep_seconds").observe(slept)
+            telemetry.add_phase("retry_sleep", slept)
+            telemetry.event("retry.sleep", seconds=round(slept, 6),
+                            attempt=session.attempt)
+
         session = self.retry.session(
             budget_seconds=request.deadline, seed=seq,
-            clock=self.clock, sleep=self.sleep,
+            clock=self.clock, sleep=traced_sleep,
         )
         last_failure: WorkerFailure | None = None
         while True:
@@ -265,13 +447,36 @@ class AnalysisDaemon:
             inject = request.inject
             if inject is not None and session.attempt > 1 and not inject.get("every"):
                 inject = None
+            attempt_started = time.perf_counter()
+            dispatch_span_id = None
             try:
-                record = self.pool.submit(
-                    seq, request.task, request.path, self._task_options(request),
-                    remaining if remaining is not None else request.deadline,
-                    inject,
-                )
+                # the WorkerFailure raised on a kill carries a ``kind``
+                # attribute, so unwinding through this span reuses the
+                # budget-trip flush machinery: the dispatch span is
+                # closed "exhausted" with a resource_exhausted event,
+                # and the trace survives the kill well-formed
+                with telemetry.span("serve.dispatch", seq=seq,
+                                    attempt=session.attempt) as span:
+                    if span is not None:
+                        dispatch_span_id = span.span_id
+                    record = self.pool.submit(
+                        seq, request.task, request.path,
+                        self._task_options(request),
+                        remaining if remaining is not None else request.deadline,
+                        inject,
+                        trace=telemetry.wire_context()
+                        if telemetry.enabled else None,
+                    )
+                    telemetry.adopt_worker_spans(record.get("spans"))
             except WorkerFailure as failure:
+                queue_seconds = getattr(failure, "queue_seconds", 0.0)
+                telemetry.add_phase("queue", queue_seconds)
+                telemetry.add_phase("dispatch", max(
+                    0.0, time.perf_counter() - attempt_started - queue_seconds))
+                telemetry.worker_lost(
+                    failure.kind, attempt_started + queue_seconds,
+                    time.perf_counter(), session.attempt,
+                    parent_id=dispatch_span_id)
                 last_failure = failure
                 self._record_worker_failure(request, failure)
                 if self._poisoned(request):
@@ -286,6 +491,13 @@ class AnalysisDaemon:
                 if not session.backoff():
                     break
                 continue
+            queue_seconds = record.get("queue_seconds", 0.0)
+            worker_seconds = record.get("seconds", 0.0)
+            telemetry.add_phase("queue", queue_seconds)
+            telemetry.add_phase("worker", worker_seconds)
+            telemetry.add_phase("dispatch", max(
+                0.0, time.perf_counter() - attempt_started
+                - queue_seconds - worker_seconds))
             with self._lock:
                 self.breaker.record_success()
                 # the request completed, so it is demonstrably not poison:
@@ -388,6 +600,7 @@ class AnalysisDaemon:
     def close(self) -> None:
         if not self._drained.is_set():
             self.drain()
+        self.access_log.close()
 
     def __enter__(self) -> "AnalysisDaemon":
         return self

@@ -15,8 +15,10 @@ import signal
 import socketserver
 import sys
 import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.serve.protocol import dump_reply
+from repro.serve.telemetry import PROMETHEUS_CONTENT_TYPE, render_prometheus
 
 
 def install_signal_handlers(stop: threading.Event, signals=(signal.SIGTERM,
@@ -52,6 +54,40 @@ def serve_stdin(daemon, in_stream=None, out_stream=None,
     finally:
         daemon.drain()
     return served
+
+
+def start_metrics_server(daemon, host: str = "127.0.0.1", port: int = 0):
+    """Expose the daemon's metrics over HTTP in a background thread.
+
+    ``GET /metrics`` (or ``/``) renders the registry snapshot in the
+    Prometheus text format — the scrape endpoint behind the CLI's
+    ``--metrics HOST:PORT``.  Returns the running server; its bound
+    address is ``server.server_address`` and :meth:`shutdown` stops it.
+    """
+
+    class _MetricsHandler(BaseHTTPRequestHandler):
+        def do_GET(self):
+            if self.path.split("?", 1)[0].rstrip("/") not in ("", "/metrics"):
+                self.send_error(404, "only /metrics is served here")
+                return
+            snapshot = daemon.observer.registry.snapshot()
+            body = render_prometheus(snapshot).encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", PROMETHEUS_CONTENT_TYPE)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, *args):  # the access log is the daemon's own
+            pass
+
+    server = ThreadingHTTPServer((host, port), _MetricsHandler)
+    server.daemon_threads = True
+    thread = threading.Thread(target=server.serve_forever,
+                              kwargs={"poll_interval": 0.1}, daemon=True,
+                              name="repro-serve-metrics")
+    thread.start()
+    return server
 
 
 class _RequestHandler(socketserver.StreamRequestHandler):

@@ -35,6 +35,8 @@ class WorkerFailure(Exception):
     """A worker-side fault the supervisor recovered from (retryable)."""
 
     kind = "worker-failure"
+    #: checkout wait before the fault (set by :meth:`WorkerPool.submit`)
+    queue_seconds = 0.0
 
 
 class WorkerCrashed(WorkerFailure):
@@ -55,13 +57,19 @@ class WorkerCorrupt(WorkerFailure):
     kind = "corrupt"
 
 
+#: most-recent worker spans shipped per reply (bounds the pickle size)
+WORKER_SPAN_LIMIT = 512
+
+
 def _worker_main(conn) -> None:
     """Child process loop: execute one task per message until EOF/None."""
-    from repro.obs import Observer, use_observer
+    from repro.obs import Observer, Tracer, TraceContext, use_observer
+    from repro.obs.distributed import process_label
     from repro.parallel.corpus import TASKS
     from repro.runtime.budget import Budget
     from repro.runtime.faultinject import CORRUPT_REPLY, apply_process_fault
 
+    label = process_label()
     while True:
         try:
             message = conn.recv()
@@ -69,13 +77,19 @@ def _worker_main(conn) -> None:
             return
         if message is None:
             return
-        job_id, task, path, options, deadline, inject = message
+        job_id, task, path, options, deadline, inject, trace = message
         # the injected fault fires before any analysis work: abort kills
         # the process here, hang wedges it here, corrupt garbles the
         # reply below — all externally indistinguishable from the real
         # faults they model
         corrupt = apply_process_fault(inject) == CORRUPT_REPLY
-        observer = Observer()
+        # adopt the supervisor's trace context: the worker's tracer
+        # records under the request's trace_id with *local* span ids,
+        # remapped into the supervisor's id space at stitch time
+        context = TraceContext.from_wire(trace) if trace else None
+        tracer = Tracer(capacity=WORKER_SPAN_LIMIT,
+                        trace_id=context.trace_id if context else None)
+        observer = Observer(tracer=tracer)
         started = time.perf_counter()
         payload, error = None, None
         try:
@@ -84,7 +98,9 @@ def _worker_main(conn) -> None:
                 # tasks that understand budgets degrade cooperatively
                 options.setdefault("deadline", deadline)
             with use_observer(observer):
-                payload = TASKS[task](path, options)
+                with tracer.span("worker.task", task=task, path=path,
+                                 process=label):
+                    payload = TASKS[task](path, options)
         except Exception as exc:  # noqa: BLE001 — becomes a structured reply
             error = f"{type(exc).__name__}: {exc}"
         reply = {
@@ -94,6 +110,10 @@ def _worker_main(conn) -> None:
             "seconds": time.perf_counter() - started,
             "metrics": observer.registry.snapshot(),
         }
+        if context is not None:
+            # only ship spans when the supervisor asked for a trace
+            reply["spans"] = tracer.export_spans(limit=WORKER_SPAN_LIMIT)
+            reply["trace_meta"] = tracer.export_meta()
         try:
             conn.send(["!garbled!"] if corrupt else reply)
         except (BrokenPipeError, OSError):
@@ -178,36 +198,48 @@ class WorkerPool:
 
     # ------------------------------------------------------------------
     def submit(self, job_id, task: str, path: str, options: dict,
-               deadline: float, inject: dict | None = None) -> dict:
+               deadline: float, inject: dict | None = None,
+               trace: dict | None = None) -> dict:
         """Run one task in a worker; raise :class:`WorkerFailure` on faults.
 
         ``deadline`` bounds the whole trip: checkout wait + worker time.
         The returned dict is the worker's reply record (``payload`` /
-        ``error`` / ``seconds`` / ``metrics``).
+        ``error`` / ``seconds`` / ``metrics``, plus ``spans`` when a
+        ``trace`` context was propagated).  Both the reply and any
+        raised :class:`WorkerFailure` carry ``queue_seconds`` — the time
+        spent waiting for a worker checkout — so the daemon's access
+        log can break latency into queue vs. worker time.
         """
         if self._closed:
             raise RuntimeError("pool is closed")
         deadline_at = time.monotonic() + deadline
+        queue_started = time.perf_counter()
         try:
             worker = self._idle.get(timeout=deadline)
         except queue.Empty:
-            raise WorkerHung(
+            failure = WorkerHung(
                 f"no worker became available within {deadline:.3f}s"
-            ) from None
+            )
+            failure.queue_seconds = time.perf_counter() - queue_started
+            raise failure from None
+        queue_seconds = time.perf_counter() - queue_started
         try:
             reply = self._exchange(worker, job_id, task, path, options,
-                                   deadline_at, inject)
-        except WorkerFailure:
+                                   deadline_at, inject, trace)
+        except WorkerFailure as failure:
+            failure.queue_seconds = queue_seconds
             self._replace(worker)
             raise
         self._idle.put(worker)
+        reply["queue_seconds"] = queue_seconds
         return reply
 
     def _exchange(self, worker, job_id, task, path, options, deadline_at,
-                  inject) -> dict:
+                  inject, trace) -> dict:
         try:
             worker.conn.send((job_id, task, path, options,
-                              max(0.0, deadline_at - time.monotonic()), inject))
+                              max(0.0, deadline_at - time.monotonic()),
+                              inject, trace))
         except (BrokenPipeError, OSError) as exc:
             raise WorkerCrashed(f"worker {worker.id} pipe closed: {exc}") from None
         timeout = max(0.0, deadline_at - time.monotonic())

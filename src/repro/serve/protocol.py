@@ -42,8 +42,13 @@ ERROR_CODES = (
     "poisoned",         # request quarantined: it kills fresh workers
     "overloaded",       # load shed: bounded request queue is full
     "shutting-down",    # daemon is draining; resubmit elsewhere
+    "not-found",        # admin lookup missed (e.g. unknown trace id)
     "internal",         # supervisor-side bug guard (never expected)
 )
+
+#: admin request types answered by the supervisor itself — they never
+#: touch the worker pool, the cache or the quarantine
+ADMIN_TASKS = ("stats", "trace", "metrics")
 
 #: request deadline applied when the client does not send one
 DEFAULT_DEADLINE = 30.0
@@ -73,6 +78,13 @@ class Request:
     deadline: float = DEFAULT_DEADLINE
     #: process-fault spec forwarded to the worker (chaos testing only)
     inject: dict | None = None
+    #: caller-supplied trace context (``{"trace_id", "span_id"}``) — the
+    #: daemon adopts it so the client's trace covers the daemon's spans
+    trace: dict | None = None
+
+    @property
+    def is_admin(self) -> bool:
+        return self.task in ADMIN_TASKS
 
     @property
     def key(self) -> tuple:
@@ -100,13 +112,17 @@ def parse_request(data, known_tasks) -> Request:
     task = data.get("task")
     if not isinstance(task, str):
         raise ProtocolError("request needs a string 'task' field")
-    if task not in known_tasks:
+    if task not in known_tasks and task not in ADMIN_TASKS:
         raise ProtocolError(
-            f"unknown task {task!r}; have {sorted(known_tasks)}",
+            f"unknown task {task!r}; have {sorted(known_tasks)} "
+            f"and admin tasks {sorted(ADMIN_TASKS)}",
             code="unknown-task",
         )
     path = data.get("path")
-    if not isinstance(path, str) or not path:
+    if task in ADMIN_TASKS:
+        # admin requests address the daemon itself, not a file
+        path = path if isinstance(path, str) else ""
+    elif not isinstance(path, str) or not path:
         raise ProtocolError("request needs a non-empty string 'path' field")
     options = data.get("options", {})
     if options is None:
@@ -120,6 +136,9 @@ def parse_request(data, known_tasks) -> Request:
     inject = data.get("inject")
     if inject is not None and not isinstance(inject, dict):
         raise ProtocolError("'inject' must be a JSON object when present")
+    trace = data.get("trace")
+    if trace is not None and not isinstance(trace, dict):
+        raise ProtocolError("'trace' must be a JSON object when present")
     return Request(
         id=data.get("id"),
         task=task,
@@ -127,6 +146,7 @@ def parse_request(data, known_tasks) -> Request:
         options=options,
         deadline=float(deadline),
         inject=inject,
+        trace=trace,
     )
 
 

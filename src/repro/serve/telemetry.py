@@ -1,0 +1,309 @@
+"""Live telemetry for the daemon: access log, trace store, exposition.
+
+Three pieces, all zero-dependency and individually testable:
+
+* :class:`AccessLog` — one structured JSONL line per request (trace id,
+  task, outcome, cache/breaker/retry disposition, per-phase latency
+  breakdown), written to a file when one is configured and always
+  retained in a bounded in-memory ring for the ``stats`` admin request;
+* :class:`TraceStore` — the last N stitched request traces keyed by
+  ``trace_id``, serving the ``trace`` admin request;
+* :func:`render_prometheus` — the text exposition of a
+  :meth:`~repro.obs.registry.MetricsRegistry.snapshot` (counters,
+  gauges, timers-as-summaries, fixed-bucket histograms), served over
+  ``--metrics HOST:PORT`` and the ``metrics`` admin request.
+
+:class:`RequestTelemetry` is the per-request bundle the daemon threads
+through its dispatch path: a private :class:`~repro.obs.trace.Tracer`
+(one per request, so concurrent frontend threads never interleave
+spans), the accumulating phase-latency dict, and the worker span sets
+waiting to be stitched.  With ``enabled=False`` every method is a
+no-op-priced stub — the tracing-off ablation measures exactly this
+switch.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import time
+from collections import OrderedDict, deque
+from contextlib import contextmanager, nullcontext
+
+from repro.obs.distributed import (
+    TraceContext,
+    new_trace_id,
+    partial_worker_span,
+    remap_spans,
+)
+from repro.obs.trace import Tracer
+
+#: content type of the Prometheus text exposition format
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: per-request span-ring capacity (a request path is a handful of
+#: spans; worker spans are stitched in addition, outside the ring)
+REQUEST_TRACE_CAPACITY = 512
+
+#: the latency phases an access-log line breaks a request into
+PHASES = ("queue", "cache", "dispatch", "worker", "retry_sleep")
+
+
+class AccessLog:
+    """A bounded, thread-safe structured request log.
+
+    ``destination`` is a path (opened append, line-buffered flushes), a
+    writable text file object, or ``None`` (in-memory ring only — the
+    ``stats`` request still sees tallies and recent lines).
+    """
+
+    def __init__(self, destination=None, capacity: int = 1024):
+        self._ring: deque = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._count = 0
+        self._outcomes: dict[str, int] = {}
+        self._owns_handle = False
+        if destination is None:
+            self._handle = None
+        elif hasattr(destination, "write"):
+            self._handle = destination
+        else:
+            self._handle = open(destination, "a", encoding="utf-8")
+            self._owns_handle = True
+
+    def log(self, entry: dict) -> None:
+        """Record one request entry (and write its JSONL line, if any)."""
+        with self._lock:
+            self._count += 1
+            outcome = entry.get("outcome", "?")
+            self._outcomes[outcome] = self._outcomes.get(outcome, 0) + 1
+            self._ring.append(entry)
+            if self._handle is not None:
+                self._handle.write(json.dumps(entry, sort_keys=True,
+                                              default=str) + "\n")
+                self._handle.flush()
+
+    def recent(self, limit: int | None = None) -> list[dict]:
+        with self._lock:
+            entries = list(self._ring)
+        return entries if limit is None else entries[-limit:]
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "logged": self._count,
+                "retained": len(self._ring),
+                "outcomes": dict(sorted(self._outcomes.items())),
+            }
+
+    def close(self) -> None:
+        if self._owns_handle and self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+
+class TraceStore:
+    """The last ``capacity`` stitched traces, keyed by trace id."""
+
+    def __init__(self, capacity: int = 256):
+        self.capacity = capacity
+        self.evicted = 0
+        self._traces: OrderedDict[str, list] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def put(self, trace_id: str, spans: list) -> None:
+        with self._lock:
+            if trace_id in self._traces:
+                self._traces.move_to_end(trace_id)
+            self._traces[trace_id] = spans
+            while len(self._traces) > self.capacity:
+                self._traces.popitem(last=False)
+                self.evicted += 1
+
+    def get(self, trace_id: str) -> list | None:
+        with self._lock:
+            return self._traces.get(trace_id)
+
+    def trace_ids(self) -> list[str]:
+        with self._lock:
+            return list(self._traces)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+    def __repr__(self) -> str:
+        return f"TraceStore({len(self)} traces, evicted={self.evicted})"
+
+
+class RequestTelemetry:
+    """One request's tracing + latency bookkeeping, threaded end to end.
+
+    The daemon builds one per request; the dispatch path records phase
+    timings (:meth:`phase`), spans (:meth:`span`), worker span sets
+    (:meth:`adopt_worker_spans`) and lost-worker faults
+    (:meth:`worker_lost`); :meth:`stitched_spans` assembles the single
+    well-formed trace after the request span closes.
+    """
+
+    __slots__ = ("enabled", "trace_id", "parent_span_id", "tracer",
+                 "phases", "_grafts", "_faults")
+
+    def __init__(self, enabled: bool = True, trace: dict | None = None,
+                 capacity: int = REQUEST_TRACE_CAPACITY):
+        context = TraceContext.from_wire(trace) if trace else None
+        self.trace_id = context.trace_id if context else new_trace_id()
+        self.parent_span_id = context.span_id if context else None
+        self.enabled = enabled
+        self.tracer = (
+            Tracer(capacity=capacity, trace_id=self.trace_id)
+            if enabled else None
+        )
+        self.phases: dict[str, float] = {}
+        self._grafts: list = []   # (parent span id, worker span dicts)
+        self._faults: list = []   # (parent span id, kind, start, end, attempt)
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs):
+        if not self.enabled:
+            return nullcontext()
+        return self.tracer.span(name, **attrs)
+
+    def event(self, name: str, **attrs) -> None:
+        if self.enabled:
+            self.tracer.event(name, **attrs)
+
+    def add_phase(self, name: str, seconds: float) -> None:
+        self.phases[name] = self.phases.get(name, 0.0) + seconds
+
+    @contextmanager
+    def phase(self, name: str, span_name: str | None = None, **attrs):
+        """Time a block into ``phases[name]`` (and a span when named)."""
+        started = time.perf_counter()
+        try:
+            if span_name is not None and self.enabled:
+                with self.tracer.span(span_name, **attrs):
+                    yield
+            else:
+                yield
+        finally:
+            self.add_phase(name, time.perf_counter() - started)
+
+    # ------------------------------------------------------------------
+    def current_span_id(self) -> int | None:
+        if self.enabled and self.tracer.current is not None:
+            return self.tracer.current.span_id
+        return None
+
+    def wire_context(self) -> dict:
+        """The context dict shipped to the worker with the task."""
+        return TraceContext(self.trace_id, self.current_span_id()).to_wire()
+
+    def adopt_worker_spans(self, spans) -> None:
+        """Queue a worker's exported spans for stitching under the
+        innermost open span (the dispatch-attempt span)."""
+        if self.enabled and spans:
+            self._grafts.append((self.current_span_id(), list(spans)))
+
+    def worker_lost(self, kind: str, started: float, ended: float,
+                    attempt: int, parent_id: int | None = None) -> None:
+        """Record a worker that died/hung/corrupted before reporting.
+
+        ``parent_id`` is the (usually already-closed) dispatch-attempt
+        span the fabricated partial span should hang under; defaults to
+        the innermost open span.
+        """
+        if self.enabled:
+            if parent_id is None:
+                parent_id = self.current_span_id()
+            self._faults.append((parent_id, kind, started, ended, attempt))
+
+    # ------------------------------------------------------------------
+    def stitched_spans(self) -> list[dict]:
+        """The request's single stitched trace (call after the root
+        span has closed)."""
+        if not self.enabled:
+            return []
+        spans = self.tracer.export_spans()
+        for parent_id, worker_spans in self._grafts:
+            base = self.tracer.allocate_ids(len(worker_spans))
+            spans.extend(remap_spans(
+                worker_spans, base, parent_id=parent_id,
+                trace_id=self.trace_id, extra_attrs={"process": "worker"},
+            ))
+        for parent_id, kind, started, ended, attempt in self._faults:
+            span_id = self.tracer.allocate_ids(1)
+            spans.append(partial_worker_span(
+                span_id, parent_id, self.trace_id, kind,
+                start=started, end=ended, attempt=attempt,
+            ))
+        return spans
+
+    def rounded_phases(self) -> dict:
+        return {name: round(seconds, 6)
+                for name, seconds in sorted(self.phases.items())}
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+
+
+_METRIC_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(name: str, prefix: str) -> str:
+    mangled = _METRIC_NAME_RE.sub("_", name)
+    return f"{prefix}_{mangled}" if prefix else mangled
+
+
+def _value(value) -> str:
+    if value is None:
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    return repr(float(value)) if isinstance(value, float) else str(value)
+
+
+def render_prometheus(snapshot: dict, prefix: str = "repro") -> str:
+    """Prometheus text-format exposition of a registry snapshot.
+
+    Counters gain the conventional ``_total`` suffix, timers surface as
+    summaries (``_count``/``_sum``), histograms as cumulative
+    ``_bucket{le="..."}`` series with the implicit ``+Inf`` bucket.
+    Instruments are emitted in sorted-name order, so two snapshots of
+    the same registry diff cleanly.
+    """
+    lines: list[str] = []
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        metric = _metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric}_total {_value(value)}")
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        metric = _metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_value(value)}")
+    for name, data in sorted(snapshot.get("timers", {}).items()):
+        metric = _metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} summary")
+        lines.append(f"{metric}_count {_value(data.get('count', 0))}")
+        lines.append(f"{metric}_sum {_value(data.get('total', 0.0))}")
+    for name, data in sorted(snapshot.get("histograms", {}).items()):
+        metric = _metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        bounds = list(data.get("bounds", ()))
+        counts = list(data.get("bucket_counts", ()))
+        for index, upper in enumerate(bounds):
+            cumulative += counts[index] if index < len(counts) else 0
+            lines.append(
+                f'{metric}_bucket{{le="{upper:g}"}} {cumulative}')
+        lines.append(
+            f'{metric}_bucket{{le="+Inf"}} {_value(data.get("count", 0))}')
+        lines.append(f"{metric}_sum {_value(data.get('total', 0.0))}")
+        lines.append(f"{metric}_count {_value(data.get('count', 0))}")
+    return "\n".join(lines) + "\n"

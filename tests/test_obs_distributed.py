@@ -1,0 +1,263 @@
+"""Cross-process tracing primitives: context, remapping, histograms.
+
+Pure-Python unit tests for the distributed-tracing glue
+(:mod:`repro.obs.distributed`), the tracer's graft/export additions,
+the drop-counter satellite, and the fixed-bucket latency
+:class:`~repro.obs.registry.Histogram` with its percentile snapshots.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import Histogram, MetricsRegistry, Observer, Tracer, TraceContext
+from repro.obs.distributed import (
+    PARTIAL_ATTR,
+    new_trace_id,
+    partial_worker_span,
+    process_label,
+    remap_spans,
+    span_tree_is_wellformed,
+)
+from repro.obs.registry import DEFAULT_LATENCY_BUCKETS
+
+
+# ----------------------------------------------------------------------
+# TraceContext
+
+
+def test_trace_context_round_trips_the_wire():
+    context = TraceContext("abc123", span_id=7)
+    wire = context.to_wire()
+    assert wire == {"trace_id": "abc123", "span_id": 7}
+    back = TraceContext.from_wire(json.loads(json.dumps(wire)))
+    assert back.trace_id == "abc123" and back.span_id == 7
+
+
+@pytest.mark.parametrize("bad", [
+    None, "not-a-dict", 42, {}, {"trace_id": ""}, {"trace_id": 7},
+])
+def test_trace_context_rejects_invalid_wire_forms(bad):
+    assert TraceContext.from_wire(bad) is None
+
+
+def test_trace_context_tolerates_missing_or_bad_span_id():
+    assert TraceContext.from_wire({"trace_id": "t"}).span_id is None
+    assert TraceContext.from_wire(
+        {"trace_id": "t", "span_id": "x"}).span_id is None
+
+
+def test_new_trace_ids_are_distinct_hex():
+    ids = {new_trace_id() for _ in range(64)}
+    assert len(ids) == 64
+    assert all(len(t) == 32 and int(t, 16) >= 0 for t in ids)
+
+
+def test_process_label_names_this_process():
+    import os
+
+    assert process_label() == f"pid-{os.getpid()}"
+
+
+# ----------------------------------------------------------------------
+# remap_spans / partial spans / well-formedness
+
+
+def _worker_spans():
+    # a two-root worker forest with local ids 1..3 (2 is a child of 1)
+    return [
+        {"name": "a", "span_id": 1, "parent_id": None, "attrs": {}},
+        {"name": "b", "span_id": 2, "parent_id": 1, "attrs": {}},
+        {"name": "c", "span_id": 3, "parent_id": None, "attrs": {}},
+    ]
+
+
+def test_remap_spans_rewrites_ids_and_reparents_roots():
+    remapped = remap_spans(_worker_spans(), id_base=100, parent_id=9,
+                           trace_id="t1", extra_attrs={"process": "worker"})
+    ids = [s["span_id"] for s in remapped]
+    assert ids == [100, 101, 102]
+    # in-set parent link follows the remapping; roots go under parent_id
+    assert remapped[1]["parent_id"] == 100
+    assert remapped[0]["parent_id"] == 9
+    assert remapped[2]["parent_id"] == 9
+    assert all(s["trace_id"] == "t1" for s in remapped)
+    assert all(s["attrs"]["process"] == "worker" for s in remapped)
+
+
+def test_remap_spans_does_not_mutate_inputs():
+    spans = _worker_spans()
+    remap_spans(spans, id_base=50, parent_id=1)
+    assert spans[0]["span_id"] == 1 and spans[1]["parent_id"] == 1
+
+
+def test_stitched_supervisor_plus_worker_trace_is_wellformed():
+    supervisor = [
+        {"name": "request", "span_id": 1, "parent_id": None},
+        {"name": "dispatch", "span_id": 2, "parent_id": 1},
+    ]
+    stitched = supervisor + remap_spans(_worker_spans(), id_base=3,
+                                        parent_id=2)
+    assert span_tree_is_wellformed(stitched)
+
+
+def test_wellformedness_rejects_collisions_and_dangling_parents():
+    assert not span_tree_is_wellformed([
+        {"span_id": 1, "parent_id": None},
+        {"span_id": 1, "parent_id": None},
+    ])
+    assert not span_tree_is_wellformed([
+        {"span_id": 1, "parent_id": 99},
+    ])
+    assert span_tree_is_wellformed([])
+
+
+def test_partial_worker_span_is_marked_and_self_describing():
+    span = partial_worker_span(17, 3, "t9", "hang", start=1.0, end=3.5,
+                               attempt=2)
+    assert span["status"] == "killed"
+    assert span["attrs"][PARTIAL_ATTR] is True
+    assert span["attrs"]["fault"] == "hang"
+    assert span["attrs"]["attempt"] == 2
+    assert span["duration"] == pytest.approx(2.5)
+    assert span["trace_id"] == "t9"
+    assert {"name": "worker_lost", "fault": "hang"} in span["events"]
+    assert span_tree_is_wellformed([
+        {"span_id": 3, "parent_id": None}, span,
+    ])
+
+
+# ----------------------------------------------------------------------
+# Tracer: trace_id adoption, export, graft, drop counter
+
+
+def test_tracer_export_spans_stamps_trace_id():
+    tracer = Tracer(trace_id="tid1")
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            pass
+    spans = tracer.export_spans()
+    assert [s["name"] for s in spans] == ["inner", "outer"]
+    assert all(s["trace_id"] == "tid1" for s in spans)
+    assert tracer.export_meta()["trace_id"] == "tid1"
+
+
+def test_tracer_allocate_ids_reserves_a_block():
+    tracer = Tracer()
+    with tracer.span("one"):
+        pass
+    base = tracer.allocate_ids(3)
+    with tracer.span("two"):
+        pass
+    next_id = tracer.spans()[-1].span_id
+    assert next_id == base + 3  # the reserved block is never reused
+
+
+def test_tracer_graft_adopts_worker_spans_under_open_span():
+    tracer = Tracer(trace_id="tid2")
+    with tracer.span("request") as request_span:
+        grafted = tracer.graft(_worker_spans())
+    assert grafted == 3
+    spans = tracer.export_spans()
+    by_name = {s["name"]: s for s in spans}
+    assert by_name["a"]["parent_id"] == request_span.span_id
+    assert by_name["b"]["parent_id"] == by_name["a"]["span_id"]
+    assert span_tree_is_wellformed(spans)
+    assert all(s["trace_id"] == "tid2" for s in spans)
+
+
+def test_observer_wires_the_dropped_span_counter():
+    observer = Observer(tracer=Tracer(capacity=2))
+    for index in range(5):
+        with observer.span(f"s{index}"):
+            pass
+    assert observer.tracer.dropped == 3
+    assert observer.registry.counter("obs.trace.dropped_spans").value == 3
+
+
+def test_export_jsonl_appends_meta_line_only_when_spans_dropped(tmp_path):
+    observer = Observer(tracer=Tracer(capacity=2))
+    for index in range(4):
+        with observer.span(f"s{index}"):
+            pass
+    path = tmp_path / "trace.jsonl"
+    observer.tracer.export_jsonl(path)
+    lines = path.read_text().strip().splitlines()
+    meta = json.loads(lines[-1])["meta"]
+    assert meta["dropped_spans"] == 2
+    assert meta["capacity"] == 2
+    # and without drops there is no trailing meta line
+    clean = Tracer()
+    with clean.span("only"):
+        pass
+    clean_path = tmp_path / "clean.jsonl"
+    clean.export_jsonl(clean_path)
+    clean_lines = clean_path.read_text().strip().splitlines()
+    assert len(clean_lines) == 1 and "meta" not in json.loads(clean_lines[0])
+
+
+# ----------------------------------------------------------------------
+# Histogram
+
+
+def test_histogram_counts_and_percentiles():
+    histogram = Histogram("lat", bounds=(0.01, 0.1, 1.0))
+    for value in (0.005, 0.005, 0.05, 0.05, 0.05, 0.5):
+        histogram.observe(value)
+    data = histogram.as_dict()
+    assert data["count"] == 6
+    assert data["bucket_counts"][:3] == [2, 3, 1]
+    assert data["min"] == pytest.approx(0.005)
+    assert data["max"] == pytest.approx(0.5)
+    # p50 lands in the second bucket, clamped within observed range
+    assert 0.005 <= data["p50"] <= 0.1
+    assert data["p99"] <= 0.5
+
+
+def test_histogram_percentiles_clamp_to_observed_extremes():
+    histogram = Histogram("lat", bounds=(1.0,))
+    histogram.observe(0.25)
+    data = histogram.as_dict()
+    assert data["p50"] == pytest.approx(0.25)
+    assert data["p99"] == pytest.approx(0.25)
+
+
+def test_empty_histogram_is_well_shaped():
+    data = Histogram("lat").as_dict()
+    assert data["count"] == 0
+    assert data["p50"] is None and data["p95"] is None
+
+
+def test_registry_histogram_snapshot_and_merge():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("serve.latency")
+    assert histogram is registry.histogram("serve.latency")
+    assert histogram.bounds == DEFAULT_LATENCY_BUCKETS
+    histogram.observe(0.002)
+    histogram.observe(0.2)
+    snapshot = registry.snapshot()
+    assert snapshot["histograms"]["serve.latency"]["count"] == 2
+
+    other = MetricsRegistry()
+    other.histogram("serve.latency").observe(0.02)
+    other.merge_snapshot(snapshot)
+    merged = other.histogram("serve.latency")
+    assert merged.count == 3
+    assert merged.min == pytest.approx(0.002)
+    assert merged.max == pytest.approx(0.2)
+
+
+def test_registry_histogram_delta_merge():
+    source = MetricsRegistry()
+    target = MetricsRegistry()
+    state: dict = {}
+    source.histogram("h").observe(0.01)
+    source.merge_deltas_into(target, state)
+    source.histogram("h").observe(0.3)
+    source.merge_deltas_into(target, state)
+    merged = target.histogram("h")
+    assert merged.count == 2
+    assert merged.total == pytest.approx(0.31)
+    # a third merge with no new observations adds nothing
+    source.merge_deltas_into(target, state)
+    assert target.histogram("h").count == 2

@@ -1,0 +1,414 @@
+"""Live telemetry for the daemon: traces, access log, admin requests.
+
+Unit tests for :mod:`repro.serve.telemetry` (access log, trace store,
+Prometheus exposition, per-request plumbing) plus end-to-end daemon
+tests: every reply carries a ``trace_id`` resolving to one stitched,
+well-formed trace; worker kills (abort / hang / corrupt) leave marked
+partial spans and exhausted dispatch spans; retry backoff sleeps
+surface as timing samples and request-span events; the ``stats`` /
+``trace`` / ``metrics`` admin requests and the ``obs top`` / ``obs
+tail`` CLIs see it all live.
+"""
+
+import io
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs.distributed import PARTIAL_ATTR, span_tree_is_wellformed
+from repro.serve import AccessLog, RequestTelemetry, TraceStore, render_prometheus
+from repro.serve.daemon import AnalysisDaemon
+from repro.serve.protocol import check_reply
+from repro.serve.retry import RetryPolicy
+
+QSORT = "src/repro/benchdata/prolog/qsort.pl"
+
+FAST_RETRY = RetryPolicy(max_attempts=3, base=0.01, max_delay=0.05)
+
+
+def make_daemon(**kwargs):
+    kwargs.setdefault("pool_size", 1)
+    kwargs.setdefault("retry", FAST_RETRY)
+    return AnalysisDaemon(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# AccessLog / TraceStore units
+
+
+def test_access_log_writes_jsonl_and_keeps_a_ring(tmp_path):
+    path = tmp_path / "access.jsonl"
+    log = AccessLog(path, capacity=2)
+    for index in range(3):
+        log.log({"trace_id": f"t{index}", "outcome": "ok"})
+    log.close()
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert [entry["trace_id"] for entry in lines] == ["t0", "t1", "t2"]
+    # the ring is bounded, the file is not
+    assert [e["trace_id"] for e in log.recent()] == ["t1", "t2"]
+    stats = log.stats()
+    assert stats["logged"] == 3 and stats["retained"] == 2
+    assert stats["outcomes"] == {"ok": 3}
+
+
+def test_access_log_without_destination_still_tallies():
+    log = AccessLog()
+    log.log({"outcome": "error"})
+    assert log.stats() == {"logged": 1, "retained": 1,
+                           "outcomes": {"error": 1}}
+    assert len(log) == 1
+
+
+def test_trace_store_evicts_oldest():
+    store = TraceStore(capacity=2)
+    for index in range(3):
+        store.put(f"t{index}", [{"span_id": index}])
+    assert len(store) == 2
+    assert store.get("t0") is None
+    assert store.get("t2") == [{"span_id": 2}]
+    assert store.evicted == 1
+    assert store.trace_ids() == ["t1", "t2"]
+
+
+# ----------------------------------------------------------------------
+# RequestTelemetry unit
+
+
+def test_request_telemetry_stitches_grafts_and_faults():
+    telemetry = RequestTelemetry(enabled=True)
+    with telemetry.span("serve.request"):
+        with telemetry.span("serve.dispatch") as dispatch:
+            telemetry.adopt_worker_spans([
+                {"name": "worker.task", "span_id": 1, "parent_id": None,
+                 "attrs": {}},
+            ])
+            dispatch_id = dispatch.span_id
+        telemetry.worker_lost("hang", 0.0, 1.0, attempt=2,
+                              parent_id=dispatch_id)
+    spans = telemetry.stitched_spans()
+    assert span_tree_is_wellformed(spans)
+    assert all(s["trace_id"] == telemetry.trace_id for s in spans)
+    worker = next(s for s in spans if s["name"] == "worker.task"
+                  and not s["attrs"].get(PARTIAL_ATTR))
+    partial = next(s for s in spans if s["attrs"].get(PARTIAL_ATTR))
+    assert worker["parent_id"] == dispatch_id
+    assert worker["attrs"]["process"] == "worker"
+    assert partial["parent_id"] == dispatch_id
+    assert partial["attrs"]["fault"] == "hang"
+
+
+def test_request_telemetry_disabled_is_inert():
+    telemetry = RequestTelemetry(enabled=False)
+    with telemetry.span("anything"):
+        telemetry.event("ignored")
+        telemetry.adopt_worker_spans([{"span_id": 1}])
+    telemetry.worker_lost("crash", 0.0, 1.0, attempt=1)
+    assert telemetry.stitched_spans() == []
+    assert telemetry.trace_id  # the id is still minted for the reply
+    with telemetry.phase("cache"):
+        pass
+    assert "cache" in telemetry.phases
+
+
+def test_request_telemetry_adopts_client_context():
+    telemetry = RequestTelemetry(
+        enabled=True, trace={"trace_id": "client-tid", "span_id": 11})
+    assert telemetry.trace_id == "client-tid"
+    assert telemetry.parent_span_id == 11
+
+
+# ----------------------------------------------------------------------
+# Prometheus exposition
+
+
+def test_render_prometheus_covers_all_instrument_kinds():
+    snapshot = {
+        "counters": {"serve.requests": 3},
+        "gauges": {"serve.inflight": 1},
+        "timers": {"serve.request_seconds": {"count": 2, "total": 0.5}},
+        "histograms": {"serve.request_latency_seconds": {
+            "bounds": [0.1, 1.0], "bucket_counts": [1, 2, 1],
+            "count": 4, "total": 2.0,
+        }},
+    }
+    text = render_prometheus(snapshot)
+    assert "# TYPE repro_serve_requests counter" in text
+    assert "repro_serve_requests_total 3" in text
+    assert "repro_serve_inflight 1" in text
+    assert "repro_serve_request_seconds_count 2" in text
+    assert 'repro_serve_request_latency_seconds_bucket{le="0.1"} 1' in text
+    # buckets are cumulative and +Inf equals the total count
+    assert 'repro_serve_request_latency_seconds_bucket{le="1"} 3' in text
+    assert 'repro_serve_request_latency_seconds_bucket{le="+Inf"} 4' in text
+    assert text.endswith("\n")
+
+
+# ----------------------------------------------------------------------
+# Daemon end-to-end: traces on the happy path
+
+
+def test_ok_reply_has_one_stitched_trace_and_one_access_line():
+    with make_daemon() as daemon:
+        reply = daemon.handle({"id": 1, "task": "groundness", "path": QSORT,
+                               "deadline": 15.0})
+        assert check_reply(reply) == "ok"
+        trace_id = reply["trace_id"]
+        spans = daemon.traces.get(trace_id)
+        assert spans is not None
+        assert span_tree_is_wellformed(spans)
+        assert all(s["trace_id"] == trace_id for s in spans)
+        names = {s["name"] for s in spans}
+        assert {"serve.request", "serve.cache.probe",
+                "serve.dispatch", "worker.task"} <= names
+        # worker engine phases made it across the pickle boundary
+        assert any(s["attrs"].get("process") == "worker" for s in spans)
+        entries = [e for e in daemon.access_log.recent()
+                   if e["trace_id"] == trace_id]
+        assert len(entries) == 1
+        entry = entries[0]
+        assert entry["outcome"] == "ok"
+        assert set(entry["phases"]) >= {"cache", "queue", "dispatch",
+                                        "worker"}
+
+
+def test_client_trace_context_is_adopted_end_to_end():
+    with make_daemon() as daemon:
+        reply = daemon.handle({
+            "id": 2, "task": "depthk", "path": QSORT, "deadline": 15.0,
+            "trace": {"trace_id": "deadbeef" * 4, "span_id": 41},
+        })
+        assert check_reply(reply) == "ok"
+        assert reply["trace_id"] == "deadbeef" * 4
+        spans = daemon.traces.get(reply["trace_id"])
+        root = next(s for s in spans if s["name"] == "serve.request")
+        assert root["attrs"]["remote_parent"] == 41
+
+
+def test_bad_request_reply_still_carries_trace_and_log_line():
+    with make_daemon() as daemon:
+        reply = daemon.handle({"id": 3, "task": "no-such-task",
+                               "path": QSORT})
+        assert check_reply(reply) == "error"
+        trace_id = reply["trace_id"]
+        assert trace_id
+        lines = [e for e in daemon.access_log.recent()
+                 if e["trace_id"] == trace_id]
+        assert len(lines) == 1
+        assert lines[0]["code"] == "unknown-task"
+
+
+def test_tracing_off_daemon_still_stamps_trace_ids():
+    with make_daemon(tracing=False) as daemon:
+        reply = daemon.handle({"id": 4, "task": "groundness", "path": QSORT,
+                               "deadline": 15.0})
+        assert check_reply(reply) == "ok"
+        assert reply["trace_id"]
+        assert daemon.traces.get(reply["trace_id"]) is None
+        assert len(daemon.access_log) == 1
+
+
+# ----------------------------------------------------------------------
+# Daemon end-to-end: kills leave well-formed partial traces
+
+
+@pytest.mark.parametrize("inject_kind, failure_kind",
+                         [("abort", "crash"), ("corrupt", "corrupt")])
+def test_transient_fault_recovers_with_partial_span_in_trace(
+        inject_kind, failure_kind):
+    with make_daemon() as daemon:
+        reply = daemon.handle({"id": 5, "task": "groundness", "path": QSORT,
+                               "deadline": 15.0,
+                               "inject": {"kind": inject_kind}})
+        assert check_reply(reply) == "ok"
+        assert reply["attempts"] == 2
+        spans = daemon.traces.get(reply["trace_id"])
+        assert span_tree_is_wellformed(spans)
+        partials = [s for s in spans if s["attrs"].get(PARTIAL_ATTR)]
+        assert len(partials) == 1
+        assert partials[0]["attrs"]["fault"] == failure_kind
+        assert partials[0]["status"] == "killed"
+        # the failed attempt's dispatch span reused the budget-trip
+        # flush: it closed "exhausted" with a resource_exhausted event
+        exhausted = [s for s in spans if s["name"] == "serve.dispatch"
+                     and s["status"] == "exhausted"]
+        assert len(exhausted) == 1
+        assert any(e["name"] == "resource_exhausted"
+                   for e in exhausted[0]["events"])
+        # ...and the recovery attempt carries real worker spans
+        assert any(s["name"] == "worker.task"
+                   and not s["attrs"].get(PARTIAL_ATTR) for s in spans)
+
+
+def test_hang_kill_yields_wellformed_trace_with_partial_span():
+    with make_daemon(retry=RetryPolicy(max_attempts=1)) as daemon:
+        reply = daemon.handle({
+            "id": 6, "task": "groundness", "path": QSORT, "deadline": 1.0,
+            "inject": {"kind": "hang", "seconds": 600.0},
+        })
+        assert check_reply(reply) == "error"
+        assert reply["error"]["code"] == "deadline"
+        spans = daemon.traces.get(reply["trace_id"])
+        assert spans is not None
+        assert span_tree_is_wellformed(spans)
+        partial = next(s for s in spans if s["attrs"].get(PARTIAL_ATTR))
+        assert partial["attrs"]["fault"] == "hang"
+        dispatch = next(s for s in spans if s["name"] == "serve.dispatch")
+        assert dispatch["status"] == "exhausted"
+        assert partial["parent_id"] == dispatch["span_id"]
+        entries = [e for e in daemon.access_log.recent()
+                   if e["trace_id"] == reply["trace_id"]]
+        assert len(entries) == 1
+        assert entries[0]["fault"] == "hang"
+
+
+def test_retry_sleeps_recorded_as_samples_and_span_events():
+    with make_daemon() as daemon:
+        reply = daemon.handle({"id": 7, "task": "groundness", "path": QSORT,
+                               "deadline": 15.0,
+                               "inject": {"kind": "abort"}})
+        assert check_reply(reply) == "ok"
+        timer = daemon.observer.registry.timer("serve.retry.sleep_seconds")
+        assert timer.count >= 1
+        spans = daemon.traces.get(reply["trace_id"])
+        root = next(s for s in spans if s["name"] == "serve.request")
+        sleeps = [e for e in root["events"] if e["name"] == "retry.sleep"]
+        assert len(sleeps) >= 1
+        assert sleeps[0]["seconds"] > 0
+        entry = next(e for e in daemon.access_log.recent()
+                     if e["trace_id"] == reply["trace_id"])
+        assert entry["phases"].get("retry_sleep", 0) > 0
+
+
+# ----------------------------------------------------------------------
+# Admin requests
+
+
+def test_stats_request_reports_live_state():
+    with make_daemon() as daemon:
+        daemon.handle({"id": 8, "task": "groundness", "path": QSORT,
+                       "deadline": 15.0})
+        reply = daemon.handle({"id": 9, "task": "stats"})
+        assert check_reply(reply) == "ok"
+        stats = reply["payload"]
+        assert stats["pool"]["size"] == 1
+        assert stats["breaker"] == "closed"
+        assert stats["traces"]["stored"] == 1
+        counters = stats["metrics"]["counters"]
+        assert counters["serve.requests"] == 1
+        assert counters["serve.admin.requests"] == 1
+        histogram = stats["metrics"]["histograms"][
+            "serve.request_latency_seconds"]
+        assert histogram["count"] == 1
+        assert histogram["p95"] is not None
+        # admin requests do not inflate the analysis-request counter
+        reply2 = daemon.handle({"id": 10, "task": "stats"})
+        assert reply2["payload"]["metrics"]["counters"]["serve.requests"] == 1
+
+
+def test_trace_request_returns_stored_trace_or_not_found():
+    with make_daemon() as daemon:
+        analysed = daemon.handle({"id": 11, "task": "groundness",
+                                  "path": QSORT, "deadline": 15.0})
+        found = daemon.handle({"id": 12, "task": "trace",
+                               "options": {"trace_id": analysed["trace_id"]}})
+        assert check_reply(found) == "ok"
+        assert found["payload"]["trace_id"] == analysed["trace_id"]
+        assert span_tree_is_wellformed(found["payload"]["spans"])
+        missing = daemon.handle({"id": 13, "task": "trace",
+                                 "options": {"trace_id": "nope"}})
+        assert check_reply(missing) == "error"
+        assert missing["error"]["code"] == "not-found"
+
+
+def test_metrics_request_returns_prometheus_text():
+    with make_daemon() as daemon:
+        daemon.handle({"id": 14, "task": "groundness", "path": QSORT,
+                       "deadline": 15.0})
+        reply = daemon.handle({"id": 15, "task": "metrics"})
+        assert check_reply(reply) == "ok"
+        text = reply["payload"]["text"]
+        assert "repro_serve_requests_total 1" in text
+        assert "repro_serve_request_latency_seconds_bucket" in text
+        assert reply["payload"]["content_type"].startswith("text/plain")
+
+
+# ----------------------------------------------------------------------
+# The metrics HTTP endpoint and the obs top/tail CLIs
+
+
+def test_metrics_http_endpoint_scrapes():
+    import urllib.error
+    import urllib.request
+
+    from repro.serve.frontends import start_metrics_server
+
+    with make_daemon() as daemon:
+        daemon.handle({"id": 16, "task": "depthk", "path": QSORT,
+                       "deadline": 15.0})
+        server = start_metrics_server(daemon)
+        host, port = server.server_address
+        try:
+            with urllib.request.urlopen(
+                    f"http://{host}:{port}/metrics") as response:
+                assert response.headers["Content-Type"].startswith(
+                    "text/plain")
+                text = response.read().decode("utf-8")
+            assert "repro_serve_requests_total 1" in text
+            with pytest.raises(urllib.error.HTTPError):
+                urllib.request.urlopen(f"http://{host}:{port}/other")
+        finally:
+            server.shutdown()
+
+
+def test_obs_top_against_live_tcp_daemon():
+    from repro.obs.cli import main as obs_main
+    from repro.serve.frontends import serve_tcp
+
+    daemon = make_daemon()
+    stop = threading.Event()
+    address = {}
+    thread = threading.Thread(
+        target=serve_tcp, args=(daemon,),
+        kwargs={"port": 0, "stop": stop,
+                "ready": lambda a: address.update(host=a[0], port=a[1])},
+        daemon=True)
+    thread.start()
+    try:
+        deadline = time.monotonic() + 5.0
+        while not address and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert address, "TCP frontend did not come up"
+        daemon.handle({"id": 17, "task": "groundness", "path": QSORT,
+                       "deadline": 15.0})
+        out = io.StringIO()
+        code = obs_main(["top", f"{address['host']}:{address['port']}"],
+                        out=out)
+        assert code == 0
+        text = out.getvalue()
+        assert "breaker: closed" in text
+        assert "requests: 1" in text
+        assert "latency:" in text
+    finally:
+        stop.set()
+        thread.join(timeout=5.0)
+
+
+def test_obs_tail_filters_by_outcome_and_trace_id(tmp_path):
+    from repro.obs.cli import main as obs_main
+
+    log_path = tmp_path / "access.jsonl"
+    with make_daemon(access_log=str(log_path)) as daemon:
+        ok = daemon.handle({"id": 18, "task": "depthk", "path": QSORT,
+                            "deadline": 15.0})
+        daemon.handle({"id": 19, "task": "no-such-task", "path": QSORT})
+    out = io.StringIO()
+    assert obs_main(["tail", str(log_path), "--outcome", "ok"], out=out) == 0
+    assert ok["trace_id"] in out.getvalue()
+    assert "unknown-task" not in out.getvalue()
+    out = io.StringIO()
+    assert obs_main(["tail", str(log_path), "--trace-id", ok["trace_id"],
+                     "--json"], out=out) == 0
+    lines = [json.loads(line) for line in out.getvalue().splitlines()]
+    assert len(lines) == 1 and lines[0]["trace_id"] == ok["trace_id"]
