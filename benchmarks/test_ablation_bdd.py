@@ -1,0 +1,187 @@
+"""E15 — Prop backend ablation: hash-consed ROBDDs vs enumeration.
+
+The BDD backend exists for one reason: the enumerative truth-table
+representation is exponential in predicate arity (an answer with *k*
+free variables expands to 2^k rows; ``top(n)`` alone is 2^n rows),
+while ROBDD operations are polynomial in operand node counts.  This
+table records the trade on both ends of the arity spectrum:
+
+* **wide_arity** — an arity-14 success set (free-variable-rich
+  answers, the worst case for row expansion): building the Prop
+  function from its abstract answers plus a batch of call-pattern
+  queries, per backend.  The acceptance bar is BDD >= 5x faster with
+  identical query results;
+* **corpus_groundness** — full groundness analysis over the 12 paper
+  benchmark programs, per backend: the narrow-arity regime where
+  enumeration is cheap.  The bar here is no blowup (BDD within 2x of
+  enum) and zero result drift across all predicates.
+
+Rows land in ``BENCH_tablebdd.json`` and diff in the same
+``repro.obs report`` gate as the other tables.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.bdd import BddPropFunction, reset_global_manager
+from repro.benchdata.loader import load_prolog_benchmark, prolog_benchmark_names
+from repro.core.groundness import _expand, analyze_groundness
+from repro.core.propdom import PropFunction
+from repro.terms import Struct, fresh_var
+
+WIDE_ARITY = 14
+WIDE_ANSWERS = 6
+WIDE_PATTERNS = 32
+
+
+def _wide_answers(rng):
+    """Free-variable-rich abstract answers (the row-expansion worst case).
+
+    Each answer grounds three positions, shares one variable pair (an
+    iff constraint) and leaves the rest as don't-cares — the shape real
+    open-call tables produce for permutation/selection predicates.
+    """
+    answers = []
+    for _ in range(WIDE_ANSWERS):
+        args = [None] * WIDE_ARITY
+        shared = fresh_var()
+        ground = rng.sample(range(WIDE_ARITY), 3)
+        pair = rng.sample(
+            [i for i in range(WIDE_ARITY) if i not in ground], 2
+        )
+        for i in range(WIDE_ARITY):
+            if i in ground:
+                args[i] = "true"
+            elif i in pair:
+                args[i] = shared
+            else:
+                args[i] = fresh_var()
+        answers.append(Struct("gp$w", tuple(args)))
+    return answers
+
+
+def _row(name, lines, seconds, extra):
+    return {
+        "name": name,
+        "lines": lines,
+        "preprocess": 0.0,
+        "analysis": seconds,
+        "collection": 0.0,
+        "total": seconds,
+        "table_space": 0,
+        "extra": extra,
+    }
+
+
+@pytest.mark.table("bdd")
+def test_wide_arity_ablation(benchmark, bench_record):
+    """Answers -> Prop function -> pattern queries, per backend."""
+    rng = random.Random(11)
+    answers = _wide_answers(rng)
+    patterns = [
+        tuple(True if rng.random() < 0.5 else None for _ in range(WIDE_ARITY))
+        for _ in range(WIDE_PATTERNS)
+    ]
+
+    def enum_run():
+        rows: set = set()
+        for answer in answers:
+            rows.update(_expand(answer, WIDE_ARITY))
+        fn = PropFunction(WIDE_ARITY, rows)
+        return fn, [fn.assume(p).definitely_true() for p in patterns]
+
+    def bdd_run():
+        fn = BddPropFunction.from_answers(WIDE_ARITY, answers)
+        return fn, [fn.assume(p).definitely_true() for p in patterns]
+
+    started = time.perf_counter()
+    enum_fn, enum_queries = enum_run()
+    enum_s = time.perf_counter() - started
+
+    reset_global_manager()
+    started = time.perf_counter()
+    (bdd_fn, bdd_queries) = benchmark.pedantic(bdd_run, rounds=1, iterations=1)
+    bdd_s = time.perf_counter() - started
+
+    # identical semantics before any timing claim
+    assert bdd_queries == enum_queries
+    assert bdd_fn == enum_fn
+
+    speedup = enum_s / bdd_s if bdd_s else float("inf")
+    benchmark.extra_info.update({
+        "enum_s": round(enum_s, 4),
+        "bdd_s": round(bdd_s, 4),
+        "speedup": round(speedup, 1),
+    })
+    bench_record("bdd", _row(
+        "wide_arity", 0, bdd_s,
+        {
+            "arity": WIDE_ARITY,
+            "answers": WIDE_ANSWERS,
+            "patterns": WIDE_PATTERNS,
+            "enum_rows": len(enum_fn.rows),
+            "bdd_nodes": bdd_fn.size(),
+            "enum_s": round(enum_s, 4),
+            "bdd_s": round(bdd_s, 4),
+            "speedup": round(speedup, 1),
+        },
+    ))
+    assert speedup >= 5.0, f"BDD only {speedup:.1f}x faster at arity {WIDE_ARITY}"
+
+
+@pytest.mark.table("bdd")
+def test_corpus_groundness_no_blowup(benchmark, bench_record, prolog_names):
+    """Narrow-arity regime: the default backend must not regress."""
+    programs = [(n, load_prolog_benchmark(n)) for n in prolog_names]
+    lines = sum(
+        len(clauses)
+        for _, p in programs
+        for clauses in p.clauses.values()
+    )
+
+    def sweep(backend):
+        results = {}
+        started = time.perf_counter()
+        for name, program in programs:
+            results[name] = analyze_groundness(program, prop_backend=backend)
+        return time.perf_counter() - started, results
+
+    enum_s, enum_results = sweep("enum")
+
+    def bdd_sweep():
+        return sweep("bdd")
+
+    (bdd_s, bdd_results) = benchmark.pedantic(bdd_sweep, rounds=1, iterations=1)
+
+    mismatches = 0
+    for name, enum_result in enum_results.items():
+        bdd_result = bdd_results[name]
+        for indicator, info in enum_result.predicates.items():
+            other = bdd_result.predicates[indicator]
+            if (
+                info.ground_on_success != other.ground_on_success
+                or info.success != other.success
+            ):
+                mismatches += 1
+
+    ratio = bdd_s / enum_s if enum_s else 0.0
+    benchmark.extra_info.update({
+        "enum_s": round(enum_s, 3),
+        "bdd_s": round(bdd_s, 3),
+        "bdd_over_enum": round(ratio, 2),
+        "mismatches": mismatches,
+    })
+    bench_record("bdd", _row(
+        "corpus_groundness", lines, bdd_s,
+        {
+            "files": len(programs),
+            "enum_s": round(enum_s, 3),
+            "bdd_s": round(bdd_s, 3),
+            "bdd_over_enum": round(ratio, 2),
+            "mismatches": mismatches,
+        },
+    ))
+    assert mismatches == 0
+    assert ratio <= 2.0, f"BDD backend {ratio:.2f}x slower on the corpus"

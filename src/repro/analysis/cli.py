@@ -103,6 +103,15 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "printed to stderr; diagnostics are identical with or "
         "without the store",
     )
+    parser.add_argument(
+        "--prop-backend",
+        choices=("bdd", "enum"),
+        default=None,
+        help="Prop (groundness) domain representation: hash-consed "
+        "ROBDDs (bdd, the default) or enumerative truth tables (enum, "
+        "the oracle). Overrides REPRO_PROP_BACKEND; diagnostics are "
+        "identical under either backend",
+    )
     return parser
 
 
@@ -128,6 +137,7 @@ def lint_file(
     deadline: float | None = None,
     failcheck: bool = True,
     summaries: str | None = None,
+    prop_backend: str | None = None,
 ) -> tuple[LintReport, str | None]:
     """Lint one file; returns (report, fatal-message-or-None)."""
     try:
@@ -153,7 +163,7 @@ def lint_file(
         store = store_for(summaries)
     report = lint_program(
         program, query=query, filename=path, modes=modes, budget=budget,
-        failcheck=failcheck, summaries=store,
+        failcheck=failcheck, summaries=store, prop_backend=prop_backend,
     )
     return report, None
 
@@ -165,6 +175,7 @@ def lint_payload(
     deadline: float | None = None,
     failcheck: bool = True,
     summaries: str | None = None,
+    prop_backend: str | None = None,
 ) -> dict:
     """Lint one file into a JSON-able payload (the corpus-task shape).
 
@@ -182,7 +193,7 @@ def lint_payload(
         before = store_for(summaries).stats()
     report, fatal = lint_file(
         path, query_text, modes=modes, deadline=deadline, failcheck=failcheck,
-        summaries=summaries,
+        summaries=summaries, prop_backend=prop_backend,
     )
     if summaries is not None:
         after = store_for(summaries).stats()
@@ -221,6 +232,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
                 "deadline": args.deadline,
                 "failcheck": failcheck,
                 "summaries": args.summaries,
+                "prop_backend": args.prop_backend,
             },
         )
         payloads = (
@@ -233,7 +245,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
                 path,
                 lint_payload(
                     path, args.query, modes, args.deadline, failcheck,
-                    summaries=args.summaries,
+                    summaries=args.summaries, prop_backend=args.prop_backend,
                 ),
             )
             for path in args.files

@@ -83,6 +83,7 @@ def lint_program(
     budget=None,
     failcheck: bool = True,
     summaries=None,
+    prop_backend: str | None = None,
 ) -> LintReport:
     """Run all lint rules; diagnostics carry ``filename`` when given.
 
@@ -93,7 +94,9 @@ def lint_program(
     failing the lint.  ``summaries`` is an optional
     :class:`~repro.analysis.summaries.SummaryStore` shared by the
     groundness and failcheck backends, so files sharing a library
-    re-derive each component fixpoint only once.
+    re-derive each component fixpoint only once.  ``prop_backend``
+    selects the Prop representation for the groundness backend
+    (``"bdd"``/``"enum"``; default per ``REPRO_PROP_BACKEND``).
     """
     import time
 
@@ -109,7 +112,8 @@ def lint_program(
     if modes:
         t0 = clock()
         mode_report = check_modes(
-            program, query=query, budget=budget, summaries=summaries
+            program, query=query, budget=budget, summaries=summaries,
+            prop_backend=prop_backend,
         )
         report.extend(mode_report.diagnostics)
         report.timings["modecheck"] = clock() - t0

@@ -139,6 +139,7 @@ def check_modes(
     use_groundness: bool = True,
     groundness=None,
     summaries=None,
+    prop_backend: str | None = None,
 ) -> ModeReport:
     """Run the groundness-flow mode check; see the module docstring.
 
@@ -179,7 +180,8 @@ def check_modes(
             from repro.analysis.summaries import groundness_via_summaries
 
             groundness = groundness_via_summaries(
-                program, store=summaries, governor=gov
+                program, store=summaries, governor=gov,
+                prop_backend=prop_backend,
             )
         except ResourceExhausted:
             # modular backend tripped the shared governor: re-arm it
@@ -193,7 +195,9 @@ def check_modes(
         try:
             from repro.core.groundness import analyze_groundness
 
-            groundness = analyze_groundness(program, governor=gov, degrade=False)
+            groundness = analyze_groundness(
+                program, governor=gov, degrade=False, prop_backend=prop_backend
+            )
         except ResourceExhausted as exc:
             event = DegradationEvent.from_error("modecheck", "prop", exc)
             report.events.append(event)

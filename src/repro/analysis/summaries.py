@@ -412,7 +412,9 @@ def store_for(path: str | None) -> SummaryStore:
 # Instantiation
 
 
-def instantiate(summary: PredicateSummary, call_pattern: tuple):
+def instantiate(
+    summary: PredicateSummary, call_pattern: tuple, prop_backend: str | None = None
+):
     """Specialize an open Prop summary at one call pattern.
 
     ``call_pattern`` is argument-wise ``True`` (known ground at the
@@ -420,18 +422,40 @@ def instantiate(summary: PredicateSummary, call_pattern: tuple):
     definite-groundness tuple for calls matching that pattern — the
     same answer :meth:`PredicateGroundness.ground_on_success_for`
     computes from whole-program tables (see the module docstring for
-    why).
+    why).  Under the (default) BDD backend the summary's answer terms
+    become one ROBDD directly — no 2^(free vars) row expansion.
     """
+    _count_obs("instantiations")
+    query = tuple(value is True for value in call_pattern)
+    return _success_function(
+        summary.arity, summary.answers, prop_backend
+    ).assume(query).definitely_true()
+
+
+def _success_function(arity: int, answers, prop_backend: str | None = None):
+    """The Prop function of a summary's open answers, per backend.
+
+    Serialization stays backend-independent: summaries store answer
+    *terms* (``to_data``/``from_data`` above), and this is where terms
+    become a Prop value — enum- and BDD-produced summaries are
+    store-compatible by construction, with identical digests.
+    """
+    from repro.core.propdom import (
+        MAX_IFF_NVARS,
+        PropFunction,
+        resolve_prop_backend,
+    )
+
+    if resolve_prop_backend(prop_backend) == "bdd" or arity > MAX_IFF_NVARS:
+        from repro.bdd.propfn import BddPropFunction
+
+        return BddPropFunction.from_answers(arity, answers)
     from repro.core.groundness import _expand
-    from repro.core.propdom import PropFunction
 
     rows: set = set()
-    for answer in summary.answers:
-        rows.update(_expand(answer, summary.arity))
-    success = PropFunction(summary.arity, rows)
-    query = tuple(value is True for value in call_pattern)
-    _count_obs("instantiations")
-    return success.assume(query).definitely_true()
+    for answer in answers:
+        rows.update(_expand(answer, arity))
+    return PropFunction(arity, rows)
 
 
 def _count_obs(name: str, amount: int = 1) -> None:
@@ -473,6 +497,7 @@ def groundness_via_summaries(
     governor=None,
     optimize: bool = True,
     encoding: str = "compact",
+    prop_backend: str | None = None,
 ):
     """Modular Prop groundness: per-component open-call summaries.
 
@@ -490,14 +515,18 @@ def groundness_via_summaries(
     shared ``governor`` trips — the caller escalates to the
     whole-program analysis (the degradation ladder), never to a
     partial modular claim.
+
+    ``prop_backend`` selects the Prop representation of the collected
+    open success sets (``"bdd"`` by default); the *store* is backend-
+    independent — answer terms, not truth rows, are what is keyed and
+    persisted — so a store warmed under one backend hits under the
+    other with unchanged digests.
     """
     from repro.core.groundness import (
         PredicateGroundness,
-        _expand,
         abstract_program,
         gp_name,
     )
-    from repro.core.propdom import PropFunction
     from repro.obs.observer import get_observer
 
     obs = get_observer()
@@ -550,10 +579,7 @@ def groundness_via_summaries(
         name, arity = indicator
         summary = summaries.get(indicator)
         answers = summary.answers if summary is not None else []
-        rows: set = set()
-        for answer in answers:
-            rows.update(_expand(answer, arity))
-        success = PropFunction(arity, rows)
+        success = _success_function(arity, answers, prop_backend)
         open_pattern = tuple(None for _ in range(arity))
         predicates[indicator] = PredicateGroundness(
             name=name,
@@ -579,6 +605,7 @@ def groundness_via_summaries(
         warnings=info.warnings,
         completeness="exact",
         table_completeness=table_completeness,
+        backend="summaries",
     )
     if obs.enabled:
         obs.registry.counter("analysis.groundness.summary_runs").value += 1
@@ -592,8 +619,6 @@ def _summary_result_class():
     cls = getattr(_summary_result_class, "_cls", None)
     if cls is None:
         class SummaryBackedGroundness(GroundnessResult):
-            backend = "summaries"
-
             def ground_on_success_for(self, indicator, pattern):
                 if indicator in self.predicates:
                     _count_obs("instantiations")

@@ -28,9 +28,10 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+from repro.bdd.propfn import BddPropFunction
 from repro.bdd.robdd import BDDManager, FALSE, TRUE
 from repro.core.groundness import _GROUNDING_BUILTINS, PredicateGroundness
-from repro.core.propdom import PropFunction
+from repro.core.propdom import PropFunction, resolve_prop_backend
 from repro.engine.builtins import is_builtin
 from repro.prolog.program import Indicator, Program
 from repro.terms.term import Struct, Term, Var, term_variables
@@ -69,14 +70,43 @@ class _ClauseContext:
 
 
 class GaiaAnalyzer:
-    """Direct Prop-groundness abstract interpretation of a program."""
+    """Direct Prop-groundness abstract interpretation of a program.
 
-    def __init__(self, program: Program):
+    ``prop_backend`` selects how per-predicate summaries are *stored*
+    (``"bdd"`` keeps the fixpoint entirely symbolic — summaries stay
+    nodes in this analyzer's private manager, fixpoint comparison is
+    node identity — while ``"enum"`` round-trips each iteration
+    through ``allsat`` into truth tables, the historical behavior kept
+    as the oracle).  The body interpretation itself is BDD-based in
+    both modes, as in the real GAIA.
+    """
+
+    def __init__(self, program: Program, prop_backend: str | None = None):
         self.program = program
         self.manager = BDDManager()
+        self.backend = resolve_prop_backend(prop_backend)
         self.success: dict[Indicator, PropFunction] = {}
         self.calls: dict[Indicator, list[PropFunction]] = {}
         self.iterations = 0
+
+    # -- backend helpers -------------------------------------------------
+    def _wrap(self, arity: int, node: int):
+        """A Prop value of the configured backend for a node on our manager."""
+        if self.backend == "bdd":
+            return BddPropFunction(arity, node, self.manager)
+        return PropFunction(arity, self.manager.allsat(node, range(arity)))
+
+    def _node_of(self, fn) -> int:
+        """``fn`` as a node over variables 0..arity-1 on our manager."""
+        if isinstance(fn, BddPropFunction) and fn.manager is self.manager:
+            return fn.node
+        return self.manager.from_rows(fn.rows, range(fn.arity))
+
+    def _pattern_key(self, fn):
+        """A hashable fixpoint key: node id on our manager, rows otherwise."""
+        if isinstance(fn, BddPropFunction) and fn.manager is self.manager:
+            return fn.node
+        return fn.rows
 
     # ------------------------------------------------------------------
     # Success pass (bottom-up fixpoint over Prop summaries)
@@ -84,7 +114,7 @@ class GaiaAnalyzer:
     def compute_success(self) -> dict[Indicator, PropFunction]:
         predicates = self.program.predicates()
         for indicator in predicates:
-            self.success[indicator] = PropFunction.bottom(indicator[1])
+            self.success[indicator] = self._wrap(indicator[1], FALSE)
         changed = True
         while changed:
             changed = False
@@ -101,8 +131,7 @@ class GaiaAnalyzer:
         combined = FALSE
         for clause in self.program.clauses_for(indicator):
             combined = self.manager.disj(combined, self._clause_bdd(clause, arity))
-        rows = self.manager.allsat(combined, range(arity))
-        return PropFunction(arity, rows)
+        return self._wrap(arity, combined)
 
     def _clause_bdd(self, clause, arity: int) -> int:
         context = _ClauseContext(self.manager, arity)
@@ -183,7 +212,12 @@ class GaiaAnalyzer:
             formula = manager.conj(
                 formula, manager.iff(manager.var(temp), context.term_conj(arg))
             )
-        summary_bdd = manager.from_rows(summary.rows, temps)
+        if isinstance(summary, BddPropFunction) and summary.manager is manager:
+            # temps are consecutive: embed the summary by a uniform
+            # order-preserving shift instead of an allsat round-trip
+            summary_bdd = manager.shift_above(summary.node, 0, temps[0]) if temps else summary.node
+        else:
+            summary_bdd = manager.from_rows(summary.rows, temps)
         formula = manager.conj(formula, summary_bdd)
         return manager.exists_all(formula, temps)
 
@@ -209,14 +243,14 @@ class GaiaAnalyzer:
             entries = self._entry_patterns()
         if not entries:
             entries = [
-                (indicator, PropFunction.top(indicator[1]))
+                (indicator, self._wrap(indicator[1], TRUE))
                 for indicator in self.program.predicates()
             ]
         worklist = list(entries)
         seen: set[tuple] = set()
         while worklist:
             indicator, pattern = worklist.pop()
-            key = (indicator, pattern.rows)
+            key = (indicator, self._pattern_key(pattern))
             if key in seen:
                 continue
             seen.add(key)
@@ -235,19 +269,17 @@ class GaiaAnalyzer:
                 pattern = directive.args[0]
                 if isinstance(pattern, Struct):
                     arity = pattern.arity
-                    function = PropFunction.top(arity)
+                    node = TRUE
                     for i, arg in enumerate(pattern.args):
                         if arg == "g":
-                            function = function.conj(
-                                PropFunction.var_is(arity, i, True)
-                            )
-                    entries.append((pattern.indicator, function))
+                            node = self.manager.conj(node, self.manager.var(i))
+                    entries.append((pattern.indicator, self._wrap(arity, node)))
         return entries
 
     def _clause_calls(self, clause, arity, pattern: PropFunction, worklist) -> None:
         manager = self.manager
         context = _ClauseContext(manager, arity)
-        formula = manager.from_rows(pattern.rows, range(arity))
+        formula = self._node_of(pattern)
         head = clause.head
         if isinstance(head, Struct):
             for position, arg in enumerate(head.args):
@@ -288,8 +320,10 @@ class GaiaAnalyzer:
                     called,
                     [v for v in range(context.next_index) if v not in temps],
                 )
-                rows = manager.allsat(projected, temps)
-                worklist.append((indicator, PropFunction(len(temps), rows)))
+                if temps:
+                    # slide the consecutive temp block down to 0..n-1
+                    projected = manager.shift_above(projected, temps[0], -temps[0])
+                worklist.append((indicator, self._wrap(len(temps), projected)))
         # then conjoin the goal's effect on the state
         return manager.conj(formula, self._body_bdd(goal, context))
 
@@ -297,18 +331,21 @@ class GaiaAnalyzer:
     def result_for(self, indicator: Indicator) -> PredicateGroundness:
         patterns = [
             tuple(
-                True if all(row[i] for row in p.rows) else None
-                for i in range(indicator[1])
+                True if definite else None for definite in p.definitely_true()
             )
             for p in self.calls.get(indicator, [])
         ]
         summary = self.success[indicator]
+        if isinstance(summary, BddPropFunction):
+            answer_count = self.manager.satcount(summary.node, indicator[1])
+        else:
+            answer_count = len(summary.rows)
         return PredicateGroundness(
             name=indicator[0],
             arity=indicator[1],
             success=summary,
             call_patterns=patterns,
-            answer_count=len(summary.rows),
+            answer_count=answer_count,
         )
 
 
@@ -326,10 +363,12 @@ class GaiaResult:
         return self.predicates[indicator]
 
 
-def analyze_gaia(program: Program, with_calls: bool = True) -> GaiaResult:
+def analyze_gaia(
+    program: Program, with_calls: bool = True, prop_backend: str | None = None
+) -> GaiaResult:
     """Run the special-purpose analyzer; phases timed like the tabled one."""
     t0 = time.perf_counter()
-    analyzer = GaiaAnalyzer(program)
+    analyzer = GaiaAnalyzer(program, prop_backend=prop_backend)
     t1 = time.perf_counter()
     analyzer.compute_success()
     if with_calls:

@@ -2,10 +2,27 @@
 
 The comparison systems of the paper's section 4 ([10] Toupie, [40]
 GAIA/Prop) represent Prop formulas as BDDs; this package provides the
-ROBDD machinery for our stand-ins of those systems and for the
-enumerative-vs-BDD ablation benchmarks.
+ROBDD machinery behind the default Prop backend
+(:class:`~repro.bdd.propfn.BddPropFunction`), the stand-ins of those
+systems, and the enumerative-vs-BDD ablation benchmarks.
 """
 
-from repro.bdd.robdd import BDD, BDDManager
+from repro.bdd.robdd import BDD, BDDManager, UniqueTableFull
+from repro.bdd.propfn import (
+    BddPropFunction,
+    bdd_governed,
+    global_manager,
+    publish_bdd_gauges,
+    reset_global_manager,
+)
 
-__all__ = ["BDD", "BDDManager"]
+__all__ = [
+    "BDD",
+    "BDDManager",
+    "BddPropFunction",
+    "UniqueTableFull",
+    "bdd_governed",
+    "global_manager",
+    "publish_bdd_gauges",
+    "reset_global_manager",
+]

@@ -1,0 +1,408 @@
+"""The Prop abstract domain backed by hash-consed ROBDDs.
+
+:class:`BddPropFunction` is API-compatible with the enumerative
+:class:`~repro.core.propdom.PropFunction` (meet/join/conj/disj,
+``assume``, ``exists``, ``restrict_to``, ``definitely_true``,
+``iff_closure``, ``__le__``/``__eq__``/``__hash__``, DNF rendering) but
+represents the truth set as one node in a process-global
+:class:`~repro.bdd.robdd.BDDManager`.  Where the enumerative
+representation is exponential in arity (``top(n)`` alone materializes
+2^n rows), the BDD operations are polynomial in the node counts of
+their operands — the trade Howe & King identify as the right one for
+real programs.
+
+Variable convention: argument position ``i`` of an arity-``n``
+function is BDD variable ``i``; variables ``>= n`` are scratch space
+for renaming (:meth:`restrict_to`) and for embedding callee summaries
+at an offset (:mod:`repro.baselines.gaia`).
+
+The enumerative truth set stays reachable as the lazy :attr:`rows`
+property (via ``allsat`` — exponential, for narrow-arity bridging,
+serialization canonicalization and diagnostics only).  Cross-backend
+``==``/``<=``/``conj``/``disj`` against a ``PropFunction`` go through
+``rows``, so mixed-backend comparisons in tests and the soundness
+harness keep working unchanged.
+
+Budgeting: :func:`bdd_governed` points the global manager's
+``on_new_node`` hook at a :class:`~repro.runtime.budget.ResourceGovernor`
+so fresh node interning charges a ``bdd_nodes`` budget; a trip raises
+:class:`~repro.runtime.budget.BddNodesExceeded`, which the groundness
+driver turns into the ``bdd-widened`` degradation stage
+(worst-case widening per Genaim/Howe/Codish — :meth:`BddPropFunction.widen`).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from itertools import product
+
+from repro.bdd.robdd import FALSE, TRUE, BDDManager
+from repro.terms.term import Struct, Term, Var
+
+_GLOBAL_MANAGER: BDDManager | None = None
+
+
+def global_manager() -> BDDManager:
+    """The process-global manager shared by all default-backend values.
+
+    Sharing one manager is what makes hash-consing pay: equal functions
+    are the *same* node, so ``__eq__``/``is_bottom`` are O(1) and apply
+    results memoize across the whole analysis session.
+    """
+    global _GLOBAL_MANAGER
+    if _GLOBAL_MANAGER is None:
+        _GLOBAL_MANAGER = BDDManager()
+    return _GLOBAL_MANAGER
+
+
+def reset_global_manager() -> BDDManager:
+    """Drop the global manager (tests): next use builds a fresh one."""
+    global _GLOBAL_MANAGER
+    _GLOBAL_MANAGER = None
+    return global_manager()
+
+
+@contextmanager
+def bdd_governed(governor, manager: BDDManager | None = None):
+    """Charge ``governor``'s ``bdd_nodes`` budget for fresh node interning.
+
+    Only *new* nodes charge (hash-consing hits are free), so the budget
+    measures genuine representation growth.  Nested uses compose: the
+    previous hook is restored on exit.  A ``None`` governor is a no-op.
+    """
+    manager = manager if manager is not None else global_manager()
+    if governor is None:
+        yield manager
+        return
+    previous = manager.on_new_node
+
+    def charge(count: int) -> None:
+        if previous is not None:
+            previous(count)
+        governor.charge("bdd_nodes", context="bdd unique table")
+
+    with manager.lock:
+        manager.on_new_node = charge
+    try:
+        yield manager
+    finally:
+        with manager.lock:
+            manager.on_new_node = previous
+
+
+def publish_bdd_gauges(manager: BDDManager | None = None) -> None:
+    """Export the manager's counters as ``bdd.*`` gauges on the active observer."""
+    from repro.obs.observer import get_observer
+
+    obs = get_observer()
+    if getattr(obs, "enabled", False):
+        (manager or global_manager()).publish_gauges(obs.registry)
+
+
+class BddPropFunction:
+    """A boolean function over ``n`` arguments as one ROBDD node.
+
+    Drop-in for :class:`~repro.core.propdom.PropFunction` wherever the
+    analyses use it; construct through the same classmethod vocabulary
+    (:meth:`bottom`, :meth:`top`, :meth:`iff_conj`, :meth:`var_is`,
+    :meth:`from_rows`) plus :meth:`from_answers`, which builds the
+    function of a set of abstract answer terms *directly* — the
+    polynomial replacement for the collector's exponential row
+    expansion.
+    """
+
+    __slots__ = ("arity", "node", "manager", "_rows")
+
+    def __init__(self, arity: int, node: int, manager: BDDManager | None = None):
+        self.arity = arity
+        self.node = node
+        self.manager = manager if manager is not None else global_manager()
+        self._rows = None
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def bottom(cls, arity: int, manager: BDDManager | None = None) -> "BddPropFunction":
+        """The unsatisfiable function (no successes)."""
+        return cls(arity, FALSE, manager)
+
+    @classmethod
+    def top(cls, arity: int, manager: BDDManager | None = None) -> "BddPropFunction":
+        """The always-true function — O(1), vs 2^n rows enumeratively."""
+        return cls(arity, TRUE, manager)
+
+    @classmethod
+    def iff_conj(
+        cls, arity: int, lhs: int, rhs: tuple, manager: BDDManager | None = None
+    ) -> "BddPropFunction":
+        """``x_lhs <-> /\\ x_i (i in rhs)``."""
+        manager = manager if manager is not None else global_manager()
+        with manager.lock:
+            return cls(arity, manager.iff_conj(lhs, rhs), manager)
+
+    @classmethod
+    def var_is(
+        cls, arity: int, index: int, value: bool, manager: BDDManager | None = None
+    ) -> "BddPropFunction":
+        manager = manager if manager is not None else global_manager()
+        with manager.lock:
+            node = manager.var(index) if value else manager.nvar(index)
+        return cls(arity, node, manager)
+
+    @classmethod
+    def from_rows(
+        cls, arity: int, rows, manager: BDDManager | None = None
+    ) -> "BddPropFunction":
+        """Import an enumerative truth set (the oracle bridge)."""
+        manager = manager if manager is not None else global_manager()
+        with manager.lock:
+            node = manager.from_rows(rows, range(arity))
+        return cls(arity, node, manager)
+
+    @classmethod
+    def from_function(cls, fn, manager: BDDManager | None = None) -> "BddPropFunction":
+        """Coerce any Prop value (either backend) into this backend."""
+        if isinstance(fn, cls):
+            if manager is None or fn.manager is manager:
+                return fn
+        return cls.from_rows(fn.arity, fn.rows, manager)
+
+    @classmethod
+    def iff_closure(
+        cls,
+        arity: int,
+        constraints,
+        manager: BDDManager | None = None,
+    ) -> "BddPropFunction":
+        """``/\\ (x_lhs <-> /\\ rhs)`` over ``(lhs, rhs)`` pairs.
+
+        The conjunction of a clause's iff constraints — one symbolic
+        conjunction per constraint, no truth-table enumeration, so
+        there is no arity cap on this backend.
+        """
+        manager = manager if manager is not None else global_manager()
+        with manager.lock:
+            node = TRUE
+            for lhs, rhs in constraints:
+                node = manager.conj(node, manager.iff_conj(lhs, tuple(rhs)))
+        return cls(arity, node, manager)
+
+    @classmethod
+    def from_answers(
+        cls, arity: int, answers, manager: BDDManager | None = None
+    ) -> "BddPropFunction":
+        """The function denoted by a set of abstract answer terms.
+
+        Each answer (e.g. ``gp$ap(true, A, A)``) contributes one
+        conjunction: ``true`` at position *i* is the literal ``x_i``,
+        ``false`` is ``~x_i``, the first occurrence of a variable is a
+        don't-care, and a *repeated* variable at position *i* adds
+        ``x_i <-> x_first`` (shared variables must take equal values).
+        The function is the disjunction over answers — polynomial in
+        the answer count, where the enumerative collector expands
+        ``2^(free vars)`` rows per answer.
+        """
+        manager = manager if manager is not None else global_manager()
+        with manager.lock:
+            node = FALSE
+            for answer in answers:
+                node = manager.disj(node, _answer_node(manager, answer, arity))
+        return cls(arity, node, manager)
+
+    # -- internal helpers -----------------------------------------------
+    def _coerce(self, other) -> int:
+        """The other operand as a node in *this* function's manager."""
+        if isinstance(other, BddPropFunction) and other.manager is self.manager:
+            return other.node
+        with self.manager.lock:
+            return self.manager.from_rows(other.rows, range(other.arity))
+
+    def _make(self, arity: int, node: int) -> "BddPropFunction":
+        return BddPropFunction(arity, node, self.manager)
+
+    # -- lattice/logic operations ----------------------------------------
+    def conj(self, other) -> "BddPropFunction":
+        assert self.arity == other.arity
+        with self.manager.lock:
+            return self._make(self.arity, self.manager.conj(self.node, self._coerce(other)))
+
+    def disj(self, other) -> "BddPropFunction":
+        assert self.arity == other.arity
+        with self.manager.lock:
+            return self._make(self.arity, self.manager.disj(self.node, self._coerce(other)))
+
+    # lattice-vocabulary aliases (Prop's meet is conjunction, join is
+    # disjunction)
+    meet = conj
+    join = disj
+
+    def exists(self, index: int) -> "BddPropFunction":
+        """Existentially quantify argument ``index`` away (arity drops)."""
+        manager = self.manager
+        with manager.lock:
+            node = manager.exists(self.node, index)
+            # close the positional gap: arguments above ``index`` slide
+            # down one place, as in the enumerative representation
+            node = manager.shift_above(node, index + 1, -1)
+        return self._make(self.arity - 1, node)
+
+    def restrict_to(self, indexes: tuple) -> "BddPropFunction":
+        """Project onto the given argument positions, in order.
+
+        Implemented by tying scratch variable ``n + j`` to source
+        position ``indexes[j]`` with an iff, quantifying all source
+        positions away, then sliding the scratch block down to
+        ``0..len(indexes)-1`` (a uniform, order-preserving shift).
+        """
+        manager = self.manager
+        n = self.arity
+        with manager.lock:
+            node = self.node
+            for j, src in enumerate(indexes):
+                node = manager.conj(
+                    node, manager.iff(manager.var(n + j), manager.var(src))
+                )
+            node = manager.exists_all(node, range(n))
+            node = manager.shift_above(node, n, -n)
+        return self._make(len(indexes), node)
+
+    def assume(self, pattern: tuple) -> "BddPropFunction":
+        """Condition on a call pattern: ``f /\\ x_i`` for ground positions."""
+        ground = tuple(value is True for value in pattern)
+        if not any(ground):
+            return self
+        manager = self.manager
+        with manager.lock:
+            node = self.node
+            for index, is_ground in enumerate(ground):
+                if is_ground:
+                    node = manager.conj(node, manager.var(index))
+        return self._make(self.arity, node)
+
+    def definitely_true(self) -> tuple:
+        """Per-argument "true in every satisfying assignment" flags."""
+        if self.node == FALSE:
+            return tuple(True for _ in range(self.arity))
+        manager = self.manager
+        with manager.lock:
+            return tuple(
+                manager.entails(self.node, manager.var(i))
+                for i in range(self.arity)
+            )
+
+    def is_bottom(self) -> bool:
+        return self.node == FALSE
+
+    def widen(self, max_nodes: int) -> "BddPropFunction":
+        """Worst-case widening (Genaim/Howe/Codish) past ``max_nodes``.
+
+        When the ROBDD exceeds the node cap, return the *definite
+        core*: the conjunction of the arguments the function entails —
+        definite, at most one node per argument, and entailed by the
+        original, hence a sound over-approximation.  Within the cap,
+        return ``self`` unchanged.
+        """
+        manager = self.manager
+        with manager.lock:
+            if manager.size(self.node) <= max_nodes:
+                return self
+            node = TRUE
+            for index, definite in enumerate(self.definitely_true()):
+                if definite:
+                    node = manager.conj(node, manager.var(index))
+        return self._make(self.arity, node)
+
+    def size(self) -> int:
+        """Node count of this function's ROBDD (diagnostics/benchmarks)."""
+        with self.manager.lock:
+            return self.manager.size(self.node)
+
+    # -- enumerative bridge ----------------------------------------------
+    @property
+    def rows(self) -> frozenset:
+        """The explicit truth set (lazy; exponential in arity).
+
+        The canonicalization boundary: serialization, cross-backend
+        comparison and DNF rendering all read this, so enum- and
+        BDD-produced values hash, compare and store identically.
+        """
+        if self._rows is None:
+            with self.manager.lock:
+                self._rows = frozenset(
+                    self.manager.allsat(self.node, range(self.arity))
+                )
+        return self._rows
+
+    # -- comparisons ------------------------------------------------------
+    def __le__(self, other) -> bool:
+        if isinstance(other, BddPropFunction) and other.manager is self.manager:
+            with self.manager.lock:
+                return self.manager.entails(self.node, other.node)
+        return self.rows <= other.rows
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, BddPropFunction) and other.manager is self.manager:
+            return self.arity == other.arity and self.node == other.node
+        other_arity = getattr(other, "arity", None)
+        other_rows = getattr(other, "rows", None)
+        if other_arity is None or other_rows is None:
+            return NotImplemented
+        return self.arity == other_arity and self.rows == other_rows
+
+    def __hash__(self) -> int:
+        # same value as PropFunction.__hash__, so mixed-backend dict/set
+        # keys collide correctly (exponential for wide arity — hash
+        # narrow values only, as the analyses do)
+        return hash((self.arity, self.rows))
+
+    def __repr__(self) -> str:
+        return f"BddPropFunction({self.arity}, nodes={self.size()})"
+
+    def __reduce__(self):
+        # pickles as the canonical truth set and re-interns in the
+        # destination process's global manager
+        return (_rebuild, (self.arity, tuple(sorted(self.rows))))
+
+    def dnf(self, names: list[str] | None = None) -> str:
+        """Same rendering as the enumerative backend, from the truth set."""
+        rows = self.rows
+        if not rows:
+            return "false"
+        if len(rows) == 2**self.arity:
+            return "true"
+        names = names or [f"X{i + 1}" for i in range(self.arity)]
+        clauses = []
+        for row in sorted(rows, reverse=True):
+            literals = [
+                name if value else f"~{name}" for name, value in zip(names, row)
+            ]
+            clauses.append(" & ".join(literals) if literals else "true")
+        return " | ".join(f"({c})" for c in clauses)
+
+
+def _rebuild(arity: int, rows) -> BddPropFunction:
+    return BddPropFunction.from_rows(arity, rows)
+
+
+def _answer_node(manager: BDDManager, answer: Term, arity: int) -> int:
+    """The BDD of one abstract answer term (see :meth:`from_answers`)."""
+    if arity == 0:
+        return TRUE
+    assert isinstance(answer, Struct)
+    node = TRUE
+    first_seen: dict[int, int] = {}
+    for index, arg in enumerate(answer.args):
+        if arg == "true":
+            node = manager.conj(node, manager.var(index))
+        elif arg == "false":
+            node = manager.conj(node, manager.nvar(index))
+        elif isinstance(arg, Var):
+            first = first_seen.get(arg.id)
+            if first is None:
+                first_seen[arg.id] = index  # don't-care on first sight
+            else:
+                node = manager.conj(
+                    node, manager.iff(manager.var(index), manager.var(first))
+                )
+        else:
+            raise ValueError(f"non-boolean answer argument {arg!r}")
+    return node

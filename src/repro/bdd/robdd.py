@@ -2,7 +2,15 @@
 
 Nodes are hash-consed triples ``(var, low, high)`` with a fixed global
 variable order (integer variable indexes; smaller index = nearer the
-root).  All operations are memoized per manager.
+root).  All operations are memoized per manager; the memo caches are
+*bounded* (``max_cache_entries``) and cleared wholesale when full — the
+standard BDD-package discipline — so a long-lived manager (the
+process-global one behind :class:`repro.bdd.propfn.BddPropFunction`)
+cannot grow its caches without limit.  The unique table itself is
+bounded two ways: a manager-local hard cap (``max_nodes``) and, for
+governed analyses, the ``on_new_node`` hook, which the Prop backend
+points at the active :class:`~repro.runtime.budget.ResourceGovernor`
+so node creation charges a ``bdd_nodes`` budget.
 
 Example::
 
@@ -15,6 +23,7 @@ Example::
 
 from __future__ import annotations
 
+import threading
 from itertools import product
 
 # Terminal node ids
@@ -22,6 +31,10 @@ FALSE = 0
 TRUE = 1
 
 BDD = int  # node index into the manager's table
+
+#: default bound on each memo cache; at the bound the cache is cleared
+#: (cheap, amortized, and the standard trade in BDD packages)
+DEFAULT_MAX_CACHE_ENTRIES = 1 << 18
 
 _OPS = {
     "and": lambda a, b: a and b,
@@ -32,15 +45,55 @@ _OPS = {
 }
 
 
-class BDDManager:
-    """Owns the node table and operation caches for a family of BDDs."""
+class UniqueTableFull(MemoryError):
+    """The manager's hard ``max_nodes`` cap was reached.
 
-    def __init__(self):
+    Governed analyses normally trip the softer ``bdd_nodes`` budget
+    first (via ``on_new_node``); this error is the manager-local
+    backstop for unbudgeted use.
+    """
+
+    def __init__(self, nodes: int, limit: int):
+        self.nodes = nodes
+        self.limit = limit
+        super().__init__(
+            f"BDD unique table full: {nodes} nodes (cap {limit})"
+        )
+
+
+class BDDManager:
+    """Owns the node table and operation caches for a family of BDDs.
+
+    Instrumentation counters (``apply_cache_hits``,
+    ``apply_cache_misses``, ``exists_cache_hits``, ``cache_clears``,
+    ``peak_nodes``) are plain attributes; :meth:`publish_gauges` copies
+    them into a metrics registry as ``bdd.*`` gauges.  ``lock`` is a
+    re-entrant lock callers sharing a manager across threads (the
+    process-global Prop backend) take around compound operations; the
+    manager itself stays lock-free for single-threaded use.
+    """
+
+    def __init__(
+        self,
+        max_cache_entries: int = DEFAULT_MAX_CACHE_ENTRIES,
+        max_nodes: int | None = None,
+    ):
         # table[i] = (var, low, high); entries 0/1 are sentinels
         self._table: list[tuple] = [(-1, -1, -1), (-1, -1, -1)]
         self._unique: dict[tuple, int] = {}
         self._apply_cache: dict[tuple, int] = {}
         self._exists_cache: dict[tuple, int] = {}
+        self.max_cache_entries = max_cache_entries
+        self.max_nodes = max_nodes
+        #: called with the new node count after each fresh interning;
+        #: may raise (e.g. a governor charging a ``bdd_nodes`` budget)
+        self.on_new_node = None
+        self.apply_cache_hits = 0
+        self.apply_cache_misses = 0
+        self.exists_cache_hits = 0
+        self.cache_clears = 0
+        self.peak_nodes = 0
+        self.lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Construction
@@ -55,6 +108,13 @@ class BDDManager:
             node = len(self._table)
             self._table.append(key)
             self._unique[key] = node
+            count = node - 1  # internal nodes (terminals excluded)
+            if count > self.peak_nodes:
+                self.peak_nodes = count
+            if self.max_nodes is not None and count > self.max_nodes:
+                raise UniqueTableFull(count, self.max_nodes)
+            if self.on_new_node is not None:
+                self.on_new_node(count)
         return node
 
     def var(self, index: int) -> BDD:
@@ -77,6 +137,10 @@ class BDDManager:
     def is_terminal(self, bdd: BDD) -> bool:
         return bdd in (FALSE, TRUE)
 
+    def node_count(self) -> int:
+        """Total internal nodes ever interned by this manager."""
+        return len(self._table) - 2
+
     def size(self, bdd: BDD) -> int:
         """Number of distinct internal nodes reachable from ``bdd``."""
         seen: set[int] = set()
@@ -92,15 +156,41 @@ class BDDManager:
         return len(seen)
 
     # ------------------------------------------------------------------
+    # Memo-cache bounding and metrics
+
+    def _cache_put(self, cache: dict, key, value) -> None:
+        if len(cache) >= self.max_cache_entries:
+            cache.clear()
+            self.cache_clears += 1
+        cache[key] = value
+
+    def cache_sizes(self) -> dict:
+        return {
+            "apply": len(self._apply_cache),
+            "exists": len(self._exists_cache),
+        }
+
+    def publish_gauges(self, registry) -> None:
+        """Copy the manager's counters into ``registry`` as bdd.* gauges."""
+        registry.gauge("bdd.nodes").set(self.node_count())
+        registry.gauge("bdd.peak_nodes").set(self.peak_nodes)
+        registry.gauge("bdd.apply_cache_hits").set(self.apply_cache_hits)
+        registry.gauge("bdd.apply_cache_misses").set(self.apply_cache_misses)
+        registry.gauge("bdd.exists_cache_hits").set(self.exists_cache_hits)
+        registry.gauge("bdd.cache_clears").set(self.cache_clears)
+
+    # ------------------------------------------------------------------
     # Boolean operations (Shannon-expansion apply)
 
     def apply(self, op: str, a: BDD, b: BDD) -> BDD:
         key = (op, a, b)
         cached = self._apply_cache.get(key)
         if cached is not None:
+            self.apply_cache_hits += 1
             return cached
+        self.apply_cache_misses += 1
         result = self._apply(op, a, b)
-        self._apply_cache[key] = result
+        self._cache_put(self._apply_cache, key, result)
         return result
 
     def _apply(self, op: str, a: BDD, b: BDD) -> BDD:
@@ -180,7 +270,7 @@ class BDDManager:
         return self.iff(self.var(lhs), self.conj_all(self.var(v) for v in rhs_vars))
 
     # ------------------------------------------------------------------
-    # Quantification and evaluation
+    # Quantification, renaming and evaluation
 
     def restrict(self, bdd: BDD, var: int, value: bool) -> BDD:
         if bdd in (FALSE, TRUE):
@@ -203,13 +293,38 @@ class BDDManager:
             cached = self.disj(
                 self.restrict(bdd, var, False), self.restrict(bdd, var, True)
             )
-            self._exists_cache[key] = cached
+            self._cache_put(self._exists_cache, key, cached)
+        else:
+            self.exists_cache_hits += 1
         return cached
 
     def exists_all(self, bdd: BDD, variables) -> BDD:
         for var in sorted(variables, reverse=True):
             bdd = self.exists(bdd, var)
         return bdd
+
+    def shift_above(self, bdd: BDD, threshold: int, delta: int) -> BDD:
+        """Rename every variable ``v >= threshold`` to ``v + delta``.
+
+        A uniform shift of a suffix of the order is order-preserving,
+        so the result is still reduced.  Callers must ensure the shifted
+        range does not collide with untouched variables below
+        ``threshold`` (all uses here shift a fully-quantified residue).
+        """
+        memo: dict[int, int] = {}
+
+        def walk(node: BDD) -> BDD:
+            if node in (FALSE, TRUE):
+                return node
+            out = memo.get(node)
+            if out is None:
+                var, low, high = self._table[node]
+                new_var = var + delta if var >= threshold else var
+                out = self.mk(new_var, walk(low), walk(high))
+                memo[node] = out
+            return out
+
+        return walk(bdd)
 
     def eval(self, bdd: BDD, assignment: dict) -> bool:
         while bdd not in (FALSE, TRUE):

@@ -37,12 +37,15 @@ from repro.prolog.program import Indicator, Program
 from repro.terms.term import Struct, Term, Var, fresh_var, term_variables
 from repro.core.propdom import (
     DEFAULT_MAX_ENUM_ARITY,
+    MAX_IFF_NVARS,
     PropFunction,
     iff_facts,
     iff_facts_compact,
     iff_name,
     iff_recursive,
     iff_support_clauses,
+    prop_function_class,
+    resolve_prop_backend,
 )
 
 GP_PREFIX = "gp$"
@@ -453,6 +456,9 @@ class GroundnessResult:
     completeness: str = "exact"
     events: list = field(default_factory=list)
     table_completeness: dict = field(default_factory=dict)
+    #: which Prop representation produced the per-predicate functions
+    #: (``"bdd"`` — the default — or the enumerative ``"enum"`` oracle)
+    backend: str = "bdd"
 
     @property
     def degraded(self) -> bool:
@@ -493,6 +499,8 @@ def analyze_groundness(
     fault=None,
     degrade: bool = True,
     widen_threshold: int = 8,
+    prop_backend: str | None = None,
+    bdd_widen_nodes: int = 64,
 ) -> GroundnessResult:
     """Run the full groundness analysis pipeline on ``program``.
 
@@ -511,14 +519,32 @@ def analyze_groundness(
     (``answer_join``, paper section 6.1), then bail to the sound
     all-top result — instead of raising.  ``fault`` is a
     :class:`~repro.runtime.faultinject.FaultInjector` for tests.
+
+    ``prop_backend`` selects the Prop representation for the collected
+    results: ``"bdd"`` (hash-consed ROBDDs — the default, resolved via
+    ``REPRO_PROP_BACKEND`` when not given) or ``"enum"`` (the
+    truth-table oracle).  Under the BDD backend a ``bdd_nodes`` budget
+    governs collection: a trip degrades to the ``bdd-widened`` stage
+    (worst-case widening to the definite core, capped at
+    ``bdd_widen_nodes`` nodes per table function) before falling back
+    to all-top.  Predicates wider than :data:`MAX_IFF_NVARS` are
+    routed to the BDD representation even under ``"enum"`` (the
+    enumerative truth set would need 2^arity rows), with a warning.
     """
+    from repro.bdd.propfn import bdd_governed, publish_bdd_gauges
     from repro.obs.observer import get_observer
-    from repro.runtime.budget import ResourceExhausted, governor_for
+    from repro.runtime.budget import (
+        BddNodesExceeded,
+        ResourceExhausted,
+        governor_for,
+    )
     from repro.runtime.degrade import (
         DegradationEvent,
         notify_degradation,
         top_widening_join,
     )
+
+    backend = resolve_prop_backend(prop_backend)
 
     obs = get_observer()
     t0 = time.perf_counter()
@@ -570,23 +596,75 @@ def analyze_groundness(
             completeness = "top"
     t2 = time.perf_counter()
 
+    def predicate_backend(indicator: Indicator) -> str:
+        if backend == "enum" and indicator[1] > MAX_IFF_NVARS:
+            # the enumerative truth set would need 2^arity rows; route
+            # this predicate to the BDD representation automatically
+            info.warnings.append(
+                f"predicate {indicator[0]}/{indicator[1]} exceeds the "
+                f"enumeration cap ({MAX_IFF_NVARS}); using the BDD backend"
+            )
+            return "bdd"
+        return backend
+
+    def collect_all(stage_gov, widen_nodes):
+        collected = {}
+        complete = {}
+        with bdd_governed(stage_gov if backend == "bdd" else None):
+            for indicator in info.predicates:
+                collected[indicator] = _collect(
+                    engine,
+                    indicator,
+                    demanded.get(indicator),
+                    backend=predicate_backend(indicator),
+                    widen_nodes=widen_nodes,
+                )
+                complete[indicator] = all(
+                    t.complete for t in _tables_for(engine, indicator)
+                )
+        return collected, complete
+
     predicates = {}
     table_completeness = {}
     with obs.maybe_span("analysis.groundness.collection"):
-        for indicator in info.predicates:
-            if engine is None:
+        if engine is not None:
+            try:
+                predicates, table_completeness = collect_all(gov, None)
+            except BddNodesExceeded as exc:
+                if not degrade:
+                    raise
+                event = DegradationEvent.from_error(
+                    "groundness", completeness, exc
+                )
+                events.append(event)
+                notify_degradation(event)
+                try:
+                    # worst-case widening (Genaim/Howe/Codish): rebuild
+                    # every table function with the definite-core cap
+                    predicates, table_completeness = collect_all(
+                        gov.restarted() if gov is not None else None,
+                        bdd_widen_nodes,
+                    )
+                    if completeness == "exact":
+                        completeness = "bdd-widened"
+                except BddNodesExceeded as exc2:
+                    event = DegradationEvent.from_error(
+                        "groundness", "bdd-widened", exc2
+                    )
+                    events.append(event)
+                    notify_degradation(event)
+                    engine = None
+                    completeness = "top"
+        if engine is None:
+            for indicator in info.predicates:
                 name, arity = indicator
+                fn_cls = prop_function_class(predicate_backend(indicator))
                 predicates[indicator] = PredicateGroundness(
-                    name, arity, PropFunction.top(arity), [], 0
+                    name, arity, fn_cls.top(arity), [], 0
                 )
                 table_completeness[indicator] = False
-            else:
-                predicates[indicator] = _collect(
-                    engine, indicator, demanded.get(indicator)
-                )
-                table_completeness[indicator] = all(
-                    t.complete for t in _tables_for(engine, indicator)
-                )
+    if backend == "bdd" and obs.enabled:
+        publish_bdd_gauges()
     t3 = time.perf_counter()
 
     if obs.enabled:
@@ -612,6 +690,7 @@ def analyze_groundness(
         completeness=completeness,
         events=events,
         table_completeness=table_completeness,
+        backend=backend,
     )
 
 
@@ -665,6 +744,8 @@ def _collect(
     engine: TabledEngine,
     indicator: Indicator,
     demanded_ids: set[int] | None = None,
+    backend: str = "enum",
+    widen_nodes: int | None = None,
 ) -> PredicateGroundness:
     """Combine a predicate's table answers into a result record.
 
@@ -675,13 +756,49 @@ def _collect(
     ``None`` means every table was demanded (entry-less analysis).  All
     tables — including the synthetic open one — contribute per-table
     pattern-query claims.
+
+    ``backend="bdd"`` builds each table's function symbolically from
+    its answer terms (:meth:`~repro.bdd.propfn.BddPropFunction.from_answers`)
+    — polynomial in the answer count, where the enumerative path
+    expands 2^(free vars) rows per answer.  ``widen_nodes`` (the
+    ``bdd-widened`` ladder stage) applies worst-case widening to any
+    table function past that node count.
     """
     name, arity = indicator
-    rows: set[tuple] = set()
     calls: list[tuple] = []
-    tables: list[tuple[tuple, PropFunction]] = []
+    tables: list = []
     claims: list = []
     answer_count = 0
+    if backend == "bdd":
+        from repro.bdd.propfn import BddPropFunction
+        from repro.runtime.degrade import worst_case_widen
+
+        success = BddPropFunction.bottom(arity)
+        for table in _tables_for(engine, indicator):
+            pattern = _pattern(table.call, arity)
+            demanded = demanded_ids is None or id(table) in demanded_ids
+            if demanded:
+                calls.append(pattern)
+            claims.append(_claim_pattern(table.call, arity))
+            fn = BddPropFunction.from_answers(arity, table.answers)
+            if widen_nodes is not None:
+                fn = worst_case_widen(
+                    fn, widen_nodes, metric="analysis.groundness.bdd_widenings"
+                )
+            tables.append((pattern, fn))
+            if demanded:
+                answer_count += sum(1 for _ in table.answers)
+                success = success.join(fn)
+        return PredicateGroundness(
+            name=name,
+            arity=arity,
+            success=success,
+            call_patterns=calls,
+            answer_count=answer_count,
+            tables=tables,
+            claims=claims,
+        )
+    rows: set[tuple] = set()
     for table in _tables_for(engine, indicator):
         pattern = _pattern(table.call, arity)
         demanded = demanded_ids is None or id(table) in demanded_ids

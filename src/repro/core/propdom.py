@@ -13,8 +13,10 @@ joins; this module holds the fact generators plus a
 
 from __future__ import annotations
 
+import os
 from itertools import product
 
+from repro.errors import PrologError
 from repro.prolog.parser import Clause
 from repro.prolog.program import Program
 from repro.terms.term import Struct, Term, fresh_var
@@ -26,6 +28,64 @@ FALSE = "false"
 #: enumerated as facts but encoded as a linear recursive program (same
 #: success set, avoids 2^k fact explosion on pathological clauses).
 DEFAULT_MAX_ENUM_ARITY = 8
+
+#: Hard cap on truth-table *enumeration* anywhere in the Prop domain:
+#: :func:`iff_facts`, :func:`iff_facts_program` and
+#: :meth:`PropFunction.iff_closure` refuse (with a typed
+#: :class:`IffArityError`) beyond this many variables rather than
+#: silently materializing 2^k rows; wide-arity work belongs to the BDD
+#: backend (:class:`repro.bdd.BddPropFunction`), which the groundness
+#: collector routes to automatically.
+MAX_IFF_NVARS = 16
+
+#: recognised Prop backends: hash-consed ROBDDs (default) and the
+#: enumerative truth-table oracle
+PROP_BACKENDS = ("bdd", "enum")
+
+#: environment override for the default backend
+PROP_BACKEND_ENV = "REPRO_PROP_BACKEND"
+
+
+class IffArityError(PrologError):
+    """A truth-table enumeration was requested past :data:`MAX_IFF_NVARS`.
+
+    Carries ``nvars`` and ``limit`` so callers can route the offending
+    predicate to the BDD backend instead of parsing the message.
+    """
+
+    def __init__(self, nvars: int, limit: int = MAX_IFF_NVARS, what: str = "iff truth table"):
+        self.nvars = nvars
+        self.limit = limit
+        super().__init__(
+            f"{what} over {nvars} variables exceeds the enumeration cap "
+            f"({limit}): 2^{nvars} rows; use the BDD backend "
+            f"(backend='bdd' / {PROP_BACKEND_ENV}=bdd) or a compact/"
+            f"recursive iff encoding"
+        )
+
+
+def resolve_prop_backend(backend: str | None = None) -> str:
+    """The Prop backend to use: explicit > ``REPRO_PROP_BACKEND`` > bdd.
+
+    Returns ``"bdd"`` (hash-consed ROBDDs, the default) or ``"enum"``
+    (the enumerative truth-table oracle); anything else raises.
+    """
+    if backend is None:
+        backend = os.environ.get(PROP_BACKEND_ENV) or "bdd"
+    if backend not in PROP_BACKENDS:
+        raise ValueError(
+            f"unknown Prop backend {backend!r}; expected one of {PROP_BACKENDS}"
+        )
+    return backend
+
+
+def prop_function_class(backend: str | None = None):
+    """The Prop value class for ``backend`` (resolved per :func:`resolve_prop_backend`)."""
+    if resolve_prop_backend(backend) == "bdd":
+        from repro.bdd.propfn import BddPropFunction
+
+        return BddPropFunction
+    return PropFunction
 
 IFF_PREFIX = "iff$"
 IFF_LIST = "iff$list"
@@ -43,8 +103,12 @@ def iff_facts(nvars: int) -> list[Clause]:
 
     ``iff$k(B, A1, ..., Ak)`` has one fact per assignment of the ``Ai``
     with ``B`` forced to their conjunction — 2^k facts, the fully
-    enumerated representation of paper section 3.1.
+    enumerated representation of paper section 3.1.  Refuses past
+    :data:`MAX_IFF_NVARS` with a typed :class:`IffArityError` instead
+    of silently materializing an exponential fact table.
     """
+    if nvars > MAX_IFF_NVARS:
+        raise IffArityError(nvars)
     name = iff_name(nvars)
     clauses = []
     for assignment in product((TRUE, FALSE), repeat=nvars):
@@ -111,7 +175,14 @@ def iff_support_clauses() -> list[Clause]:
 
 
 def iff_facts_program(max_nvars: int) -> Program:
-    """A program containing iff$0 .. iff$max_nvars fact tables."""
+    """A program containing iff$0 .. iff$max_nvars fact tables.
+
+    Raises :class:`IffArityError` when ``max_nvars`` exceeds
+    :data:`MAX_IFF_NVARS` (the largest table alone would hold
+    2^max_nvars facts).
+    """
+    if max_nvars > MAX_IFF_NVARS:
+        raise IffArityError(max_nvars)
     program = Program()
     for nvars in range(max_nvars + 1):
         program.add_clauses(iff_facts(nvars))
@@ -162,6 +233,32 @@ class PropFunction:
         ]
         return cls(arity, rows)
 
+    @classmethod
+    def from_rows(cls, arity: int, rows) -> "PropFunction":
+        """Uniform constructor vocabulary with the BDD backend."""
+        return cls(arity, rows)
+
+    @classmethod
+    def iff_closure(cls, arity: int, constraints) -> "PropFunction":
+        """``/\\ (x_lhs <-> /\\ rhs)`` over ``(lhs, rhs)`` pairs.
+
+        The conjunction of a clause's iff constraints, enumerated as a
+        truth set — and therefore capped: past :data:`MAX_IFF_NVARS`
+        arguments this raises :class:`IffArityError` rather than
+        walking 2^arity assignments (the BDD backend's
+        :meth:`~repro.bdd.propfn.BddPropFunction.iff_closure` has no
+        such cap).
+        """
+        if arity > MAX_IFF_NVARS:
+            raise IffArityError(arity, what="iff closure")
+        constraints = [(lhs, tuple(rhs)) for lhs, rhs in constraints]
+        rows = [
+            row
+            for row in product((True, False), repeat=arity)
+            if all(row[lhs] == all(row[i] for i in rhs) for lhs, rhs in constraints)
+        ]
+        return cls(arity, rows)
+
     # -- lattice/logic operations ----------------------------------------
     def conj(self, other: "PropFunction") -> "PropFunction":
         assert self.arity == other.arity
@@ -170,6 +267,11 @@ class PropFunction:
     def disj(self, other: "PropFunction") -> "PropFunction":
         assert self.arity == other.arity
         return PropFunction(self.arity, self.rows | other.rows)
+
+    # lattice-vocabulary aliases (Prop's meet is conjunction, join is
+    # disjunction); shared with the BDD backend
+    meet = conj
+    join = disj
 
     def exists(self, index: int) -> "PropFunction":
         """Existentially quantify argument ``index`` away (arity drops)."""
@@ -216,11 +318,15 @@ class PropFunction:
         return not self.rows
 
     def __eq__(self, other) -> bool:
-        return (
-            isinstance(other, PropFunction)
-            and other.arity == self.arity
-            and other.rows == self.rows
-        )
+        if isinstance(other, PropFunction):
+            return other.arity == self.arity and other.rows == self.rows
+        # duck-typed cross-backend equality: a BddPropFunction (or any
+        # Prop value exposing arity + rows) compares by truth set
+        other_arity = getattr(other, "arity", None)
+        other_rows = getattr(other, "rows", None)
+        if other_arity is None or other_rows is None:
+            return NotImplemented
+        return self.arity == other_arity and self.rows == other_rows
 
     def __hash__(self) -> int:
         return hash((self.arity, self.rows))

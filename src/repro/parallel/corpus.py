@@ -242,6 +242,7 @@ def _task_lint(path: str, options: dict) -> dict:
         deadline=options.get("deadline"),
         failcheck=options.get("failcheck", True),
         summaries=options.get("summaries"),
+        prop_backend=options.get("prop_backend"),
     )
 
 
@@ -252,7 +253,9 @@ def _task_modecheck(path: str, options: dict) -> dict:
     program = _load(path)
     query = options.get("query")
     report = check_modes(
-        program, query=parse_term(query) if query else None
+        program,
+        query=parse_term(query) if query else None,
+        prop_backend=options.get("prop_backend"),
     )
     ordered = sorted(report.diagnostics, key=lambda d: (d.line, d.rule, d.message))
     return {
@@ -270,6 +273,7 @@ def _task_groundness(path: str, options: dict) -> dict:
     result = analyze_groundness(
         _load(path),
         budget=Budget(deadline=deadline) if deadline is not None else None,
+        prop_backend=options.get("prop_backend"),
     )
     return {
         "completeness": result.completeness,

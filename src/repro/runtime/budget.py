@@ -28,7 +28,8 @@ class ResourceExhausted(PrologError):
     ----------
     kind:
         ``"deadline"``, ``"tasks"``, ``"steps"``, ``"rounds"``,
-        ``"fuel"``, ``"answers"``, ``"table_bytes"`` or ``"cancelled"``.
+        ``"fuel"``, ``"answers"``, ``"bdd_nodes"``, ``"table_bytes"``
+        or ``"cancelled"``.
     spent / limit:
         Amount consumed when the budget tripped and the configured
         limit (equal for injected faults; ``None`` limit for
@@ -65,6 +66,7 @@ _NOUN = {
     "rounds": "round",
     "fuel": "fuel",
     "answers": "answer",
+    "bdd_nodes": "BDD node",
     "table_bytes": "table space",
     "deadline": "deadline",
 }
@@ -94,6 +96,10 @@ class AnswerBudgetExceeded(ResourceExhausted):
     """Total recorded-answer budget spent."""
 
 
+class BddNodesExceeded(ResourceExhausted):
+    """ROBDD unique-table node budget spent (Prop BDD backend)."""
+
+
 class TableSpaceExceeded(ResourceExhausted):
     """Table-space byte cap exceeded."""
 
@@ -110,12 +116,13 @@ ERROR_FOR_KIND = {
     "rounds": RoundBudgetExceeded,
     "fuel": FuelExhausted,
     "answers": AnswerBudgetExceeded,
+    "bdd_nodes": BddNodesExceeded,
     "table_bytes": TableSpaceExceeded,
     "cancelled": Cancelled,
 }
 
 #: countable event kinds the governor tracks
-EVENT_KINDS = ("tasks", "steps", "rounds", "fuel", "answers")
+EVENT_KINDS = ("tasks", "steps", "rounds", "fuel", "answers", "bdd_nodes")
 
 
 class Budget:
@@ -127,7 +134,10 @@ class Budget:
     counter, maintained incrementally by the tabled engine).
     """
 
-    __slots__ = ("deadline", "tasks", "steps", "rounds", "fuel", "answers", "table_bytes")
+    __slots__ = (
+        "deadline", "tasks", "steps", "rounds", "fuel", "answers",
+        "bdd_nodes", "table_bytes",
+    )
 
     def __init__(
         self,
@@ -137,6 +147,7 @@ class Budget:
         rounds: int | None = None,
         fuel: int | None = None,
         answers: int | None = None,
+        bdd_nodes: int | None = None,
         table_bytes: int | None = None,
     ):
         self.deadline = deadline
@@ -145,6 +156,7 @@ class Budget:
         self.rounds = rounds
         self.fuel = fuel
         self.answers = answers
+        self.bdd_nodes = bdd_nodes
         self.table_bytes = table_bytes
 
     def limits(self) -> dict:

@@ -5,13 +5,19 @@ ladder of progressively cheaper, progressively less precise — but
 always *sound* — configurations (paper section 6.1 provides the key
 mechanism, in-table widening via the ``answer_join`` hook):
 
-1. **widen** — rerun with :func:`top_widening_join`: once a table has
+1. **bdd-widen** — Prop BDD backend only: recollect with worst-case
+   widening (Genaim, Howe & Codish): any per-table BDD past the node
+   cap is replaced by its *definite core* — the conjunction of the
+   variables it entails — a definite boolean function of at most
+   linear size that over-approximates the original
+   (:func:`worst_case_widen`);
+2. **widen** — rerun with :func:`top_widening_join`: once a table has
    accumulated ``threshold`` answers, the join replaces further growth
    with the single most-general answer (the domain's ⊤ for that call),
    bounding every table while over-approximating its answer set;
-2. **reduce-k** — depth-k analysis only: retry with a smaller depth
+3. **reduce-k** — depth-k analysis only: retry with a smaller depth
    bound (coarser abstract domain, geometrically cheaper);
-3. **top** — give up on evaluation and return the all-⊤ result, which
+4. **top** — give up on evaluation and return the all-⊤ result, which
    is trivially sound for the over-approximating analyses here.
 
 Each failed stage is recorded as a :class:`DegradationEvent`; the
@@ -28,7 +34,7 @@ from repro.terms.term import Struct, Term, fresh_var
 from repro.terms.variant import variant_key
 
 #: ladder stage names, most precise first
-STAGES = ("exact", "widened", "reduced-k", "top")
+STAGES = ("exact", "bdd-widened", "widened", "reduced-k", "top")
 
 
 @dataclass
@@ -99,7 +105,38 @@ def notify_degradation(event: DegradationEvent) -> None:
 
 
 # ----------------------------------------------------------------------
-# Stage 1: in-table widening to the most general answer
+# Stage 1 (Prop BDD backend): worst-case widening to the definite core
+
+
+def worst_case_widen(fn, max_nodes: int, metric: str | None = None):
+    """Widen a Prop function past ``max_nodes`` BDD nodes (GHC-style).
+
+    Genaim, Howe & Codish ("Worst-Case Groundness Analysis Using
+    Definite Boolean Functions"): when a positive function's ROBDD
+    exceeds the node cap, replace it with its *definite core* — the
+    conjunction of the variables it entails — which is definite, of at
+    most one node per variable, and entailed by the original (a sound
+    over-approximation).  Functions within the cap (and any non-BDD
+    representation, which has no node count) pass through unchanged.
+
+    ``metric`` optionally names an observer counter incremented each
+    time a function is actually widened.
+    """
+    widen = getattr(fn, "widen", None)
+    if widen is None:
+        return fn
+    widened = widen(max_nodes)
+    if widened is not fn and metric is not None:
+        from repro.obs.observer import get_observer
+
+        obs = get_observer()
+        if obs.enabled:
+            obs.registry.counter(metric).value += 1
+    return widened
+
+
+# ----------------------------------------------------------------------
+# Stage 2: in-table widening to the most general answer
 
 
 def most_general_answer(answer: Term) -> Term:

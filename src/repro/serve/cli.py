@@ -71,6 +71,12 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument("--metrics", metavar="HOST:PORT",
                         help="expose Prometheus text metrics over HTTP "
                         "(PORT 0 = ephemeral, printed on stderr)")
+    parser.add_argument("--prop-backend", choices=("bdd", "enum"),
+                        default=None,
+                        help="Prop (groundness) representation for the "
+                        "worker pool: hash-consed ROBDDs (bdd, default) "
+                        "or enumerative truth tables (enum); exported as "
+                        "REPRO_PROP_BACKEND so workers inherit it")
     parser.add_argument("--no-tracing", action="store_true",
                         help="disable per-request distributed tracing "
                         "(access log and counters stay on)")
@@ -125,6 +131,12 @@ def main(argv: list[str] | None = None, out=None, err=None) -> int:
     if args.workers < 1 or args.queue_limit < 1:
         print("--workers and --queue-limit must be >= 1", file=err)
         return EXIT_USAGE
+    if args.prop_backend is not None:
+        # worker processes resolve the Prop backend from the
+        # environment, so export before any pool spawns
+        import os
+
+        os.environ["REPRO_PROP_BACKEND"] = args.prop_backend
 
     if args.chaos:
         from repro.serve.chaos import run_chaos
